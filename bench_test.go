@@ -1,0 +1,264 @@
+package repro
+
+// One benchmark per paper table and figure (deliverable (d)), plus the
+// ablation benchmarks DESIGN.md §6 calls out. Experiment sizes are reduced
+// per iteration so `go test -bench=.` completes in minutes; cmd/lpo-bench
+// runs the full-size versions.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/alive"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/extract"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/lpo"
+	"repro/internal/mca"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/souper"
+)
+
+const clampSrc = `define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`
+
+// BenchmarkTable1Models renders the model roster (paper Table 1).
+func BenchmarkTable1Models(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.PrintTable1(io.Discard)
+	}
+}
+
+// BenchmarkTable2RQ1 regenerates the RQ1 detection matrix (paper Table 2),
+// one round per model per iteration.
+func BenchmarkTable2RQ1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunRQ1(experiments.RQ1Options{Rounds: 1, Seed: uint64(i + 1)})
+		rep.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable3RQ2 regenerates the RQ2 findings table (paper Table 3):
+// corpus generation, extraction, discovery and both baselines.
+func BenchmarkTable3RQ2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunRQ2(experiments.RQ2Options{Seed: uint64(i + 1), DiscoverRounds: 10})
+		rep.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable4Throughput regenerates the throughput/cost comparison
+// (paper Table 4) over a reduced sample.
+func BenchmarkTable4Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunRQ3(experiments.RQ3Options{Sequences: 60, Seed: uint64(i + 1)})
+		rep.Print(io.Discard)
+	}
+}
+
+// BenchmarkTable5PatchImpact regenerates the patch-impact table (paper
+// Table 5), including the real compile-time measurement.
+func BenchmarkTable5PatchImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.RunTable5(uint64(i + 1))
+		rep.Print(io.Discard)
+	}
+}
+
+// BenchmarkFigure4CaseStudies replays the three case studies (paper Fig. 4).
+func BenchmarkFigure4CaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.PrintFigure4(io.Discard, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Spec regenerates the SPEC-like runtime comparison (paper
+// Figure 5).
+func BenchmarkFigure5Spec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunFigure5(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Print(io.Discard)
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ---
+
+func pipelineFor(attempts int, cfgMod func(*lpo.Config)) (*lpo.Pipeline, *ir.Func) {
+	src := opt.RunO3(parser.MustParseFunc(clampSrc))
+	sim := llm.NewSim("Gemini2.0T", 9)
+	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 2, Plus: 5})
+	cfg := lpo.Config{AttemptLimit: attempts, Verify: alive.Options{Samples: 256, Seed: 9}}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	return lpo.New(sim, cfg), src
+}
+
+// BenchmarkAblationAttemptLimit1 is LPO- (no feedback round).
+func BenchmarkAblationAttemptLimit1(b *testing.B) {
+	p, src := pipelineFor(1, nil)
+	for i := 0; i < b.N; i++ {
+		p.OptimizeSeq(src, i)
+	}
+}
+
+// BenchmarkAblationAttemptLimit2 is the paper's configuration.
+func BenchmarkAblationAttemptLimit2(b *testing.B) {
+	p, src := pipelineFor(2, nil)
+	for i := 0; i < b.N; i++ {
+		p.OptimizeSeq(src, i)
+	}
+}
+
+// BenchmarkAblationAttemptLimit4 doubles the feedback budget.
+func BenchmarkAblationAttemptLimit4(b *testing.B) {
+	p, src := pipelineFor(4, nil)
+	for i := 0; i < b.N; i++ {
+		p.OptimizeSeq(src, i)
+	}
+}
+
+// BenchmarkAblationNoInterestingness shows the cost of skipping the cheap
+// filter: every candidate goes straight to the verifier.
+func BenchmarkAblationNoInterestingness(b *testing.B) {
+	p, src := pipelineFor(2, func(c *lpo.Config) { c.DisableInterestingness = true })
+	for i := 0; i < b.N; i++ {
+		p.OptimizeSeq(src, i)
+	}
+}
+
+// BenchmarkAblationNoOptPreprocess skips candidate canonicalization.
+func BenchmarkAblationNoOptPreprocess(b *testing.B) {
+	p, src := pipelineFor(2, func(c *lpo.Config) { c.DisableOptPreprocess = true })
+	for i := 0; i < b.N; i++ {
+		p.OptimizeSeq(src, i)
+	}
+}
+
+// BenchmarkAblationDedup measures extraction with the cross-module dedup set
+// (the paper eliminates ~8.7M duplicates this way).
+func BenchmarkAblationDedup(b *testing.B) {
+	projects := corpus.Generate(corpus.Options{Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex := extract.New(extract.Options{})
+		for _, p := range projects {
+			for _, m := range p.Modules {
+				ex.Module(m)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationNoDedup rebuilds the dedup set per module, so duplicates
+// survive across modules — the configuration the dedup design avoids.
+func BenchmarkAblationNoDedup(b *testing.B) {
+	projects := corpus.Generate(corpus.Options{Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range projects {
+			for _, m := range p.Modules {
+				extract.New(extract.Options{}).Module(m)
+			}
+		}
+	}
+}
+
+// BenchmarkSouperEnum sweeps the Enum parameter (the paper's cost/coverage
+// frontier).
+func BenchmarkSouperEnum(b *testing.B) {
+	src := parser.MustParseFunc(`define i8 @src(i8 %x, i8 %y) {
+  %a = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = xor i8 %a, %o
+  ret i8 %r
+}`)
+	for _, enum := range []int{0, 1, 2, 3} {
+		enum := enum
+		b.Run(benchName("enum", enum), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				souper.Optimize(src, souper.Options{Enum: enum, Seed: uint64(i)})
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "=" + string(rune('0'+n))
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkParserClamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.ParseFunc(clampSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptClamp(b *testing.B) {
+	f := parser.MustParseFunc(clampSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.RunO3(f)
+	}
+}
+
+func BenchmarkAliveVerifyClamp(b *testing.B) {
+	src := parser.MustParseFunc(clampSrc)
+	tgt := parser.MustParseFunc(`define i8 @tgt(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := alive.Verify(src, tgt, alive.Options{Samples: 1024, Seed: uint64(i)})
+		if r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
+func BenchmarkInterpExec(b *testing.B) {
+	f := parser.MustParseFunc(clampSrc)
+	env := interp.Env{Args: []interp.RVal{interp.Scalar(ir.I32, 1234)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interp.Exec(f, env)
+	}
+}
+
+func BenchmarkMCAAnalyze(b *testing.B) {
+	f := parser.MustParseFunc(clampSrc)
+	model := mca.BTVer2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mca.Analyze(f, model)
+	}
+}
+
+func BenchmarkExtractModule(b *testing.B) {
+	projects := corpus.Generate(corpus.Options{Seed: 5, ModulesPerProject: 1, FuncsPerModule: 8})
+	m := projects[0].Modules[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		extract.New(extract.Options{}).Module(m)
+	}
+}

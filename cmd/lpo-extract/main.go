@@ -1,0 +1,46 @@
+// Command lpo-extract runs the paper's Algorithm 2 on an .ll module and
+// prints each unique dependent instruction sequence as a wrapped function.
+//
+// Usage:
+//
+//	lpo-extract file.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/extract"
+	"repro/internal/parser"
+)
+
+func main() {
+	minLen := flag.Int("min", 2, "minimum sequence length")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, perr := parser.Parse(string(src))
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	ex := extract.New(extract.Options{MinLen: *minLen})
+	for _, s := range ex.Module(m) {
+		fmt.Printf("; from @%s block %%%s (%d instructions)\n%s\n", s.Func, s.Block, s.Len, s.Fn)
+	}
+	st := ex.Stats()
+	fmt.Printf("; %d raw sequences, %d kept, %d duplicates, %d already optimizable, %d too short\n",
+		st.Sequences, st.Kept, st.Duplicates, st.Optimizable, st.TooShort)
+}

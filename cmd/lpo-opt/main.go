@@ -1,0 +1,54 @@
+// Command lpo-opt is the reproduction's `opt`: it parses .ll from a file or
+// stdin, runs the baseline peephole pipeline (optionally with patch or
+// knowledge-base rules enabled), and prints the optimized module.
+//
+// Usage:
+//
+//	lpo-opt [-patches 143636,163108] [-all-rules] [file.ll]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+func main() {
+	patches := flag.String("patches", "", "comma-separated patch/rule names to enable")
+	allRules := flag.Bool("all-rules", false, "enable every patch and knowledge-base rule")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, perr := parser.Parse(string(src))
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	var rules []string
+	if *allRules {
+		rules = opt.AllRuleNames()
+	} else if *patches != "" {
+		rules = strings.Split(*patches, ",")
+	}
+	out := &ir.Module{Name: m.Name}
+	for _, f := range m.Funcs {
+		out.Funcs = append(out.Funcs, opt.Run(f, opt.Options{Patches: rules}))
+	}
+	fmt.Print(out.String())
+}

@@ -1,0 +1,67 @@
+// Command lpo-verify is the reproduction's Alive2: given a file containing
+// two functions (source first, target second — or @src/@tgt by name), it
+// checks refinement and prints either the verdict or a counterexample.
+//
+// Usage:
+//
+//	lpo-verify [-samples N] pair.ll
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/alive"
+	"repro/internal/parser"
+)
+
+func main() {
+	samples := flag.Int("samples", 4096, "random samples when not exhaustive")
+	seed := flag.Uint64("seed", 1, "sampling seed")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, perr := parser.Parse(string(src))
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	if len(m.Funcs) < 2 {
+		fmt.Fprintln(os.Stderr, "need two functions (source then target)")
+		os.Exit(2)
+	}
+	sf, tf := m.Funcs[0], m.Funcs[1]
+	if f := m.FuncByName("src"); f != nil {
+		sf = f
+	}
+	if f := m.FuncByName("tgt"); f != nil {
+		tf = f
+	}
+	res := alive.Verify(sf, tf, alive.Options{Samples: *samples, Seed: *seed})
+	switch res.Verdict {
+	case alive.Correct:
+		mode := "sampled"
+		if res.Exhaustive {
+			mode = "exhaustive"
+		}
+		fmt.Printf("Transformation seems to be correct! (%d inputs, %s)\n", res.Checked, mode)
+	case alive.Incorrect:
+		fmt.Print(res.CE.Format())
+		os.Exit(1)
+	case alive.Unsupported:
+		fmt.Println(res.Err)
+		os.Exit(2)
+	}
+}

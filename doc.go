@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "LPO: Discovering
+// Missed Peephole Optimizations with Large Language Models" (ASPLOS '26),
+// including every substrate the paper's pipeline depends on: an LLVM IR
+// subset with parser and printer, a concrete interpreter with Alive2-style
+// poison/UB semantics, an InstCombine-like optimizer, an llvm-mca-style
+// static performance model, a bounded translation validator, the Souper and
+// Minotaur superoptimizer baselines, a synthetic corpus, and a calibrated
+// simulated LLM provider.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and the
+// substitutions made for offline reproduction, and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure. The root-level
+// benchmarks in bench_test.go regenerate each experiment.
+package repro

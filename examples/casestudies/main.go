@@ -1,0 +1,17 @@
+// Casestudies replays the paper's Figure 4: the three confirmed missed
+// optimizations that neither Souper nor Minotaur can detect, with each
+// tool's failure mode demonstrated live.
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := experiments.PrintFigure4(os.Stdout, 1); err != nil {
+		log.Fatal(err)
+	}
+}

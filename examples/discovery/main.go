@@ -1,0 +1,47 @@
+// Discovery runs a miniature RQ2: generate the synthetic corpus, extract
+// unique windows, and let the simulated local model hunt for missed
+// optimizations, printing each verified find.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alive"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/llm"
+	"repro/internal/lpo"
+)
+
+func main() {
+	projects := corpus.Generate(corpus.Options{Seed: 11, ModulesPerProject: 2, FuncsPerModule: 4})
+	cs := corpus.Summarize(projects)
+	fmt.Printf("corpus: %d projects, %d modules, %d functions\n", cs.Projects, cs.Modules, cs.Funcs)
+
+	ex := extract.New(extract.Options{})
+	var seqs []*extract.Sequence
+	for _, p := range projects {
+		for _, m := range p.Modules {
+			seqs = append(seqs, ex.Module(m)...)
+		}
+	}
+	st := ex.Stats()
+	fmt.Printf("extraction: %d raw, %d duplicates removed, %d already optimizable, %d kept\n\n",
+		st.Sequences, st.Duplicates, st.Optimizable, st.Kept)
+
+	sim := llm.NewSim("Llama3.3", 11)
+	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 512, Seed: 11}})
+	found := 0
+	for _, s := range seqs {
+		for round := 0; round < 8; round++ {
+			res := pipe.OptimizeSeq(s.Fn, round)
+			if res.Outcome == lpo.Found {
+				found++
+				fmt.Printf("missed optimization in %s (@%s): %d->%d instrs\n",
+					s.Module, s.Func, res.InstrsBefore, res.InstrsAfter)
+				break
+			}
+		}
+	}
+	fmt.Printf("\n%d verified missed optimizations discovered\n", found)
+}

@@ -1,0 +1,48 @@
+// Quickstart: run one instruction sequence through the whole LPO loop — the
+// paper's Figure 1b clamp pattern — and print every stage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alive"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/lpo"
+	"repro/internal/parser"
+)
+
+const clamp = `define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`
+
+func main() {
+	src, err := parser.ParseFunc(clamp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suboptimal sequence (paper Figure 1b):")
+	fmt.Println(src)
+
+	// A simulated reasoning model that always finds the rewrite.
+	sim := llm.NewSim("Gemini2.0T", 42)
+	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 5, Plus: 5})
+
+	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 2048, Seed: 42}})
+	res := pipe.OptimizeSeq(src, 0)
+	fmt.Printf("pipeline outcome: %s\n", res.Outcome)
+	if res.Outcome != lpo.Found {
+		log.Fatalf("expected a verified optimization, got %v", res.Outcome)
+	}
+	fmt.Println("\nverified optimization (paper Figure 1c):")
+	fmt.Println(res.Cand)
+	fmt.Printf("instructions: %d -> %d, estimated cycles: %d -> %d\n",
+		res.InstrsBefore, res.InstrsAfter, res.CyclesBefore, res.CyclesAfter)
+	fmt.Printf("tokens used: %d in / %d out, virtual latency %.1fs\n",
+		res.Usage.InputTokens, res.Usage.OutputTokens, res.Usage.VirtualSeconds)
+}

@@ -1,0 +1,269 @@
+// Package alive is a bounded translation validator in the spirit of Alive2:
+// it checks that a target function refines a source function, and produces a
+// counterexample when it does not.
+//
+// Where Alive2 encodes the refinement obligation symbolically for an SMT
+// solver, this implementation checks it concretely: exhaustively when the
+// input space is small enough, and over structured corner values plus seeded
+// random samples otherwise. Like Alive2 it is *bounded* validation — "correct"
+// means "no counterexample found within the bound" — and the refinement
+// relation is the same:
+//
+//   - if the source execution is UB, the target may do anything;
+//   - per result lane, a poison source lane permits any target lane, and a
+//     defined source lane requires an equal, non-poison target lane;
+//   - bytes written by the source constrain the target's final memory the
+//     same way.
+package alive
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Verdict classifies a verification run.
+type Verdict int
+
+// Verdicts.
+const (
+	// Correct means no refinement violation was found within the bound.
+	Correct Verdict = iota
+	// Incorrect means a counterexample was found.
+	Incorrect
+	// Unsupported means the pair could not be checked (e.g. signature
+	// mismatch); Err carries an Alive2-style fixable error message.
+	Unsupported
+)
+
+// Options bound the verification effort.
+type Options struct {
+	// MaxExhaustiveBits is the largest total input bit budget that is
+	// enumerated exhaustively (default 16).
+	MaxExhaustiveBits int
+	// Samples is the number of random input vectors when not exhaustive
+	// (default 4096).
+	Samples int
+	// Seed makes the random sampling reproducible.
+	Seed uint64
+	// MemSize is the byte size of the region behind each pointer argument
+	// (default 64).
+	MemSize int
+	// MemFills is how many distinct initial memories are tried per input
+	// vector when pointers are present (default 4).
+	MemFills int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxExhaustiveBits == 0 {
+		o.MaxExhaustiveBits = 16
+	}
+	if o.Samples == 0 {
+		o.Samples = 4096
+	}
+	if o.MemSize == 0 {
+		o.MemSize = 64
+	}
+	if o.MemFills == 0 {
+		o.MemFills = 4
+	}
+	return o
+}
+
+// CounterExample captures one refinement violation.
+type CounterExample struct {
+	Params  []*ir.Param
+	Inputs  []interp.RVal
+	Memory  [][]byte // initial contents of each pointer region, in param order
+	SrcRet  interp.RVal
+	TgtRet  interp.RVal
+	SrcUB   bool
+	TgtUB   bool
+	TgtWhy  string
+	MemDiff string // description of a memory refinement violation, if any
+}
+
+// Format renders the counterexample in the style Alive2 prints and LPO feeds
+// back to the LLM.
+func (ce *CounterExample) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Transformation doesn't verify!\n")
+	switch {
+	case ce.TgtUB:
+		sb.WriteString("ERROR: Source is guaranteed to be defined, target is undefined\n")
+	case ce.MemDiff != "":
+		sb.WriteString("ERROR: Mismatch in memory\n")
+	default:
+		sb.WriteString("ERROR: Value mismatch\n")
+	}
+	sb.WriteString("Example:\n")
+	for i, p := range ce.Params {
+		fmt.Fprintf(&sb, "%s %%%s = %s\n", p.Ty, p.Nm, ce.Inputs[i].Format())
+	}
+	memIdx := 0
+	for _, p := range ce.Params {
+		if ir.IsPtr(p.Ty) && memIdx < len(ce.Memory) {
+			fmt.Fprintf(&sb, "memory at %%%s = % x\n", p.Nm, ce.Memory[memIdx])
+			memIdx++
+		}
+	}
+	if ce.SrcUB {
+		sb.WriteString("Source value: UB\n")
+	} else {
+		fmt.Fprintf(&sb, "Source value: %s\n", ce.SrcRet.Format())
+	}
+	switch {
+	case ce.TgtUB:
+		fmt.Fprintf(&sb, "Target value: UB (%s)\n", ce.TgtWhy)
+	default:
+		fmt.Fprintf(&sb, "Target value: %s\n", ce.TgtRet.Format())
+	}
+	if ce.MemDiff != "" {
+		sb.WriteString(ce.MemDiff + "\n")
+	}
+	return sb.String()
+}
+
+// Result is the outcome of Verify.
+type Result struct {
+	Verdict    Verdict
+	CE         *CounterExample
+	Err        string // set for Unsupported
+	Checked    int    // input vectors actually executed
+	Exhaustive bool   // true if the whole input space was covered
+}
+
+// Verify checks whether tgt refines src within the given bounds.
+func Verify(src, tgt *ir.Func, opts Options) Result {
+	opts = opts.withDefaults()
+	if err := signatureError(src, tgt); err != "" {
+		return Result{Verdict: Unsupported, Err: err}
+	}
+	gen := newInputGen(src, opts)
+	res := Result{Exhaustive: gen.exhaustive}
+	for gen.next() {
+		res.Checked++
+		if ce := checkOne(src, tgt, gen.params, gen.inputs, gen.memBytes, opts); ce != nil {
+			res.Verdict = Incorrect
+			res.CE = ce
+			return res
+		}
+	}
+	res.Verdict = Correct
+	return res
+}
+
+// isNaNBits reports whether the given IEEE bit pattern at width w is a NaN.
+func isNaNBits(w int, bits uint64) bool {
+	if w == 32 {
+		f := math.Float32frombits(uint32(bits))
+		return f != f
+	}
+	f := math.Float64frombits(bits)
+	return math.IsNaN(f)
+}
+
+// signatureError mirrors Alive2's "could not translate" fixable errors.
+func signatureError(src, tgt *ir.Func) string {
+	if len(src.Params) != len(tgt.Params) {
+		return fmt.Sprintf("ERROR: signature mismatch: source has %d arguments, target has %d",
+			len(src.Params), len(tgt.Params))
+	}
+	for i := range src.Params {
+		if !ir.Equal(src.Params[i].Ty, tgt.Params[i].Ty) {
+			return fmt.Sprintf("ERROR: signature mismatch: argument %d is %s in source but %s in target",
+				i, src.Params[i].Ty, tgt.Params[i].Ty)
+		}
+	}
+	if !ir.Equal(src.Ret, tgt.Ret) {
+		return fmt.Sprintf("ERROR: signature mismatch: return type is %s in source but %s in target",
+			src.Ret, tgt.Ret)
+	}
+	return ""
+}
+
+// checkOne runs both functions on one concrete environment and checks the
+// refinement obligation. It returns a counterexample or nil.
+func checkOne(src, tgt *ir.Func, params []*ir.Param, inputs []interp.RVal,
+	memBytes [][]byte, opts Options) *CounterExample {
+	buildEnv := func() (interp.Env, *interp.Memory) {
+		mem := interp.NewMemory()
+		args := make([]interp.RVal, len(inputs))
+		copy(args, inputs)
+		mi := 0
+		for i, p := range params {
+			if ir.IsPtr(p.Ty) && !args[i].AnyPoison() {
+				base := uint64(0x10000 + i*0x1000)
+				r := mem.AddRegion(p.Nm, base, opts.MemSize)
+				copy(r.Data, memBytes[mi])
+				mi++
+				args[i] = interp.Scalar(ir.Ptr, base)
+			}
+		}
+		return interp.Env{Args: args, Mem: mem}, mem
+	}
+	srcEnv, srcMem := buildEnv()
+	tgtEnv, tgtMem := buildEnv()
+	rs := interp.Exec(src, srcEnv)
+	if !rs.Completed {
+		return nil // out of budget: inconclusive, skip this input
+	}
+	if rs.UB {
+		return nil // source UB: target unconstrained
+	}
+	rt := interp.Exec(tgt, tgtEnv)
+	if !rt.Completed {
+		return nil
+	}
+	ce := &CounterExample{Params: params, Inputs: inputs, Memory: memBytes,
+		SrcRet: rs.Ret, TgtRet: rt.Ret, SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+	if rt.UB {
+		return ce
+	}
+	// Return value refinement. For floating point lanes, any NaN refines any
+	// NaN: LLVM's FP arithmetic produces a nondeterministic quiet NaN, which
+	// Alive2 models as a free choice on both sides.
+	if !ir.IsVoid(src.Ret) {
+		elem := ir.Elem(src.Ret)
+		fpBits := 0
+		if ir.IsFloat(src.Ret) {
+			fpBits = ir.ScalarBits(elem)
+		}
+		for i := range rs.Ret.Lanes {
+			sl := rs.Ret.Lanes[i]
+			if sl.Poison {
+				continue
+			}
+			tl := rt.Ret.Lanes[i]
+			if tl.Poison {
+				return ce
+			}
+			if tl.V == sl.V {
+				continue
+			}
+			if fpBits > 0 && isNaNBits(fpBits, sl.V) && isNaNBits(fpBits, tl.V) {
+				continue
+			}
+			return ce
+		}
+	}
+	// Memory refinement: bytes the source leaves defined must match.
+	for ri := range srcMem.Regions {
+		sr, tr := srcMem.Regions[ri], tgtMem.Regions[ri]
+		for bi := range sr.Data {
+			if sr.Poison[bi] {
+				continue
+			}
+			if tr.Poison[bi] || tr.Data[bi] != sr.Data[bi] {
+				ce.MemDiff = fmt.Sprintf(
+					"Mismatch in %s at byte %d: source has 0x%02x, target has 0x%02x (poison=%v)",
+					sr.Name, bi, sr.Data[bi], tr.Data[bi], tr.Poison[bi])
+				return ce
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package alive
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// inputGen produces the sequence of concrete environments to check:
+// exhaustive enumeration when the non-pointer input bit budget fits the
+// bound, otherwise structured corner values followed by seeded random
+// samples; either way a poison trial per argument is appended.
+type inputGen struct {
+	params     []*ir.Param
+	opts       Options
+	exhaustive bool
+
+	queue []vecInput
+	pos   int
+
+	inputs   []interp.RVal
+	memBytes [][]byte
+}
+
+type vecInput struct {
+	args []interp.RVal
+	mem  [][]byte
+}
+
+func newInputGen(f *ir.Func, opts Options) *inputGen {
+	g := &inputGen{params: f.Params, opts: opts}
+	rng := rand.New(rand.NewSource(int64(opts.Seed) ^ 0x5eed))
+
+	totalBits := 0
+	numPtrs := 0
+	for _, p := range f.Params {
+		if ir.IsPtr(p.Ty) {
+			numPtrs++
+			continue
+		}
+		totalBits += ir.ScalarBits(ir.Elem(p.Ty)) * ir.Lanes(p.Ty)
+	}
+	g.exhaustive = totalBits <= opts.MaxExhaustiveBits
+
+	fills := g.memoryFills(numPtrs, rng)
+	if g.exhaustive {
+		for c := uint64(0); c < uint64(1)<<uint(totalBits); c++ {
+			args := g.argsFromCounter(c)
+			for _, m := range fills {
+				g.queue = append(g.queue, vecInput{args: args, mem: m})
+			}
+		}
+	} else {
+		// Corner phase: uniform specials plus rotated mixes.
+		specials := 0
+		for _, p := range f.Params {
+			if n := len(specialLanes(p.Ty)); n > specials {
+				specials = n
+			}
+		}
+		for k := 0; k < specials; k++ {
+			args := make([]interp.RVal, len(f.Params))
+			for i, p := range f.Params {
+				args[i] = specialArg(p.Ty, k)
+			}
+			g.queue = append(g.queue, vecInput{args: args, mem: fills[k%len(fills)]})
+		}
+		// Mixed-corner phase: random picks from the specials table.
+		for k := 0; k < opts.Samples/8; k++ {
+			args := make([]interp.RVal, len(f.Params))
+			for i, p := range f.Params {
+				args[i] = specialArg(p.Ty, rng.Intn(specials+1))
+			}
+			g.queue = append(g.queue, vecInput{args: args, mem: fills[rng.Intn(len(fills))]})
+		}
+		// Random phase.
+		for k := 0; k < opts.Samples; k++ {
+			args := make([]interp.RVal, len(f.Params))
+			for i, p := range f.Params {
+				args[i] = randomArg(p.Ty, rng)
+			}
+			g.queue = append(g.queue, vecInput{args: args, mem: fills[rng.Intn(len(fills))]})
+		}
+	}
+	// Poison trials: each argument poisoned once against two bases.
+	for i, p := range f.Params {
+		if ir.IsPtr(p.Ty) {
+			continue // a poison pointer base would only exercise load-of-poison
+		}
+		for trial := 0; trial < 2; trial++ {
+			args := make([]interp.RVal, len(f.Params))
+			for j, q := range f.Params {
+				if j == i {
+					args[j] = interp.PoisonRV(q.Ty)
+				} else if trial == 0 {
+					args[j] = specialArg(q.Ty, 0)
+				} else {
+					args[j] = randomArg(q.Ty, rng)
+				}
+			}
+			g.queue = append(g.queue, vecInput{args: args, mem: fills[trial%len(fills)]})
+		}
+	}
+	return g
+}
+
+func (g *inputGen) next() bool {
+	if g.pos >= len(g.queue) {
+		return false
+	}
+	v := g.queue[g.pos]
+	g.pos++
+	g.inputs = v.args
+	g.memBytes = v.mem
+	return true
+}
+
+// argsFromCounter maps the bits of c onto the non-pointer arguments.
+func (g *inputGen) argsFromCounter(c uint64) []interp.RVal {
+	args := make([]interp.RVal, len(g.params))
+	bit := uint(0)
+	for i, p := range g.params {
+		if ir.IsPtr(p.Ty) {
+			args[i] = interp.Scalar(ir.Ptr, 0) // replaced by the region base
+			continue
+		}
+		w := ir.ScalarBits(ir.Elem(p.Ty))
+		lanes := ir.Lanes(p.Ty)
+		rv := interp.RVal{Ty: p.Ty, Lanes: make([]interp.Word, lanes)}
+		for l := 0; l < lanes; l++ {
+			v := (c >> bit) & ir.MaskW(w)
+			bit += uint(w)
+			rv.Lanes[l] = interp.Word{V: v}
+		}
+		args[i] = rv
+	}
+	return args
+}
+
+// memoryFills builds the initial memories tried per input vector: an
+// all-zero fill, a ramp, and seeded random fills.
+func (g *inputGen) memoryFills(numPtrs int, rng *rand.Rand) [][][]byte {
+	if numPtrs == 0 {
+		return [][][]byte{nil}
+	}
+	mk := func(gen func(i int) byte) [][]byte {
+		out := make([][]byte, numPtrs)
+		for p := 0; p < numPtrs; p++ {
+			b := make([]byte, g.opts.MemSize)
+			for i := range b {
+				b[i] = gen(i + p*7)
+			}
+			out[p] = b
+		}
+		return out
+	}
+	fills := [][][]byte{
+		mk(func(int) byte { return 0 }),
+		mk(func(i int) byte { return byte(i) }),
+	}
+	for len(fills) < g.opts.MemFills {
+		fills = append(fills, mk(func(int) byte { return byte(rng.Intn(256)) }))
+	}
+	return fills[:g.opts.MemFills]
+}
+
+// specialLanes returns the table of corner lane values for a lane type.
+func specialLanes(ty ir.Type) []uint64 {
+	elem := ir.Elem(ty)
+	switch e := elem.(type) {
+	case ir.IntType:
+		w := e.W
+		mask := ir.MaskW(w)
+		vals := []uint64{0, 1, 2, 3, mask, mask >> 1, (mask >> 1) + 1, mask - 1,
+			0x5555555555555555 & mask, 0xAAAAAAAAAAAAAAAA & mask}
+		if w > 8 {
+			vals = append(vals, 127, 128, 255, 256&mask, 0xFF00&mask)
+		}
+		return dedup(vals)
+	case ir.FloatType:
+		f := func(v float64) uint64 {
+			if e.W == 32 {
+				return uint64(math.Float32bits(float32(v)))
+			}
+			return math.Float64bits(v)
+		}
+		nan := uint64(math.Float64bits(math.NaN()))
+		if e.W == 32 {
+			nan = uint64(math.Float32bits(float32(math.NaN())))
+		}
+		return []uint64{f(0), f(math.Copysign(0, -1)), f(1), f(-1), f(2), f(0.5),
+			nan, f(math.Inf(1)), f(math.Inf(-1)), f(255), f(256)}
+	case ir.PtrType:
+		return []uint64{0}
+	}
+	return []uint64{0}
+}
+
+func dedup(vals []uint64) []uint64 {
+	seen := make(map[uint64]bool, len(vals))
+	out := vals[:0]
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// specialArg builds the k-th corner argument of the given type; lanes are
+// rotated so vector corner cases are not all-uniform.
+func specialArg(ty ir.Type, k int) interp.RVal {
+	table := specialLanes(ty)
+	lanes := ir.Lanes(ty)
+	rv := interp.RVal{Ty: ty, Lanes: make([]interp.Word, lanes)}
+	for l := 0; l < lanes; l++ {
+		rv.Lanes[l] = interp.Word{V: table[(k+l)%len(table)]}
+	}
+	return rv
+}
+
+// randomArg builds a uniformly random argument of the given type.
+func randomArg(ty ir.Type, rng *rand.Rand) interp.RVal {
+	lanes := ir.Lanes(ty)
+	w := ir.ScalarBits(ir.Elem(ty))
+	rv := interp.RVal{Ty: ty, Lanes: make([]interp.Word, lanes)}
+	for l := 0; l < lanes; l++ {
+		rv.Lanes[l] = interp.Word{V: rng.Uint64() & ir.MaskW(w)}
+	}
+	return rv
+}

@@ -1,0 +1,106 @@
+package benchdata
+
+// ModelNames lists the six models of Table 1/Table 2 in column order.
+var ModelNames = []string{"Gemma3", "Llama3.3", "Gemini2.0", "Gemini2.0T", "GPT-4.1", "o4-mini"}
+
+// Cell is the per-(benchmark, model) calibration from the paper's Table 2:
+// how many of the five rounds succeeded without feedback (LPO-) and with the
+// full closed loop (LPO).
+type Cell struct {
+	Minus int // LPO- successes out of 5
+	Plus  int // LPO successes out of 5
+}
+
+// RQ1Case is one of the 25 previously-reported missed optimizations.
+type RQ1Case struct {
+	IssueID string
+	Pair    Pair
+	// Cal maps model name -> Table 2 calibration; absent models never
+	// detect the case.
+	Cal map[string]Cell
+}
+
+// RQ1Cases returns the Table 2 benchmark suite. IR contents are synthetic
+// family instances (see package comment); calibration counts are arranged to
+// reproduce the paper's per-model Total and Average rows exactly.
+func RQ1Cases() []*RQ1Case {
+	return []*RQ1Case{
+		{IssueID: "104875", Pair: famFcmpOrdSel("double", "2.000000e+00"), Cal: map[string]Cell{
+			"Gemini2.0T": {1, 5}, "o4-mini": {0, 1}}},
+		{IssueID: "107228", Pair: famShlLshrRound(8, 1), Cal: map[string]Cell{
+			"Llama3.3": {5, 5}, "Gemini2.0T": {2, 5}, "GPT-4.1": {0, 4}, "o4-mini": {4, 5}}},
+		{IssueID: "108451", Pair: famAndNotSelf(8), Cal: map[string]Cell{
+			"Llama3.3": {5, 5}, "Gemini2.0": {5, 5}, "Gemini2.0T": {5, 5}, "GPT-4.1": {1, 4}, "o4-mini": {2, 5}}},
+		{IssueID: "108559", Pair: famXorAndOr(8), Cal: map[string]Cell{
+			"Llama3.3": {5, 5}, "Gemini2.0": {4, 5}, "Gemini2.0T": {3, 5}, "GPT-4.1": {1, 4}, "o4-mini": {4, 5}}},
+		{IssueID: "110591", Pair: famClampVec(4, 32, 8, 255), Cal: map[string]Cell{
+			"Llama3.3": {5, 5}, "Gemini2.0": {5, 5}, "Gemini2.0T": {5, 5}, "GPT-4.1": {2, 5}, "o4-mini": {3, 5}}},
+		{IssueID: "115466", Pair: famSubOrAnd(8), Cal: map[string]Cell{
+			"Gemma3": {1, 1}, "Llama3.3": {5, 5}, "Gemini2.0": {5, 5}, "Gemini2.0T": {5, 5}, "GPT-4.1": {3, 4}, "o4-mini": {5, 5}}},
+		{IssueID: "118155", Pair: famUmaxShlChain(16, 2, 1, 32), Cal: map[string]Cell{
+			"Gemma3": {3, 3}, "Gemini2.0T": {0, 4}}},
+		{IssueID: "122235", Pair: famSelectEqZero(32), Cal: map[string]Cell{
+			"Gemini2.0": {0, 1}, "Gemini2.0T": {5, 5}, "GPT-4.1": {0, 2}, "o4-mini": {2, 5}}},
+		{IssueID: "122388", Pair: famLoadMerge(8), Cal: map[string]Cell{
+			"Gemini2.0": {4, 4}, "Gemini2.0T": {0, 2}, "GPT-4.1": {1, 2}, "o4-mini": {2, 3}}},
+		{IssueID: "126056", Pair: famOrNotSelf(8), Cal: map[string]Cell{
+			"Gemini2.0": {1, 4}, "Gemini2.0T": {5, 5}, "GPT-4.1": {1, 4}, "o4-mini": {5, 5}}},
+		{IssueID: "128475", Pair: famAndLshrBit(8), Cal: map[string]Cell{
+			"Gemini2.0T": {4, 5}, "GPT-4.1": {0, 2}, "o4-mini": {0, 2}}},
+		{IssueID: "128778", Pair: famXorNegNot(8), Cal: map[string]Cell{
+			"Gemini2.0": {0, 1}, "Gemini2.0T": {3, 3}, "o4-mini": {3, 5}}},
+		{IssueID: "129947", Pair: famSatUmax(4, 8, 16), Cal: map[string]Cell{
+			"Gemini2.0T": {0, 1}}},
+		{IssueID: "131444", Pair: famMulUdivCancelVec(2, 32), Cal: map[string]Cell{}},
+		{IssueID: "131824", Pair: famNegViaXor(8), Cal: map[string]Cell{
+			"Gemini2.0T": {0, 3}, "o4-mini": {0, 1}}},
+		{IssueID: "132508", Pair: famICmpConstTrue(64, 7, 9), Cal: map[string]Cell{
+			"Gemma3": {0, 2}, "Llama3.3": {1, 5}, "Gemini2.0": {0, 1}, "Gemini2.0T": {3, 5}, "GPT-4.1": {2, 3}, "o4-mini": {3, 5}}},
+		{IssueID: "134318", Pair: famFnegFneg("double"), Cal: map[string]Cell{}},
+		{IssueID: "135411", Pair: famOrComplMaskSelf(8), Cal: map[string]Cell{
+			"Llama3.3": {0, 5}, "Gemini2.0": {5, 5}, "Gemini2.0T": {1, 1}, "o4-mini": {5, 5}}},
+		{IssueID: "137161", Pair: famVecMinMaxConst(4, 16, 10, 5), Cal: map[string]Cell{
+			"Gemini2.0T": {0, 2}}},
+		{IssueID: "141479", Pair: famComplMaskOr(8, 0xF0), Cal: map[string]Cell{
+			"Gemini2.0T": {5, 5}, "o4-mini": {4, 5}}},
+		{IssueID: "141753", Pair: famAddAndOr(8), Cal: map[string]Cell{
+			"Gemini2.0T": {0, 1}, "o4-mini": {0, 1}}},
+		{IssueID: "141930", Pair: famShlLshrRound(8, 2), Cal: map[string]Cell{
+			"Gemini2.0": {0, 1}, "Gemini2.0T": {5, 5}, "GPT-4.1": {0, 2}, "o4-mini": {5, 5}}},
+		{IssueID: "142497", Pair: famCtpopBit(8), Cal: map[string]Cell{
+			"Gemini2.0T": {0, 1}, "GPT-4.1": {0, 1}}},
+		{IssueID: "142593", Pair: famLshrShlRound(8, 4), Cal: map[string]Cell{
+			"o4-mini": {3, 3}}},
+		{IssueID: "143259", Pair: famDeadStore(32), Cal: map[string]Cell{}},
+	}
+}
+
+// PaperRQ1Totals is the paper's Table 2 "Total" row (benchmarks detected at
+// least once in five rounds), per model, for LPO- and LPO.
+var PaperRQ1Totals = map[string]Cell{
+	"Gemma3":     {2, 3},
+	"Llama3.3":   {6, 7},
+	"Gemini2.0":  {7, 11},
+	"Gemini2.0T": {14, 21},
+	"GPT-4.1":    {7, 12},
+	"o4-mini":    {14, 18},
+}
+
+// PaperRQ1Averages is the paper's Table 2 "Average" row (successful
+// benchmarks per round), per model, for LPO- and LPO, times 10 to stay
+// integral (e.g. 10.4 -> 104).
+var PaperRQ1Averages = map[string][2]int{
+	"Gemma3":     {8, 12},
+	"Llama3.3":   {52, 70},
+	"Gemini2.0":  {58, 74},
+	"Gemini2.0T": {104, 156},
+	"GPT-4.1":    {22, 74},
+	"o4-mini":    {100, 142},
+}
+
+// PaperRQ1Baselines records the paper's baseline totals on Table 2:
+// Souper default 3, Souper with Enum 1-3 up to 14 (15 in total counting the
+// default-only case), Minotaur 3.
+var PaperRQ1Baselines = struct {
+	SouperDefault, SouperEnum, SouperTotal, Minotaur int
+}{3, 14, 15, 3}

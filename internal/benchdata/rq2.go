@@ -1,0 +1,150 @@
+package benchdata
+
+// Status is the triage outcome of a reported missed optimization (Table 3).
+type Status string
+
+// Statuses from the paper's Table 3.
+const (
+	Confirmed   Status = "Confirmed"
+	Fixed       Status = "Fixed"
+	Unconfirmed Status = "Unconfirmed"
+	Duplicate   Status = "Duplicate"
+	Wontfix     Status = "Wontfix"
+)
+
+// Finding is one of the 62 missed optimizations LPO found and reported.
+type Finding struct {
+	IssueID string
+	Status  Status
+	Pair    Pair
+	// Family is a short label for the pattern family, used by the corpus
+	// generator to plant instances and by reports.
+	Family string
+}
+
+// RQ2Findings returns the Table 3 registry. Statuses are the paper's; the
+// IR family per issue is synthetic (chosen so that our Souper/Minotaur
+// reimplementations reproduce the paper's aggregate detection counts — see
+// families.go).
+func RQ2Findings() []*Finding {
+	return []*Finding{
+		{IssueID: "128134", Status: Fixed, Family: "load-merge", Pair: famLoadMerge(16)},
+		{IssueID: "128460", Status: Confirmed, Family: "ashr-shl-wide", Pair: famAshrShlSext(64, 8)},
+		{IssueID: "130954", Status: Wontfix, Family: "rotate", Pair: famRotate(32, 8)},
+		{IssueID: "132628", Status: Wontfix, Family: "lshr-shl-wide", Pair: famLshrShlRound(64, 16)},
+		{IssueID: "133367", Status: Fixed, Family: "fcmp-ord-select", Pair: famFcmpOrdSel("double", "1.000000e+00")},
+		{IssueID: "139641", Status: Confirmed, Family: "or-not-self", Pair: famOrNotSelf(16)},
+		{IssueID: "139786", Status: Confirmed, Family: "clamp-vec", Pair: famClampVec(4, 32, 8, 255)},
+		{IssueID: "142674", Status: Fixed, Family: "compl-mask", Pair: famComplMaskOr(8, 0xF0)},
+		{IssueID: "142711", Status: Fixed, Family: "umax-shl-chain", Pair: famUmaxShlChain(8, 1, 1, 16)},
+		{IssueID: "143030", Status: Unconfirmed, Family: "sat-umax", Pair: famSatUmax(8, 8, 32)},
+		{IssueID: "143211", Status: Fixed, Family: "shl-lshr-round", Pair: famShlLshrRound(8, 3)},
+		{IssueID: "143630", Status: Unconfirmed, Family: "xor-and-or", Pair: famXorAndOr(16)},
+		{IssueID: "143636", Status: Fixed, Family: "clamp-scalar", Pair: famClampScalar(32, 8, 255)},
+		{IssueID: "143649", Status: Unconfirmed, Family: "ctpop-bit", Pair: famCtpopBit(16)},
+		{IssueID: "143957", Status: Confirmed, Family: "icmp-const-wide", Pair: famICmpConstTrue(64, 7, 9)},
+		{IssueID: "144020", Status: Confirmed, Family: "add-and-or", Pair: famAddAndOr(8)},
+		{IssueID: "152237", Status: Confirmed, Family: "absorb-or", Pair: famAbsorbOr(8)},
+		{IssueID: "152788", Status: Unconfirmed, Family: "icmp-const-wide", Pair: famICmpConstTrue(64, 15, 16)},
+		{IssueID: "152797", Status: Confirmed, Family: "shl-lshr-wide", Pair: famShlLshrRound(64, 8)},
+		{IssueID: "152804", Status: Confirmed, Family: "and-not-self", Pair: famAndNotSelf(16)},
+		{IssueID: "153991", Status: Confirmed, Family: "rotate", Pair: famRotate(16, 4)},
+		{IssueID: "153999", Status: Duplicate, Family: "clamp-vec", Pair: famClampVec(8, 16, 8, 127)},
+		{IssueID: "154000", Status: Duplicate, Family: "icmp-const", Pair: famICmpConstTrue(8, 7, 8)},
+		{IssueID: "154025", Status: Unconfirmed, Family: "icmp-const-wide", Pair: famICmpConstTrue(64, 31, 33)},
+		{IssueID: "154035", Status: Unconfirmed, Family: "fneg-fneg", Pair: famFnegFneg("double")},
+		{IssueID: "154238", Status: Fixed, Family: "select-zero-one", Pair: famSelectZeroOneVec(4, 32)},
+		{IssueID: "154242", Status: Confirmed, Family: "lshr-shl-round", Pair: famLshrShlRound(8, 4)},
+		{IssueID: "154246", Status: Confirmed, Family: "vec-compl-mask", Pair: famVecComplMask(4, 8, 0x0F)},
+		{IssueID: "154258", Status: Unconfirmed, Family: "sub-add-cancel", Pair: famSubAddCancel(8)},
+		{IssueID: "157315", Status: Fixed, Family: "umin-zext", Pair: famUminZextCover(8, 32, 255, 4)},
+		{IssueID: "157370", Status: Fixed, Family: "ashr-shl-sext", Pair: famAshrShlSext(8, 4)},
+		{IssueID: "157371", Status: Fixed, Family: "mul-minus-one-vec", Pair: famMulMinusOneVec(4, 32)},
+		{IssueID: "157372", Status: Duplicate, Family: "mul-minus-one-vec", Pair: famMulMinusOneVec(8, 16)},
+		{IssueID: "157486", Status: Confirmed, Family: "umax-shl-chain", Pair: famUmaxShlChain(16, 2, 1, 64)},
+		{IssueID: "157524", Status: Fixed, Family: "xor-neg-not-vec", Pair: famXorNegNotVec(4, 16)},
+		{IssueID: "163084", Status: Confirmed, Family: "and-lshr-bit", Pair: famAndLshrBit(16)},
+		{IssueID: "163093", Status: Unconfirmed, Family: "sat-umax", Pair: famSatUmax(4, 16, 100)},
+		{IssueID: "163108", Status: Fixed, Family: "absorb-and", Pair: famAbsorbAnd(8)},
+		{IssueID: "163109", Status: Confirmed, Family: "load-merge", Pair: famLoadMerge(8)},
+		{IssueID: "163110", Status: Confirmed, Family: "vec-xor", Pair: famVecXor(4, 16)},
+		{IssueID: "163112", Status: Confirmed, Family: "vec-add-sub-cancel", Pair: famVecAddSubCancel(4, 16)},
+		{IssueID: "163115", Status: Confirmed, Family: "clamp-vec", Pair: famClampVec(2, 64, 8, 255)},
+		{IssueID: "166878", Status: Confirmed, Family: "rotate", Pair: famRotate(64, 32)},
+		{IssueID: "166885", Status: Confirmed, Family: "dead-store", Pair: famDeadStore(32)},
+		{IssueID: "166887", Status: Unconfirmed, Family: "add-sub-cancel", Pair: famAddSubCancel(8)},
+		{IssueID: "166890", Status: Unconfirmed, Family: "vec-umin-umax-leaf", Pair: famVecUminUmaxLeaf(8, 8)},
+		{IssueID: "166973", Status: Fixed, Family: "lshr-shl-round", Pair: famLshrShlRound(32, 8)},
+		{IssueID: "167003", Status: Confirmed, Family: "neg-via-xor", Pair: famNegViaXor(16)},
+		{IssueID: "167014", Status: Confirmed, Family: "fcmp-ord-select", Pair: famFcmpOrdSel("float", "3.000000e+00")},
+		{IssueID: "167055", Status: Confirmed, Family: "umin-zext", Pair: famUminZextCover(16, 64, 65535, 0)},
+		{IssueID: "167059", Status: Unconfirmed, Family: "sat-umax", Pair: famSatUmax(2, 32, 7)},
+		{IssueID: "167079", Status: Unconfirmed, Family: "vec-minmax-const", Pair: famVecMinMaxConst(4, 16, 10, 5)},
+		{IssueID: "167090", Status: Unconfirmed, Family: "xor-neg-not", Pair: famXorNegNot(16)},
+		{IssueID: "167094", Status: Duplicate, Family: "ctpop-bit", Pair: famCtpopBit(8)},
+		{IssueID: "167096", Status: Confirmed, Family: "fneg-fneg", Pair: famFnegFneg("float")},
+		{IssueID: "167173", Status: Confirmed, Family: "sub-add-cancel", Pair: famSubAddCancel(16)},
+		{IssueID: "167178", Status: Unconfirmed, Family: "and-lshr-bit", Pair: famAndLshrBit(8)},
+		{IssueID: "167183", Status: Confirmed, Family: "compl-mask", Pair: famComplMaskOr(16, 0xFF00)},
+		{IssueID: "167190", Status: Confirmed, Family: "dead-store", Pair: famDeadStore(64)},
+		{IssueID: "167199", Status: Wontfix, Family: "rotate", Pair: famRotate(8, 1)},
+		{IssueID: "170020", Status: Confirmed, Family: "vec-absorb-or", Pair: famVecAbsorbOr(4, 32)},
+		{IssueID: "170071", Status: Confirmed, Family: "clamp-vec", Pair: famClampVec(4, 16, 8, 255)},
+	}
+}
+
+// PaperRQ2Counts holds Table 3's headline numbers.
+var PaperRQ2Counts = struct {
+	Total, Confirmed, Fixed, Duplicate, Wontfix, Unconfirmed int
+	SouperDefault, SouperDefaultCF                           int
+	SouperEnum, SouperEnumCF                                 int
+	Minotaur, MinotaurCF                                     int
+}{
+	Total: 62, Confirmed: 28, Fixed: 13, Duplicate: 4, Wontfix: 3, Unconfirmed: 14,
+	SouperDefault: 6, SouperDefaultCF: 3,
+	SouperEnum: 20, SouperEnumCF: 14,
+	Minotaur: 13, MinotaurCF: 10,
+}
+
+// PatchImpact is one row of the paper's Table 5: the LLVM Opt Benchmark
+// impact and compile-time delta of an accepted patch.
+type PatchImpact struct {
+	PatchID   string  // issue ID, possibly with a (n) suffix for multi-patch fixes
+	IssueID   string  // plain issue ID (keys into opt's patch rules)
+	IRFiles   int     // paper: #impacted IR files (-1 = N/A)
+	Projects  int     // paper: #impacted projects (-1 = N/A)
+	DeltaPct  float64 // paper: compile-time delta, percent (+ = slower); NaN-like -999 = N/A
+	HasDelta  bool
+	HasCounts bool
+}
+
+// Table5 returns the paper's Table 5 rows.
+func Table5() []PatchImpact {
+	return []PatchImpact{
+		{PatchID: "128134", IssueID: "128134", IRFiles: 54, Projects: 13, DeltaPct: 0.02, HasDelta: true, HasCounts: true},
+		{PatchID: "133367", IssueID: "133367", IRFiles: 122, Projects: 18, HasCounts: true},
+		{PatchID: "142674", IssueID: "142674", IRFiles: 251, Projects: 15, DeltaPct: 0.05, HasDelta: true, HasCounts: true},
+		{PatchID: "142711", IssueID: "142711", IRFiles: 10, Projects: 1, DeltaPct: -0.00, HasDelta: true, HasCounts: true},
+		{PatchID: "143211", IssueID: "143211", IRFiles: 16, Projects: 4, HasCounts: true},
+		{PatchID: "143636", IssueID: "143636", IRFiles: 2476, Projects: 68, DeltaPct: 0.02, HasDelta: true, HasCounts: true},
+		{PatchID: "154238", IssueID: "154238", IRFiles: 10, Projects: 4, HasCounts: true},
+		{PatchID: "157315", IssueID: "157315", IRFiles: 6, Projects: 2, DeltaPct: 0.00, HasDelta: true, HasCounts: true},
+		{PatchID: "157370", IssueID: "157370", DeltaPct: 0.04, HasDelta: true},
+		{PatchID: "157371 (1)", IssueID: "157371", IRFiles: 10, Projects: 13, HasCounts: true},
+		{PatchID: "157371 (2)", IssueID: "157371", IRFiles: 28, Projects: 1, DeltaPct: 0.02, HasDelta: true, HasCounts: true},
+		{PatchID: "157524", IssueID: "157524", DeltaPct: -0.03, HasDelta: true},
+		{PatchID: "163108 (1)", IssueID: "163108", IRFiles: 3055, Projects: 93, DeltaPct: -0.05, HasDelta: true, HasCounts: true},
+		{PatchID: "163108 (2)", IssueID: "163108", IRFiles: 28, Projects: 4, DeltaPct: -0.01, HasDelta: true, HasCounts: true},
+		{PatchID: "166973", IssueID: "166973", IRFiles: 759, Projects: 62, HasCounts: true},
+	}
+}
+
+// FindingByID returns the RQ2 finding with the given issue ID, or nil.
+func FindingByID(id string) *Finding {
+	for _, f := range RQ2Findings() {
+		if f.IssueID == id {
+			return f
+		}
+	}
+	return nil
+}

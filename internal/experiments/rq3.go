@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alive"
+	"repro/internal/corpus"
+	"repro/internal/extract"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/lpo"
+	"repro/internal/souper"
+)
+
+// RQ3Options sizes the Table 4 run. The paper uses 5,000 sampled sequences;
+// the default here is smaller so the harness stays interactive — pass -n to
+// lpo-bench for the full run (times are virtual either way).
+type RQ3Options struct {
+	Sequences int
+	Seed      uint64
+}
+
+func (o RQ3Options) withDefaults() RQ3Options {
+	if o.Sequences == 0 {
+		o.Sequences = 250
+	}
+	return o
+}
+
+// RQ3Row is one tool's measured throughput.
+type RQ3Row struct {
+	Tool       string
+	SecPerCase float64 // virtual seconds
+	Timeouts   int
+	TotalCost  float64 // USD (API-priced tools only)
+	Cases      int
+}
+
+// RQ3Report is the measured Table 4.
+type RQ3Report struct {
+	Rows      []RQ3Row
+	Sequences int
+}
+
+// RunRQ3 reproduces Table 4: sample sequences from the corpus extraction and
+// measure average virtual time per case for LPO with a local and an API
+// model, and Souper at Enum 0-3 with the 20-minute timeout.
+func RunRQ3(opts RQ3Options) *RQ3Report {
+	opts = opts.withDefaults()
+	projects := corpus.Generate(corpus.Options{Seed: opts.Seed})
+	ex := extract.New(extract.Options{})
+	var seqs []*ir.Func
+	for _, p := range projects {
+		for _, m := range p.Modules {
+			for _, s := range ex.Module(m) {
+				seqs = append(seqs, s.Fn)
+			}
+		}
+	}
+	if len(seqs) > opts.Sequences {
+		seqs = seqs[:opts.Sequences]
+	}
+	rep := &RQ3Report{Sequences: len(seqs)}
+
+	verify := alive.Options{Samples: 256, Seed: opts.Seed}
+	for _, model := range []string{"Llama3.3", "Gemini2.5"} {
+		sim := llm.NewSim(model, opts.Seed)
+		pipe := lpo.New(sim, lpo.Config{Verify: verify})
+		row := RQ3Row{Tool: "LPO/" + model, Cases: len(seqs)}
+		for _, s := range seqs {
+			r := pipe.OptimizeSeq(s, 0)
+			row.SecPerCase += r.Usage.VirtualSeconds
+			row.TotalCost += r.Usage.CostUSD
+		}
+		row.SecPerCase /= float64(len(seqs))
+		rep.Rows = append(rep.Rows, row)
+	}
+	for enum := 0; enum <= 3; enum++ {
+		name := "Souper/Default"
+		if enum > 0 {
+			name = fmt.Sprintf("Souper/Enum=%d", enum)
+		}
+		row := RQ3Row{Tool: name, Cases: len(seqs)}
+		for i, s := range seqs {
+			r := souper.Optimize(s, souper.Options{Enum: enum, Seed: opts.Seed + uint64(i)})
+			row.SecPerCase += r.VirtualSeconds
+			if r.TimedOut {
+				row.Timeouts++
+			}
+		}
+		row.SecPerCase /= float64(len(seqs))
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Print renders the measured Table 4 next to the paper's numbers.
+func (r *RQ3Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: average virtual time per case over %d sampled sequences\n", r.Sequences)
+	fmt.Fprintf(w, "%-16s %12s %10s %12s\n", "Tool", "s/case", "timeouts", "cost (USD)")
+	for _, row := range r.Rows {
+		cost := ""
+		if row.TotalCost > 0 {
+			// Scale the cost to the paper's 5,000-case experiment size.
+			scaled := row.TotalCost * 5000 / float64(row.Cases)
+			cost = fmt.Sprintf("%.2f/5k", scaled)
+		}
+		fmt.Fprintf(w, "%-16s %12.1f %10d %12s\n", row.Tool, row.SecPerCase, row.Timeouts, cost)
+	}
+	fmt.Fprintln(w, "Paper: LPO/Llama3.3 26.2, LPO/Gemini2.5 6.7 (5.4 USD/5k), Souper 2.8 / 37.2 (80 t/o) / 144.4 (412 t/o) / 183.7 (616 t/o)")
+}

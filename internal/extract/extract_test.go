@@ -1,0 +1,221 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+func TestSeqsFromBlockShape(t *testing.T) {
+	f := parser.MustParseFunc(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = mul i32 %a, %x
+  %c = xor i32 %x, 5
+  ret i32 %b
+}`)
+	seqs := SeqsFromBlock(f.Entry())
+	if len(seqs) != 2 {
+		t.Fatalf("expected 2 dependent sequences, got %d", len(seqs))
+	}
+	// One sequence is [a b], the other [c].
+	var lens []int
+	for _, s := range seqs {
+		lens = append(lens, len(s))
+	}
+	if !(lens[0] == 1 && lens[1] == 2 || lens[0] == 2 && lens[1] == 1) {
+		t.Fatalf("unexpected sequence lengths %v", lens)
+	}
+	for _, s := range seqs {
+		if len(s) == 2 {
+			if s[0].Nm != "a" || s[1].Nm != "b" {
+				t.Fatalf("dependent sequence should be [a b] in program order, got [%s %s]",
+					s[0].Nm, s[1].Nm)
+			}
+		}
+	}
+}
+
+func TestSeqsSkipTerminatorsAndPhis(t *testing.T) {
+	f := parser.MustParseFunc(`define i64 @f(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i2, %loop ]
+  %i2 = add i64 %i, 1
+  %d = icmp eq i64 %i2, %n
+  br i1 %d, label %out, label %loop
+out:
+  ret i64 %i2
+}`)
+	seqs := SeqsFromBlock(f.Blocks[1])
+	for _, s := range seqs {
+		for _, in := range s {
+			if in.IsTerminator() || in.Op == ir.OpPhi {
+				t.Fatalf("sequence contains %s", in)
+			}
+		}
+	}
+}
+
+func TestWrapAsFunc(t *testing.T) {
+	f := parser.MustParseFunc(`define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, 1
+  %b = mul i32 %a, %y
+  ret i32 %b
+}`)
+	seqs := SeqsFromBlock(f.Entry())
+	if len(seqs) != 1 {
+		t.Fatalf("expected one sequence, got %d", len(seqs))
+	}
+	w, err := WrapAsFunc(seqs[0], "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Params) != 2 {
+		t.Fatalf("free operands should become parameters:\n%s", w)
+	}
+	if w.Params[0].Nm != "a0" || w.Params[1].Nm != "a1" {
+		t.Fatalf("parameters should be named a0, a1:\n%s", w)
+	}
+	if !ir.Equal(w.Ret, ir.I32) {
+		t.Fatalf("return type should be i32:\n%s", w)
+	}
+	if err := ir.VerifyFunc(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapStoreSequenceReturnsVoid(t *testing.T) {
+	f := parser.MustParseFunc(`define void @f(ptr %p, i32 %x) {
+  %d = shl i32 %x, 1
+  store i32 %d, ptr %p, align 4
+  ret void
+}`)
+	seqs := SeqsFromBlock(f.Entry())
+	if len(seqs) != 1 {
+		t.Fatalf("expected one sequence, got %d", len(seqs))
+	}
+	w, err := WrapAsFunc(seqs[0], "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ir.IsVoid(w.Ret) {
+		t.Fatalf("store-terminated sequence should return void:\n%s", w)
+	}
+	if !strings.Contains(w.String(), "ret void") {
+		t.Fatalf("missing ret void:\n%s", w)
+	}
+}
+
+// The paper's Figure 1d module (simplified to one straight-line block) must
+// yield the Figure 3a wrapped sequence.
+func TestExtractClampSequence(t *testing.T) {
+	m, err := parser.Parse(`define <4 x i8> @clamp_body(i64 %i, ptr %inp) {
+  %0 = getelementptr inbounds nuw i32, ptr %inp, i64 %i
+  %wide.load = load <4 x i32>, ptr %0, align 4
+  %3 = icmp slt <4 x i32> %wide.load, zeroinitializer
+  %5 = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %wide.load, <4 x i32> splat (i32 255))
+  %7 = trunc nuw <4 x i32> %5 to <4 x i8>
+  %9 = select <4 x i1> %3, <4 x i8> zeroinitializer, <4 x i8> %7
+  ret <4 x i8> %9
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{})
+	seqs := e.Module(m)
+	var hit *Sequence
+	for _, s := range seqs {
+		txt := s.Fn.String()
+		if strings.Contains(txt, "llvm.umin.v4i32") && strings.Contains(txt, "select") &&
+			strings.Contains(txt, "load") {
+			hit = s
+		}
+	}
+	if hit == nil {
+		t.Fatalf("expected the clamp sequence to be extracted; got %d sequences", len(seqs))
+	}
+	// Compare against the paper's Figure 3a. Parameter order differs from
+	// the paper (we number parameters in first-use order, and the GEP's base
+	// pointer is used before the index), which does not change the window.
+	want := parser.MustParseFunc(`define <4 x i8> @src(ptr %a0, i64 %a1) {
+entry:
+  %0 = getelementptr inbounds nuw i32, ptr %a0, i64 %a1
+  %wide.load = load <4 x i32>, ptr %0, align 4
+  %3 = icmp slt <4 x i32> %wide.load, zeroinitializer
+  %5 = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %wide.load, <4 x i32> splat (i32 255))
+  %7 = trunc nuw <4 x i32> %5 to <4 x i8>
+  %9 = select <4 x i1> %3, <4 x i8> zeroinitializer, <4 x i8> %7
+  ret <4 x i8> %9
+}`)
+	if ir.Hash(hit.Fn) != ir.Hash(want) {
+		t.Fatalf("extracted sequence differs from Figure 3a:\ngot:\n%s\nwant:\n%s", hit.Fn, want)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	src := `define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = mul i32 %a, %a
+  ret i32 %b
+}`
+	m1, _ := parser.Parse(src)
+	m2, _ := parser.Parse(src)
+	e := New(Options{})
+	s1 := e.Module(m1)
+	s2 := e.Module(m2)
+	if len(s1) != 1 || len(s2) != 0 {
+		t.Fatalf("dedup failed: first=%d second=%d", len(s1), len(s2))
+	}
+	if e.Stats().Duplicates != 1 {
+		t.Fatalf("expected 1 duplicate, got %+v", e.Stats())
+	}
+}
+
+func TestOptimizableSequencesFiltered(t *testing.T) {
+	m, _ := parser.Parse(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 10
+  %b = add i32 %a, 20
+  ret i32 %b
+}`)
+	e := New(Options{})
+	seqs := e.Module(m)
+	if len(seqs) != 0 {
+		t.Fatalf("foldable add chain should be filtered, got %d sequences", len(seqs))
+	}
+	if e.Stats().Optimizable != 1 {
+		t.Fatalf("expected 1 optimizable-filtered sequence, got %+v", e.Stats())
+	}
+}
+
+func TestMinLenFilter(t *testing.T) {
+	m, _ := parser.Parse(`define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  ret i32 %a
+}`)
+	e := New(Options{MinLen: 2})
+	if seqs := e.Module(m); len(seqs) != 0 {
+		t.Fatalf("singleton sequence should be dropped, got %d", len(seqs))
+	}
+}
+
+func TestExtractedSequencesAreCanonical(t *testing.T) {
+	// Constant on the LHS is not canonical; the extractor should keep the
+	// canonicalized form so downstream consumers agree with opt's output.
+	m, _ := parser.Parse(`define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 7, %x
+  %b = mul i32 %a, %y
+  ret i32 %b
+}`)
+	e := New(Options{})
+	seqs := e.Module(m)
+	if len(seqs) != 1 {
+		t.Fatalf("expected one sequence, got %d", len(seqs))
+	}
+	txt := seqs[0].Fn.String()
+	if strings.Contains(txt, "add i32 7,") {
+		t.Fatalf("sequence was not canonicalized:\n%s", txt)
+	}
+}

@@ -1,0 +1,227 @@
+package interp
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/ir"
+)
+
+// call evaluates the intrinsic subset. All supported intrinsics are pure.
+func (st *state) call(in *ir.Instr, args []RVal) (RVal, bool, string) {
+	base := ir.IntrinsicBase(in.Callee)
+	w := ir.ScalarBits(ir.Elem(in.Ty))
+	mask := ir.MaskW(w)
+	lanes := ir.Lanes(in.Ty)
+
+	bin := func(f func(x, y uint64) (uint64, bool)) (RVal, bool, string) {
+		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
+		for i := 0; i < lanes; i++ {
+			x, y := args[0].Lanes[i], args[1].Lanes[i]
+			if x.Poison || y.Poison {
+				out.Lanes[i] = Word{Poison: true}
+				continue
+			}
+			v, poison := f(x.V&mask, y.V&mask)
+			out.Lanes[i] = Word{V: v & mask, Poison: poison}
+		}
+		return out, false, ""
+	}
+	un := func(f func(x uint64) (uint64, bool)) (RVal, bool, string) {
+		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
+		for i := 0; i < lanes; i++ {
+			x := args[0].Lanes[i]
+			if x.Poison {
+				out.Lanes[i] = Word{Poison: true}
+				continue
+			}
+			v, poison := f(x.V & mask)
+			out.Lanes[i] = Word{V: v & mask, Poison: poison}
+		}
+		return out, false, ""
+	}
+	// flagArg reads the trailing i1 immediate of abs/ctlz/cttz.
+	flagArg := func(idx int) bool {
+		if len(args) <= idx {
+			return false
+		}
+		return args[idx].Lanes[0].V&1 == 1
+	}
+
+	switch base {
+	case "umin":
+		return bin(func(x, y uint64) (uint64, bool) {
+			if x < y {
+				return x, false
+			}
+			return y, false
+		})
+	case "umax":
+		return bin(func(x, y uint64) (uint64, bool) {
+			if x > y {
+				return x, false
+			}
+			return y, false
+		})
+	case "smin":
+		return bin(func(x, y uint64) (uint64, bool) {
+			if ir.SignExt(x, w) < ir.SignExt(y, w) {
+				return x, false
+			}
+			return y, false
+		})
+	case "smax":
+		return bin(func(x, y uint64) (uint64, bool) {
+			if ir.SignExt(x, w) > ir.SignExt(y, w) {
+				return x, false
+			}
+			return y, false
+		})
+	case "abs":
+		poisonOnMin := flagArg(1)
+		return un(func(x uint64) (uint64, bool) {
+			s := ir.SignExt(x, w)
+			if s == minSigned(w) {
+				return x, poisonOnMin
+			}
+			if s < 0 {
+				return uint64(-s), false
+			}
+			return x, false
+		})
+	case "ctpop":
+		return un(func(x uint64) (uint64, bool) { return uint64(bits.OnesCount64(x)), false })
+	case "ctlz":
+		zeroPoison := flagArg(1)
+		return un(func(x uint64) (uint64, bool) {
+			if x == 0 {
+				return uint64(w), zeroPoison
+			}
+			return uint64(bits.LeadingZeros64(x) - (64 - w)), false
+		})
+	case "cttz":
+		zeroPoison := flagArg(1)
+		return un(func(x uint64) (uint64, bool) {
+			if x == 0 {
+				return uint64(w), zeroPoison
+			}
+			return uint64(bits.TrailingZeros64(x)), false
+		})
+	case "bswap":
+		return un(func(x uint64) (uint64, bool) {
+			return bits.ReverseBytes64(x) >> uint(64-w), false
+		})
+	case "bitreverse":
+		return un(func(x uint64) (uint64, bool) {
+			return bits.Reverse64(x) >> uint(64-w), false
+		})
+	case "uadd.sat":
+		return bin(func(x, y uint64) (uint64, bool) {
+			s := (x + y) & mask
+			if s < x {
+				return mask, false
+			}
+			return s, false
+		})
+	case "usub.sat":
+		return bin(func(x, y uint64) (uint64, bool) {
+			if y > x {
+				return 0, false
+			}
+			return x - y, false
+		})
+	case "sadd.sat":
+		return bin(func(x, y uint64) (uint64, bool) {
+			s := ir.SignExt(x, w) + ir.SignExt(y, w)
+			return clampSigned(s, w), false
+		})
+	case "ssub.sat":
+		return bin(func(x, y uint64) (uint64, bool) {
+			s := ir.SignExt(x, w) - ir.SignExt(y, w)
+			return clampSigned(s, w), false
+		})
+	case "fshl", "fshr":
+		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
+		for i := 0; i < lanes; i++ {
+			a, b, s := args[0].Lanes[i], args[1].Lanes[i], args[2].Lanes[i]
+			if a.Poison || b.Poison || s.Poison {
+				out.Lanes[i] = Word{Poison: true}
+				continue
+			}
+			sh := s.V % uint64(w)
+			concat := func(hi, lo uint64) uint64 {
+				// Conceptual 2w-bit value hi:lo.
+				if sh == 0 {
+					if base == "fshl" {
+						return hi & mask
+					}
+					return lo & mask
+				}
+				if base == "fshl" {
+					return ((hi << sh) | (lo >> uint(uint64(w)-sh))) & mask
+				}
+				return ((lo >> sh) | (hi << uint(uint64(w)-sh))) & mask
+			}
+			out.Lanes[i] = Word{V: concat(a.V&mask, b.V&mask)}
+		}
+		return out, false, ""
+	case "fabs":
+		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
+		for i := 0; i < lanes; i++ {
+			x := args[0].Lanes[i]
+			if x.Poison {
+				out.Lanes[i] = Word{Poison: true}
+				continue
+			}
+			out.Lanes[i] = Word{V: storeFloat(w, math.Abs(loadFloat(w, x.V)))}
+		}
+		return out, false, ""
+	case "minnum", "maxnum":
+		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
+		for i := 0; i < lanes; i++ {
+			x, y := args[0].Lanes[i], args[1].Lanes[i]
+			if x.Poison || y.Poison {
+				out.Lanes[i] = Word{Poison: true}
+				continue
+			}
+			fx, fy := loadFloat(w, x.V), loadFloat(w, y.V)
+			var r float64
+			switch {
+			case math.IsNaN(fx):
+				r = fy
+			case math.IsNaN(fy):
+				r = fx
+			case base == "minnum":
+				r = math.Min(fx, fy)
+			default:
+				r = math.Max(fx, fy)
+			}
+			out.Lanes[i] = Word{V: storeFloat(w, r)}
+		}
+		return out, false, ""
+	}
+	return RVal{}, true, "unsupported intrinsic @" + in.Callee
+}
+
+func clampSigned(s int64, w int) uint64 {
+	lo, hi := minSigned(w), -minSigned(w)-1
+	if s < lo {
+		s = lo
+	}
+	if s > hi {
+		s = hi
+	}
+	return uint64(s) & ir.MaskW(w)
+}
+
+// SupportedIntrinsic reports whether the interpreter can evaluate calls to
+// the given callee.
+func SupportedIntrinsic(callee string) bool {
+	switch ir.IntrinsicBase(callee) {
+	case "umin", "umax", "smin", "smax", "abs", "ctpop", "ctlz", "cttz",
+		"bswap", "bitreverse", "uadd.sat", "usub.sat", "sadd.sat", "ssub.sat",
+		"fshl", "fshr", "fabs", "minnum", "maxnum":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+package interp
+
+// Region is a contiguous allocated object. Pointer-typed function arguments
+// each receive their own region so that distinct arguments never alias,
+// matching how the verification harness sets up inputs.
+type Region struct {
+	Name   string
+	Addr   uint64
+	Data   []byte
+	Poison []bool // per-byte poison (set by stores of poison lanes)
+}
+
+// Memory is a set of disjoint regions in a single address space.
+type Memory struct {
+	Regions []*Region
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// AddRegion allocates a region of the given size at the given base address.
+func (m *Memory) AddRegion(name string, addr uint64, size int) *Region {
+	r := &Region{Name: name, Addr: addr, Data: make([]byte, size), Poison: make([]bool, size)}
+	m.Regions = append(m.Regions, r)
+	return r
+}
+
+// FindRegion returns the region containing addr, or nil.
+func (m *Memory) FindRegion(addr uint64) *Region {
+	for _, r := range m.Regions {
+		if addr >= r.Addr && addr < r.Addr+uint64(len(r.Data)) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Contains reports whether [addr, addr+n) lies entirely within one region.
+func (m *Memory) Contains(addr uint64, n int) bool {
+	r := m.FindRegion(addr)
+	if r == nil {
+		return false
+	}
+	return addr+uint64(n) <= r.Addr+uint64(len(r.Data))
+}
+
+// LoadBytes reads n bytes; ok is false if the access is out of bounds (UB).
+func (m *Memory) LoadBytes(addr uint64, n int) (data []byte, poison []bool, ok bool) {
+	r := m.FindRegion(addr)
+	if r == nil || addr+uint64(n) > r.Addr+uint64(len(r.Data)) {
+		return nil, nil, false
+	}
+	off := addr - r.Addr
+	return r.Data[off : off+uint64(n)], r.Poison[off : off+uint64(n)], true
+}
+
+// StoreBytes writes n bytes; ok is false if the access is out of bounds (UB).
+func (m *Memory) StoreBytes(addr uint64, data []byte, poison []bool) bool {
+	r := m.FindRegion(addr)
+	if r == nil || addr+uint64(len(data)) > r.Addr+uint64(len(r.Data)) {
+		return false
+	}
+	off := addr - r.Addr
+	copy(r.Data[off:], data)
+	copy(r.Poison[off:], poison)
+	return true
+}
+
+// Clone returns a deep copy (used to run src and tgt on identical initial
+// memories and to diff the results).
+func (m *Memory) Clone() *Memory {
+	n := &Memory{}
+	for _, r := range m.Regions {
+		nr := &Region{Name: r.Name, Addr: r.Addr,
+			Data: append([]byte(nil), r.Data...), Poison: append([]bool(nil), r.Poison...)}
+		n.Regions = append(n.Regions, nr)
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package ir
+
+// Builder helpers construct well-typed instructions concisely. They are used
+// pervasively by the optimizer, the benchmark registries and the tests.
+
+// Bin builds an integer or FP binary operation; the result type is taken
+// from the first operand.
+func Bin(op Opcode, name string, flags Flags, a, b Value) *Instr {
+	return &Instr{Op: op, Nm: name, Ty: a.Type(), Args: []Value{a, b}, Flags: flags}
+}
+
+// ICmpI builds an integer comparison; the result is i1 or a vector of i1.
+func ICmpI(name string, p IPred, a, b Value) *Instr {
+	return &Instr{Op: OpICmp, Nm: name, Ty: WithLanes(a.Type(), I1), Args: []Value{a, b}, IPredV: p}
+}
+
+// FCmpI builds a floating point comparison.
+func FCmpI(name string, p FPred, a, b Value) *Instr {
+	return &Instr{Op: OpFCmp, Nm: name, Ty: WithLanes(a.Type(), I1), Args: []Value{a, b}, FPredV: p}
+}
+
+// Sel builds a select instruction.
+func Sel(name string, c, t, f Value) *Instr {
+	return &Instr{Op: OpSelect, Nm: name, Ty: t.Type(), Args: []Value{c, t, f}}
+}
+
+// Conv builds a conversion to the given type.
+func Conv(op Opcode, name string, a Value, to Type, flags Flags) *Instr {
+	return &Instr{Op: op, Nm: name, Ty: to, Args: []Value{a}, Flags: flags}
+}
+
+// CallI builds an intrinsic call.
+func CallI(name, callee string, ret Type, args ...Value) *Instr {
+	return &Instr{Op: OpCall, Nm: name, Ty: ret, Args: args, Callee: callee, Flags: Tail}
+}
+
+// LoadI builds a load of the given type.
+func LoadI(name string, ty Type, ptr Value, align int) *Instr {
+	return &Instr{Op: OpLoad, Nm: name, Ty: ty, Args: []Value{ptr}, Align: align}
+}
+
+// StoreI builds a store.
+func StoreI(v, ptr Value, align int) *Instr {
+	return &Instr{Op: OpStore, Ty: Void, Args: []Value{v, ptr}, Align: align}
+}
+
+// GEPI builds a getelementptr with a single index.
+func GEPI(name string, elem Type, ptr, idx Value, flags Flags) *Instr {
+	return &Instr{Op: OpGEP, Nm: name, Ty: Ptr, Args: []Value{ptr, idx}, ElemTy: elem, Flags: flags}
+}
+
+// FreezeI builds a freeze.
+func FreezeI(name string, a Value) *Instr {
+	return &Instr{Op: OpFreeze, Nm: name, Ty: a.Type(), Args: []Value{a}}
+}
+
+// RetI builds a value return.
+func RetI(v Value) *Instr {
+	return &Instr{Op: OpRet, Ty: Void, Args: []Value{v}}
+}
+
+// RetVoid builds a void return.
+func RetVoid() *Instr { return &Instr{Op: OpRet, Ty: Void} }
+
+// BrI builds an unconditional branch.
+func BrI(label string) *Instr {
+	return &Instr{Op: OpBr, Ty: Void, Labels: []string{label}}
+}
+
+// CondBrI builds a conditional branch.
+func CondBrI(cond Value, t, f string) *Instr {
+	return &Instr{Op: OpBr, Ty: Void, Args: []Value{cond}, Labels: []string{t, f}}
+}
+
+// PhiI builds a phi node; vals and labels run in parallel.
+func PhiI(name string, ty Type, vals []Value, labels []string) *Instr {
+	return &Instr{Op: OpPhi, Nm: name, Ty: ty, Args: vals, Labels: labels}
+}
+
+// ExtractI builds an extractelement.
+func ExtractI(name string, vec, idx Value) *Instr {
+	v := vec.Type().(VecType)
+	return &Instr{Op: OpExtractElt, Nm: name, Ty: v.Elem, Args: []Value{vec, idx}}
+}
+
+// InsertI builds an insertelement.
+func InsertI(name string, vec, elem, idx Value) *Instr {
+	return &Instr{Op: OpInsertElt, Nm: name, Ty: vec.Type(), Args: []Value{vec, elem, idx}}
+}
+
+// IntrinsicName builds an overloaded intrinsic name such as "llvm.umin.i32"
+// or "llvm.smax.v4i32" from a base name and an overload type.
+func IntrinsicName(base string, t Type) string {
+	return "llvm." + base + "." + typeSuffix(t)
+}
+
+func typeSuffix(t Type) string {
+	switch x := t.(type) {
+	case VecType:
+		return "v" + itoa(x.N) + typeSuffix(x.Elem)
+	case IntType:
+		return "i" + itoa(x.W)
+	case FloatType:
+		if x.W == 32 {
+			return "f32"
+		}
+		return "f64"
+	}
+	return t.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// twoPartIntrinsicBases lists intrinsic base names that themselves contain a
+// dot, so that IntrinsicBase("llvm.uadd.sat.i32") returns "uadd.sat".
+var twoPartIntrinsicBases = []string{
+	"uadd.sat", "usub.sat", "sadd.sat", "ssub.sat", "ushl.sat", "sshl.sat",
+}
+
+// IntrinsicBase extracts the base name from an overloaded intrinsic name:
+// "llvm.umin.v4i32" -> "umin", "llvm.uadd.sat.i8" -> "uadd.sat".
+// It returns "" for non-intrinsic callees.
+func IntrinsicBase(callee string) string {
+	const p = "llvm."
+	if len(callee) < len(p) || callee[:len(p)] != p {
+		return ""
+	}
+	rest := callee[len(p):]
+	for _, b := range twoPartIntrinsicBases {
+		if len(rest) >= len(b) && rest[:len(b)] == b {
+			return b
+		}
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '.' {
+			return rest[:i]
+		}
+	}
+	return rest
+}

@@ -1,0 +1,65 @@
+package ir
+
+// CloneFunc returns a deep copy of f. Instructions and parameters are fresh
+// objects; constants are shared (they are immutable).
+func CloneFunc(f *Func) *Func {
+	vmap := make(map[Value]Value)
+	nf := &Func{Name: f.Name, Ret: f.Ret}
+	for _, p := range f.Params {
+		np := &Param{Nm: p.Nm, Ty: p.Ty}
+		vmap[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	// First pass: create instruction shells so forward references (phis)
+	// can be resolved.
+	type pair struct{ old, new *Instr }
+	var all []pair
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Nm: in.Nm, Ty: in.Ty, IPredV: in.IPredV,
+				FPredV: in.FPredV, Flags: in.Flags, Callee: in.Callee,
+				ElemTy: in.ElemTy, Align: in.Align,
+			}
+			ni.Labels = append(ni.Labels, in.Labels...)
+			vmap[in] = ni
+			nb.Instrs = append(nb.Instrs, ni)
+			all = append(all, pair{in, ni})
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, pr := range all {
+		for _, a := range pr.old.Args {
+			if m, ok := vmap[a]; ok {
+				pr.new.Args = append(pr.new.Args, m)
+			} else {
+				pr.new.Args = append(pr.new.Args, a)
+			}
+		}
+	}
+	return nf
+}
+
+// RenameValues rewrites all result and parameter names in f to sequential
+// numeric names (%0, %1, ...) in definition order, matching how LLVM prints
+// unnamed values. It mutates f in place and returns it.
+func RenameValues(f *Func) *Func {
+	n := 0
+	next := func() string {
+		s := itoa(n)
+		n++
+		return s
+	}
+	for _, p := range f.Params {
+		p.Nm = next()
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				in.Nm = next()
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,68 @@
+package ir
+
+import (
+	"hash/fnv"
+	"io"
+	"strconv"
+)
+
+// Hash computes a structural 64-bit digest of f that is independent of value
+// names: parameters and instruction results are numbered canonically in
+// definition order, so two functions that differ only in naming hash equal.
+// The paper's extractor (Alg. 2 line 9) uses exactly such an opcode+operand
+// hash for deduplication.
+func Hash(f *Func) uint64 {
+	h := fnv.New64a()
+	idx := make(map[Value]int)
+	n := 0
+	for _, p := range f.Params {
+		idx[p] = n
+		n++
+		io.WriteString(h, "p:"+p.Ty.String()+";")
+	}
+	io.WriteString(h, "r:"+f.Ret.String()+";")
+	key := func(v Value) string {
+		if i, ok := idx[v]; ok {
+			return "v" + strconv.Itoa(i)
+		}
+		return "c:" + v.Type().String() + " " + v.Ident()
+	}
+	for _, b := range f.Blocks {
+		io.WriteString(h, "b;")
+		for _, in := range b.Instrs {
+			io.WriteString(h, in.Op.Name())
+			io.WriteString(h, "/"+strconv.FormatUint(uint64(in.Flags), 16))
+			io.WriteString(h, "/"+in.Ty.String())
+			if in.Op == OpICmp {
+				io.WriteString(h, "/"+in.IPredV.Name())
+			}
+			if in.Op == OpFCmp {
+				io.WriteString(h, "/"+in.FPredV.Name())
+			}
+			if in.Callee != "" {
+				io.WriteString(h, "/@"+in.Callee)
+			}
+			if in.ElemTy != nil {
+				io.WriteString(h, "/e"+in.ElemTy.String())
+			}
+			for _, a := range in.Args {
+				io.WriteString(h, ","+key(a))
+			}
+			for _, l := range in.Labels {
+				io.WriteString(h, ",%"+l)
+			}
+			io.WriteString(h, ";")
+			if in.HasResult() {
+				idx[in] = n
+				n++
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// StructurallyEqual reports whether two functions are identical up to value
+// naming.
+func StructurallyEqual(a, b *Func) bool {
+	return Hash(a) == Hash(b) && a.NumInstrs(false) == b.NumInstrs(false)
+}

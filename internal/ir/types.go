@@ -1,0 +1,199 @@
+// Package ir defines a compact model of the LLVM intermediate representation:
+// types, constants, SSA instructions, basic blocks, functions and modules,
+// together with a textual printer compatible with the .ll subset the LPO
+// pipeline manipulates.
+//
+// The model deliberately covers only what peephole windows contain:
+// fixed-width integers (i1..i64), float/double, fixed-length vectors, opaque
+// pointers, and the straight-line and simple-CFG instructions that appear in
+// the paper's figures (binary ops, comparisons, select, conversions,
+// getelementptr, load/store, intrinsic calls, phi, br, ret).
+package ir
+
+import (
+	"fmt"
+)
+
+// Type is the interface implemented by all IR types. Types are small value
+// structs and are compared with Equal (structural equality).
+type Type interface {
+	// String renders the type in .ll syntax, e.g. "i32", "<4 x i8>", "ptr".
+	String() string
+	isType()
+}
+
+// IntType is an arbitrary-width integer type iN with 1 <= W <= 64.
+type IntType struct{ W int }
+
+// FloatType is an IEEE binary floating point type: W is 32 (float) or 64 (double).
+type FloatType struct{ W int }
+
+// VecType is a fixed-length vector <N x Elem> of integer or float elements.
+type VecType struct {
+	N    int
+	Elem Type
+}
+
+// PtrType is the opaque pointer type "ptr".
+type PtrType struct{}
+
+// VoidType is the void type (function returns, store results).
+type VoidType struct{}
+
+// LabelType is the type of basic-block labels (br operands).
+type LabelType struct{}
+
+func (IntType) isType()   {}
+func (FloatType) isType() {}
+func (VecType) isType()   {}
+func (PtrType) isType()   {}
+func (VoidType) isType()  {}
+func (LabelType) isType() {}
+
+func (t IntType) String() string { return fmt.Sprintf("i%d", t.W) }
+
+func (t FloatType) String() string {
+	if t.W == 32 {
+		return "float"
+	}
+	return "double"
+}
+
+func (t VecType) String() string { return fmt.Sprintf("<%d x %s>", t.N, t.Elem) }
+func (PtrType) String() string   { return "ptr" }
+func (VoidType) String() string  { return "void" }
+func (LabelType) String() string { return "label" }
+
+// Common type singletons.
+var (
+	I1   = IntType{1}
+	I8   = IntType{8}
+	I16  = IntType{16}
+	I32  = IntType{32}
+	I64  = IntType{64}
+	F32  = FloatType{32}
+	F64  = FloatType{64}
+	Ptr  = PtrType{}
+	Void = VoidType{}
+)
+
+// IntT returns the integer type with the given bit width.
+func IntT(w int) IntType { return IntType{w} }
+
+// VecT returns the vector type <n x elem>.
+func VecT(n int, elem Type) VecType { return VecType{N: n, Elem: elem} }
+
+// Equal reports whether two types are structurally identical.
+func Equal(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	switch x := a.(type) {
+	case IntType:
+		y, ok := b.(IntType)
+		return ok && x.W == y.W
+	case FloatType:
+		y, ok := b.(FloatType)
+		return ok && x.W == y.W
+	case VecType:
+		y, ok := b.(VecType)
+		return ok && x.N == y.N && Equal(x.Elem, y.Elem)
+	case PtrType:
+		_, ok := b.(PtrType)
+		return ok
+	case VoidType:
+		_, ok := b.(VoidType)
+		return ok
+	case LabelType:
+		_, ok := b.(LabelType)
+		return ok
+	}
+	return false
+}
+
+// Lanes returns the number of lanes of t: N for vectors, 1 otherwise.
+func Lanes(t Type) int {
+	if v, ok := t.(VecType); ok {
+		return v.N
+	}
+	return 1
+}
+
+// Elem returns the per-lane element type: Elem for vectors, t itself otherwise.
+func Elem(t Type) Type {
+	if v, ok := t.(VecType); ok {
+		return v.Elem
+	}
+	return t
+}
+
+// IsInt reports whether t is an integer type or a vector of integers.
+func IsInt(t Type) bool {
+	_, ok := Elem(t).(IntType)
+	return ok
+}
+
+// IsFloat reports whether t is a float type or a vector of floats.
+func IsFloat(t Type) bool {
+	_, ok := Elem(t).(FloatType)
+	return ok
+}
+
+// IsVector reports whether t is a vector type.
+func IsVector(t Type) bool {
+	_, ok := t.(VecType)
+	return ok
+}
+
+// IsPtr reports whether t is the pointer type.
+func IsPtr(t Type) bool {
+	_, ok := t.(PtrType)
+	return ok
+}
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool {
+	_, ok := t.(VoidType)
+	return ok
+}
+
+// ScalarBits returns the bit width of a scalar lane of t (pointer lanes count
+// as 64 bits). It returns 0 for void/label.
+func ScalarBits(t Type) int {
+	switch e := Elem(t).(type) {
+	case IntType:
+		return e.W
+	case FloatType:
+		return e.W
+	case PtrType:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// StoreBytes returns the number of bytes a value of type t occupies in memory
+// (lanes are padded to whole bytes, matching the layouts LPO windows use).
+func StoreBytes(t Type) int {
+	switch x := t.(type) {
+	case VecType:
+		return x.N * StoreBytes(x.Elem)
+	case IntType:
+		return (x.W + 7) / 8
+	case FloatType:
+		return x.W / 8
+	case PtrType:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// WithLanes returns t reshaped to the lane shape of ref: if ref is a vector,
+// the result is a vector of t's element type with ref's lane count.
+func WithLanes(ref Type, elem Type) Type {
+	if v, ok := ref.(VecType); ok {
+		return VecType{N: v.N, Elem: elem}
+	}
+	return elem
+}

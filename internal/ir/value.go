@@ -1,0 +1,229 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is anything that can appear as an instruction operand: function
+// parameters, instruction results, and constants.
+type Value interface {
+	// Type returns the value's IR type.
+	Type() Type
+	// Ident renders the operand reference without its type, e.g. "%x",
+	// "42", "true", "zeroinitializer", "splat (i32 255)".
+	Ident() string
+}
+
+// Param is a function parameter.
+type Param struct {
+	Nm string
+	Ty Type
+}
+
+func (p *Param) Type() Type    { return p.Ty }
+func (p *Param) Ident() string { return "%" + p.Nm }
+
+// ConstInt is an integer constant. V holds the bit pattern truncated to the
+// type's width.
+type ConstInt struct {
+	Ty IntType
+	V  uint64
+}
+
+// MaskW returns the bit mask for a w-bit integer.
+func MaskW(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// SignExt sign-extends the w-bit pattern v to 64 bits and returns it as int64.
+func SignExt(v uint64, w int) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	v &= MaskW(w)
+	if v&(uint64(1)<<uint(w-1)) != 0 {
+		v |= ^MaskW(w)
+	}
+	return int64(v)
+}
+
+// CInt builds an integer constant of type t from a signed value, truncating
+// to the type's width.
+func CInt(t IntType, v int64) *ConstInt {
+	return &ConstInt{Ty: t, V: uint64(v) & MaskW(t.W)}
+}
+
+// CBool builds an i1 constant.
+func CBool(b bool) *ConstInt {
+	if b {
+		return &ConstInt{Ty: I1, V: 1}
+	}
+	return &ConstInt{Ty: I1, V: 0}
+}
+
+func (c *ConstInt) Type() Type { return c.Ty }
+
+func (c *ConstInt) Ident() string {
+	if c.Ty.W == 1 {
+		if c.V&1 == 1 {
+			return "true"
+		}
+		return "false"
+	}
+	return strconv.FormatInt(SignExt(c.V, c.Ty.W), 10)
+}
+
+// ConstFloat is a floating point constant. F always stores the value as a
+// float64; for "float"-typed constants it must be exactly representable in
+// binary32 (the printer does not check).
+type ConstFloat struct {
+	Ty FloatType
+	F  float64
+}
+
+// CFloat builds a float constant.
+func CFloat(t FloatType, f float64) *ConstFloat { return &ConstFloat{Ty: t, F: f} }
+
+func (c *ConstFloat) Type() Type { return c.Ty }
+
+func (c *ConstFloat) Ident() string {
+	// LLVM prints simple values in scientific notation with 6 fractional
+	// digits, e.g. 0.000000e+00, 1.000000e+00, 2.550000e+02.
+	return fmt.Sprintf("%e", c.F)
+}
+
+// ConstVec is an explicit vector constant: <i32 1, i32 2, ...>.
+type ConstVec struct {
+	Ty    VecType
+	Elems []Value
+}
+
+func (c *ConstVec) Type() Type { return c.Ty }
+
+func (c *ConstVec) Ident() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = e.Type().String() + " " + e.Ident()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Splat is a splat vector constant: splat (i32 255).
+type Splat struct {
+	Ty   VecType
+	Elem Value
+}
+
+// CSplat builds a splat constant vector of n lanes.
+func CSplat(n int, elem Value) *Splat {
+	return &Splat{Ty: VecT(n, elem.Type()), Elem: elem}
+}
+
+func (c *Splat) Type() Type { return c.Ty }
+
+func (c *Splat) Ident() string {
+	return "splat (" + c.Elem.Type().String() + " " + c.Elem.Ident() + ")"
+}
+
+// Zero is the zeroinitializer constant for vector types.
+type Zero struct{ Ty Type }
+
+func (c *Zero) Type() Type    { return c.Ty }
+func (c *Zero) Ident() string { return "zeroinitializer" }
+
+// Undef is the undef constant of any first-class type.
+type Undef struct{ Ty Type }
+
+func (c *Undef) Type() Type    { return c.Ty }
+func (c *Undef) Ident() string { return "undef" }
+
+// PoisonVal is the poison constant of any first-class type.
+type PoisonVal struct{ Ty Type }
+
+func (c *PoisonVal) Type() Type    { return c.Ty }
+func (c *PoisonVal) Ident() string { return "poison" }
+
+// Null is the null pointer constant.
+type Null struct{}
+
+func (c *Null) Type() Type    { return Ptr }
+func (c *Null) Ident() string { return "null" }
+
+// IsConst reports whether v is a constant (not a param or instruction).
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *ConstInt, *ConstFloat, *ConstVec, *Splat, *Zero, *Undef, *PoisonVal, *Null:
+		return true
+	}
+	return false
+}
+
+// IntConstValue returns the scalar integer constant bit pattern held by v
+// (possibly behind a splat), and whether v is such a constant. Vector
+// constants qualify only if all lanes agree.
+func IntConstValue(v Value) (uint64, bool) {
+	switch c := v.(type) {
+	case *ConstInt:
+		return c.V, true
+	case *Splat:
+		return IntConstValue(c.Elem)
+	case *Zero:
+		if IsInt(c.Ty) {
+			return 0, true
+		}
+	case *ConstVec:
+		var first uint64
+		for i, e := range c.Elems {
+			x, ok := IntConstValue(e)
+			if !ok {
+				return 0, false
+			}
+			if i == 0 {
+				first = x
+			} else if x != first {
+				return 0, false
+			}
+		}
+		if len(c.Elems) > 0 {
+			return first, true
+		}
+	}
+	return 0, false
+}
+
+// ZeroValue returns the all-zero constant of type t.
+func ZeroValue(t Type) Value {
+	switch x := t.(type) {
+	case IntType:
+		return &ConstInt{Ty: x, V: 0}
+	case FloatType:
+		return &ConstFloat{Ty: x, F: 0}
+	case VecType:
+		return &Zero{Ty: x}
+	case PtrType:
+		return &Null{}
+	}
+	return &Undef{Ty: t}
+}
+
+// SplatInt returns a constant of type t (scalar int or int vector) where all
+// lanes hold the signed value v.
+func SplatInt(t Type, v int64) Value {
+	elem, ok := Elem(t).(IntType)
+	if !ok {
+		panic("ir.SplatInt: not an integer type: " + t.String())
+	}
+	c := CInt(elem, v)
+	if vt, ok := t.(VecType); ok {
+		if v == 0 {
+			return &Zero{Ty: vt}
+		}
+		return &Splat{Ty: vt, Elem: c}
+	}
+	return c
+}

@@ -1,0 +1,182 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+func TestProfilesCoverPaperModels(t *testing.T) {
+	want := []string{"Gemma3", "Llama3.3", "Gemini2.0", "Gemini2.0T", "GPT-4.1", "o4-mini", "Gemini2.5"}
+	for _, name := range want {
+		p := ProfileByName(name)
+		if p.TokensPerSecond <= 0 {
+			t.Errorf("%s: no throughput model", name)
+		}
+	}
+	if !ProfileByName("Gemini2.0T").Reasoning || ProfileByName("Gemini2.0").Reasoning {
+		t.Error("reasoning flags wrong")
+	}
+}
+
+func TestExtractFunc(t *testing.T) {
+	text := "some prose\n\ndefine i8 @f(i8 %x) {\n  ret i8 %x\n}\ntrailing"
+	got := ExtractFunc(text)
+	if !strings.HasPrefix(got, "define i8 @f") || !strings.HasSuffix(got, "\n}") {
+		t.Fatalf("extraction wrong: %q", got)
+	}
+	if ExtractFunc("no ir here") != "" {
+		t.Fatal("extraction should fail without a define")
+	}
+}
+
+const kbCase = `define i8 @src(i8 %x, i8 %y) {
+  %a = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = xor i8 %a, %o
+  ret i8 %r
+}`
+
+func TestSimEmitsKnowledgeBaseRewrite(t *testing.T) {
+	src := parser.MustParseFunc(kbCase)
+	sim := NewSim("Gemini2.0T", 3)
+	sim.Calibrate(ir.Hash(src), Calibration{Minus: 5, Plus: 5})
+	resp, err := sim.Complete(Request{Messages: []Message{
+		{Role: RoleSystem, Content: SystemPrompt},
+		{Role: RoleUser, Content: "Optimize:\n" + src.String()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := ExtractFunc(resp.Text)
+	f, perr := parser.ParseFunc(cand)
+	if perr != nil {
+		t.Fatalf("calibrated success must be valid IR: %v\n%s", perr, cand)
+	}
+	if f.NumInstrs(true) != 1 || !strings.Contains(cand, "xor i8 %x, %y") {
+		t.Fatalf("expected the xor rewrite, got:\n%s", cand)
+	}
+	if resp.Usage.VirtualSeconds <= 0 || resp.Usage.OutputTokens <= 0 {
+		t.Fatalf("usage accounting broken: %+v", resp.Usage)
+	}
+}
+
+func TestSimEchoesUnknownWindows(t *testing.T) {
+	src := parser.MustParseFunc(`define i8 @f(i8 %x, i8 %y) {
+  %r = add i8 %x, %y
+  ret i8 %r
+}`)
+	sim := NewSim("o4-mini", 3)
+	resp, err := sim.Complete(Request{Messages: []Message{
+		{Role: RoleUser, Content: src.String()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parser.MustParseFunc(ExtractFunc(resp.Text))
+	if ir.Hash(got) != ir.Hash(src) {
+		t.Fatalf("unknown window should be echoed:\n%s", resp.Text)
+	}
+}
+
+func TestStratifiedCalibrationIsExact(t *testing.T) {
+	src := parser.MustParseFunc(kbCase)
+	sim := NewSim("GPT-4.1", 9)
+	sim.Calibrate(ir.Hash(src), Calibration{Minus: 2, Plus: 4})
+	firstOK, secondOK := 0, 0
+	for round := 0; round < 5; round++ {
+		r1, _ := sim.Complete(Request{Round: round, Messages: []Message{
+			{Role: RoleUser, Content: src.String()},
+		}})
+		if _, err := parser.ParseFunc(ExtractFunc(r1.Text)); err == nil {
+			if f, _ := parser.ParseFunc(ExtractFunc(r1.Text)); f != nil && f.NumInstrs(true) == 1 {
+				firstOK++
+				continue
+			}
+		}
+		// Second attempt with feedback.
+		r2, _ := sim.Complete(Request{Round: round, Messages: []Message{
+			{Role: RoleUser, Content: src.String()},
+			{Role: RoleAssistant, Content: r1.Text},
+			{Role: RoleUser, Content: "feedback"},
+		}})
+		if f, err := parser.ParseFunc(ExtractFunc(r2.Text)); err == nil && f.NumInstrs(true) == 1 {
+			secondOK++
+		}
+	}
+	if firstOK != 2 {
+		t.Fatalf("first-attempt successes = %d, calibrated 2", firstOK)
+	}
+	if firstOK+secondOK != 4 {
+		t.Fatalf("total successes = %d, calibrated 4", firstOK+secondOK)
+	}
+}
+
+func TestCorruptSyntaxNeverSilentlyCorrect(t *testing.T) {
+	// Every corruption must fail to parse — including instruction-free
+	// identity rewrites, which once slipped through as valid IR.
+	ideals := []string{
+		`define i8 @f(i8 %x) { ret i8 %x }`,
+		`define i8 @f(i8 %x) { ret i8 0 }`,
+		`define void @f(ptr %p) { ret void }`,
+		`define i8 @f(i8 %x) { %r = call i8 @llvm.smax.i8(i8 %x, i8 0) ret i8 %r }`,
+		`define i16 @f(i8 %x) { %r = zext i8 %x to i16 ret i16 %r }`,
+		`define i8 @f(i8 %x) { %r = add i8 %x, 1 ret i8 %r }`,
+	}
+	for _, src := range ideals {
+		f := parser.MustParseFunc(src)
+		broken := corruptSyntax(f)
+		if _, err := parser.ParseFunc(broken); err == nil {
+			t.Errorf("corruption is silently valid for:\n%s\nbroken:\n%s", src, broken)
+		}
+	}
+}
+
+func TestHallucinationsAreWellFormedButDifferent(t *testing.T) {
+	ideals := []string{
+		`define i8 @f(i8 %x) { %r = and i8 %x, 127 ret i8 %r }`,
+		`define i8 @f(i8 %x) { ret i8 %x }`,
+		`define i1 @f(i64 %x) { ret i1 true }`,
+		`define <4 x i8> @f(<4 x i8> %v) { %r = call <4 x i8> @llvm.umax.v4i8(<4 x i8> %v, <4 x i8> splat (i8 16)) ret <4 x i8> %r }`,
+	}
+	for _, src := range ideals {
+		f := parser.MustParseFunc(src)
+		wrong, ok := hallucinate(f)
+		if !ok {
+			t.Errorf("no hallucination for:\n%s", src)
+			continue
+		}
+		if err := ir.VerifyFunc(wrong); err != nil {
+			t.Errorf("hallucination must be well-formed: %v\n%s", err, wrong)
+		}
+		if ir.Hash(wrong) == ir.Hash(f) {
+			t.Errorf("hallucination identical to ideal:\n%s", wrong)
+		}
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	src := parser.MustParseFunc(kbCase)
+	sim := NewSim("Gemini2.5", 1)
+	resp, err := sim.Complete(Request{Messages: []Message{
+		{Role: RoleUser, Content: src.String()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Usage.CostUSD <= 0 {
+		t.Fatal("API model should report cost")
+	}
+	local := NewSim("Llama3.3", 1)
+	resp2, _ := local.Complete(Request{Messages: []Message{
+		{Role: RoleUser, Content: src.String()},
+	}})
+	if resp2.Usage.CostUSD != 0 {
+		t.Fatal("local model should be free")
+	}
+	if resp2.Usage.VirtualSeconds <= resp.Usage.VirtualSeconds {
+		t.Fatal("the local 70B model should be slower than the API model")
+	}
+}

@@ -1,0 +1,95 @@
+// Package llm defines the chat-completion interface LPO drives and a
+// deterministic simulated provider.
+//
+// The real system prompts proprietary models (paper Table 1); this offline
+// reproduction substitutes a calibrated stochastic rewrite oracle (see
+// DESIGN.md §3): whether a model "finds" a rewrite is drawn from seeded
+// randomness calibrated against the paper's Table 2, but the *content* it
+// emits — correct rewrites from the knowledge base, syntactically broken
+// first drafts, or semantically wrong hallucinations — is real IR that the
+// real verification pipeline accepts or refutes.
+package llm
+
+// Profile describes one model: identity (paper Table 1), a virtual
+// throughput/cost model (paper Table 4), and error-channel rates.
+type Profile struct {
+	Name      string // display name, e.g. "Gemini2.0T"
+	Version   string // API model id
+	Reasoning bool
+	Cutoff    string // knowledge cutoff (informational)
+
+	// Virtual performance/cost model.
+	TokensPerSecond float64 // output tokens per second
+	PromptOverhead  float64 // seconds per request (network, prefill)
+	ReasoningTokens int     // extra output tokens burned by reasoning models
+	CostInPerMTok   float64 // USD per 1M input tokens (0 for local models)
+	CostOutPerMTok  float64 // USD per 1M output tokens
+
+	// Error channels.
+	SyntaxErrRate float64 // P(first draft of a found rewrite is syntactically broken)
+	DiscoverP     float64 // per-attempt find probability for uncalibrated prompts
+}
+
+// Profiles returns the models of the paper's Table 1 plus Gemini2.5 (used in
+// RQ3 only). Throughput and cost constants are calibrated so Table 4's
+// per-case times and total cost land near the paper's measurements.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		"Gemma3": {
+			Name: "Gemma3", Version: "gemma3:27b", Cutoff: "08/2024",
+			TokensPerSecond: 6, PromptOverhead: 0.6,
+			SyntaxErrRate: 0.35, DiscoverP: 0.01,
+		},
+		"Llama3.3": {
+			Name: "Llama3.3", Version: "llama3.3:70b", Cutoff: "12/2023",
+			// A locally served 70B model: ~2 tokens/s under the shared-GPU
+			// setup, which lands the Table 4 per-case time near 26 s.
+			TokensPerSecond: 2.4, PromptOverhead: 1.2,
+			SyntaxErrRate: 0.20, DiscoverP: 0.18,
+		},
+		"Gemini2.0": {
+			Name: "Gemini2.0", Version: "gemini-2.0-flash", Cutoff: "08/2024",
+			TokensPerSecond: 140, PromptOverhead: 0.5,
+			CostInPerMTok: 0.10, CostOutPerMTok: 0.40,
+			SyntaxErrRate: 0.12, DiscoverP: 0.2,
+		},
+		"Gemini2.0T": {
+			Name: "Gemini2.0T", Version: "gemini-2.0-flash-thinking-exp-01-21",
+			Reasoning: true, Cutoff: "08/2024",
+			TokensPerSecond: 120, PromptOverhead: 0.6, ReasoningTokens: 1024,
+			CostInPerMTok: 0.10, CostOutPerMTok: 0.40,
+			SyntaxErrRate: 0.10, DiscoverP: 0.35,
+		},
+		"GPT-4.1": {
+			Name: "GPT-4.1", Version: "gpt-4.1-2025-04-14", Cutoff: "06/2024",
+			TokensPerSecond: 90, PromptOverhead: 0.7,
+			CostInPerMTok: 2.0, CostOutPerMTok: 8.0,
+			SyntaxErrRate: 0.08, DiscoverP: 0.22,
+		},
+		"o4-mini": {
+			Name: "o4-mini", Version: "o4-mini-2025-04-16",
+			Reasoning: true, Cutoff: "06/2024",
+			TokensPerSecond: 80, PromptOverhead: 0.9, ReasoningTokens: 2048,
+			CostInPerMTok: 1.1, CostOutPerMTok: 4.4,
+			SyntaxErrRate: 0.06, DiscoverP: 0.33,
+		},
+		"Gemini2.5": {
+			Name: "Gemini2.5", Version: "gemini-2.5-flash-lite",
+			Reasoning: true, Cutoff: "01/2025",
+			TokensPerSecond: 230, PromptOverhead: 0.4, ReasoningTokens: 1024,
+			// Calibrated so 5,000 cases cost ~5.4 USD (paper §4.4).
+			CostInPerMTok: 0.08, CostOutPerMTok: 0.75,
+			SyntaxErrRate: 0.10, DiscoverP: 0.3,
+		},
+	}
+}
+
+// ProfileByName returns the named profile; it panics on unknown names to
+// surface configuration mistakes early.
+func ProfileByName(name string) Profile {
+	p, ok := Profiles()[name]
+	if !ok {
+		panic("llm: unknown model " + name)
+	}
+	return p
+}

@@ -1,0 +1,222 @@
+// Package lpo implements the paper's core contribution: the closed-loop
+// pipeline of Algorithm 1. For each candidate instruction sequence it
+// prompts the LLM, preprocesses the proposal with the optimizer (syntax
+// check + canonicalization), filters uninteresting candidates using the
+// static performance model, verifies refinement with the translation
+// validator, and — when a check fails — feeds the error message or
+// counterexample back to the LLM for another attempt.
+package lpo
+
+import (
+	"fmt"
+
+	"repro/internal/alive"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/mca"
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+// Config tunes the pipeline. The zero value reproduces the paper's settings
+// (ATTEMPT_LIMIT = 2, btver2 interestingness model).
+type Config struct {
+	AttemptLimit int         // max LLM attempts per sequence (paper: 2)
+	Opt          opt.Options // optimizer used for candidate preprocessing
+	Verify       alive.Options
+	CPU          *mca.CPUModel
+	// DisableInterestingness skips the interestingness filter (ablation).
+	DisableInterestingness bool
+	// DisableOptPreprocess skips running opt on candidates (ablation).
+	DisableOptPreprocess bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.AttemptLimit == 0 {
+		c.AttemptLimit = 2
+	}
+	if c.CPU == nil {
+		c.CPU = mca.BTVer2()
+	}
+	return c
+}
+
+// Outcome classifies one sequence's trip through the loop.
+type Outcome string
+
+// Outcomes.
+const (
+	Found         Outcome = "found"         // verified missed optimization
+	Uninteresting Outcome = "uninteresting" // candidate no better than the original
+	Refuted       Outcome = "refuted"       // all attempts failed verification
+	SyntaxFailed  Outcome = "syntax-failed" // all attempts failed to parse
+	NoProposal    Outcome = "no-proposal"   // LLM echoed the input
+	Errored       Outcome = "error"         // provider error
+)
+
+// Attempt records one iteration of the loop for reporting and tests.
+type Attempt struct {
+	Candidate string // raw LLM text (IR extracted)
+	Feedback  string // feedback generated FROM this attempt ("" if none)
+	Parsed    bool
+	Verified  bool
+}
+
+// Result is the outcome for one instruction sequence.
+type Result struct {
+	Outcome  Outcome
+	Src      *ir.Func
+	Cand     *ir.Func // verified candidate (Outcome == Found)
+	Attempts []Attempt
+	Usage    llm.Usage // accumulated over attempts
+	// Gain metrics for found optimizations.
+	InstrsBefore, InstrsAfter int
+	CyclesBefore, CyclesAfter int
+}
+
+// Pipeline binds the substrates together.
+type Pipeline struct {
+	Client llm.Client
+	Cfg    Config
+}
+
+// New builds a pipeline with the given client and config defaults applied.
+func New(client llm.Client, cfg Config) *Pipeline {
+	return &Pipeline{Client: client, Cfg: cfg.withDefaults()}
+}
+
+// prompt renders the initial user message for a sequence.
+func prompt(src *ir.Func) string {
+	return "Optimize the following LLVM IR instruction sequence. " +
+		"Reply with a complete function that is a correct refinement:\n\n" +
+		src.String()
+}
+
+// OptimizeSeq runs Algorithm 1's inner loop (lines 6-24) on one wrapped
+// sequence. round seeds the provider so repeated rounds resample.
+func (p *Pipeline) OptimizeSeq(src *ir.Func, round int) Result {
+	res := Result{Outcome: NoProposal, Src: src}
+	srcRep := mca.Analyze(src, p.Cfg.CPU)
+	res.InstrsBefore = srcRep.Instructions
+	res.CyclesBefore = srcRep.TotalCycles
+
+	messages := []llm.Message{
+		{Role: llm.RoleSystem, Content: llm.SystemPrompt},
+		{Role: llm.RoleUser, Content: prompt(src)},
+	}
+	sawRefutation := false
+	sawSyntaxError := false
+	for attempt := 0; attempt < p.Cfg.AttemptLimit; attempt++ {
+		resp, err := p.Client.Complete(llm.Request{
+			Model:    p.Client.Profile().Name,
+			Messages: messages,
+			Round:    round,
+		})
+		if err != nil {
+			res.Outcome = Errored
+			return res
+		}
+		res.Usage.InputTokens += resp.Usage.InputTokens
+		res.Usage.OutputTokens += resp.Usage.OutputTokens
+		res.Usage.VirtualSeconds += resp.Usage.VirtualSeconds
+		res.Usage.CostUSD += resp.Usage.CostUSD
+		messages = append(messages, llm.Message{Role: llm.RoleAssistant, Content: resp.Text})
+
+		att := Attempt{Candidate: llm.ExtractFunc(resp.Text)}
+		// Step 3: preprocess with opt — syntax check first.
+		cand, perr := parser.ParseFunc(att.Candidate)
+		if perr != nil {
+			att.Feedback = perr.Error()
+			res.Attempts = append(res.Attempts, att)
+			sawSyntaxError = true
+			messages = append(messages, llm.Message{Role: llm.RoleUser, Content: att.Feedback})
+			continue
+		}
+		att.Parsed = true
+		if !p.Cfg.DisableOptPreprocess {
+			cand = opt.Run(cand, p.Cfg.Opt)
+		}
+		// Step 4: interestingness.
+		if !p.Cfg.DisableInterestingness && !Interesting(src, cand, p.Cfg.CPU) {
+			res.Attempts = append(res.Attempts, att)
+			res.Outcome = NoProposal
+			if ir.Hash(cand) != ir.Hash(src) {
+				res.Outcome = Uninteresting
+			}
+			return res // Alg. 1 line 16: abandon the sequence.
+		}
+		// Step 5: correctness.
+		verdict := alive.Verify(src, cand, p.Cfg.Verify)
+		switch verdict.Verdict {
+		case alive.Correct:
+			att.Verified = true
+			res.Attempts = append(res.Attempts, att)
+			res.Outcome = Found
+			res.Cand = cand
+			rep := mca.Analyze(cand, p.Cfg.CPU)
+			res.InstrsAfter = rep.Instructions
+			res.CyclesAfter = rep.TotalCycles
+			return res
+		case alive.Incorrect:
+			att.Feedback = verdict.CE.Format()
+		case alive.Unsupported:
+			att.Feedback = verdict.Err
+		}
+		res.Attempts = append(res.Attempts, att)
+		sawRefutation = true
+		messages = append(messages, llm.Message{Role: llm.RoleUser, Content: att.Feedback})
+	}
+	switch {
+	case sawRefutation:
+		res.Outcome = Refuted
+	case sawSyntaxError:
+		res.Outcome = SyntaxFailed
+	}
+	return res
+}
+
+// Interesting implements the paper's §3.3 check: a candidate is worth
+// verifying if it has fewer instructions, fewer estimated cycles, or the
+// same of both while being syntactically different (enabling later folds).
+func Interesting(src, cand *ir.Func, cpu *mca.CPUModel) bool {
+	sr := mca.Analyze(src, cpu)
+	cr := mca.Analyze(cand, cpu)
+	if cr.Instructions < sr.Instructions || cr.TotalCycles < sr.TotalCycles {
+		return true
+	}
+	return cr.Instructions == sr.Instructions && cr.TotalCycles == sr.TotalCycles &&
+		ir.Hash(src) != ir.Hash(cand)
+}
+
+// Stats aggregates a batch run.
+type Stats struct {
+	Sequences int
+	ByOutcome map[Outcome]int
+	Usage     llm.Usage
+}
+
+// RunBatch processes a list of wrapped sequences (Alg. 1 lines 5-24) and
+// returns the found optimizations plus aggregate statistics.
+func (p *Pipeline) RunBatch(seqs []*ir.Func, round int) ([]Result, Stats) {
+	stats := Stats{ByOutcome: make(map[Outcome]int)}
+	var found []Result
+	for _, s := range seqs {
+		r := p.OptimizeSeq(s, round)
+		stats.Sequences++
+		stats.ByOutcome[r.Outcome]++
+		stats.Usage.InputTokens += r.Usage.InputTokens
+		stats.Usage.OutputTokens += r.Usage.OutputTokens
+		stats.Usage.VirtualSeconds += r.Usage.VirtualSeconds
+		stats.Usage.CostUSD += r.Usage.CostUSD
+		if r.Outcome == Found {
+			found = append(found, r)
+		}
+	}
+	return found, stats
+}
+
+// String renders a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d->%d instrs, %d->%d cycles",
+		r.Outcome, r.InstrsBefore, r.InstrsAfter, r.CyclesBefore, r.CyclesAfter)
+}

@@ -1,0 +1,215 @@
+package lpo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alive"
+	"repro/internal/benchdata"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/parser"
+)
+
+// calibratedSim builds a Sim whose calibration forces deterministic-enough
+// behaviour for a benchmark: Plus=5/Minus=5 always finds on attempt 1,
+// Minus=0/Plus=5 always needs the feedback round, 0/0 never finds.
+func calibratedSim(t *testing.T, model string, src *ir.Func, c llm.Calibration) *llm.Sim {
+	t.Helper()
+	sim := llm.NewSim(model, 7)
+	sim.Calibrate(ir.Hash(src), c)
+	return sim
+}
+
+func clampCase() benchdata.Pair {
+	for _, c := range benchdata.RQ1Cases() {
+		if c.IssueID == "110591" {
+			return c.Pair
+		}
+	}
+	panic("missing case")
+}
+
+func TestPipelineFindsClampFirstAttempt(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := p.OptimizeSeq(src, 0)
+	if res.Outcome != Found {
+		t.Fatalf("expected Found, got %v (attempts: %+v)", res.Outcome, res.Attempts)
+	}
+	if len(res.Attempts) != 1 || !res.Attempts[0].Verified {
+		t.Fatalf("expected a single verified attempt, got %+v", res.Attempts)
+	}
+	if res.InstrsAfter >= res.InstrsBefore {
+		t.Fatalf("found optimization should shrink the window: %d -> %d",
+			res.InstrsBefore, res.InstrsAfter)
+	}
+	if !strings.Contains(res.Cand.String(), "llvm.smax") {
+		t.Fatalf("expected the smax rewrite, got:\n%s", res.Cand)
+	}
+}
+
+func TestPipelineUsesFeedbackLoop(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 0, Plus: 5})
+	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := p.OptimizeSeq(src, 0)
+	if res.Outcome != Found {
+		t.Fatalf("expected Found via feedback, got %v (attempts: %+v)", res.Outcome, res.Attempts)
+	}
+	if len(res.Attempts) != 2 {
+		t.Fatalf("expected two attempts, got %d", len(res.Attempts))
+	}
+	first := res.Attempts[0]
+	if first.Verified {
+		t.Fatal("first attempt should have failed")
+	}
+	if first.Feedback == "" {
+		t.Fatal("first attempt should have produced feedback")
+	}
+	// The feedback is either an opt-style syntax diagnostic or an
+	// Alive2-style counterexample (the paper's two repair channels).
+	if !strings.Contains(first.Feedback, "error:") &&
+		!strings.Contains(first.Feedback, "Transformation doesn't verify!") {
+		t.Fatalf("unexpected feedback: %q", first.Feedback)
+	}
+	if !res.Attempts[1].Verified {
+		t.Fatal("second attempt should verify")
+	}
+}
+
+func TestAttemptLimitOneDisablesFeedback(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 0, Plus: 5})
+	p := New(sim, Config{AttemptLimit: 1, Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := p.OptimizeSeq(src, 0)
+	if res.Outcome == Found {
+		t.Fatal("LPO- (no feedback) should not find this calibrated case")
+	}
+	if len(res.Attempts) != 1 {
+		t.Fatalf("expected one attempt, got %d", len(res.Attempts))
+	}
+}
+
+func TestNoProposalWhenModelCannotFind(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemma3", src, llm.Calibration{Minus: 0, Plus: 0})
+	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
+	res := p.OptimizeSeq(src, 0)
+	if res.Outcome == Found {
+		t.Fatal("calibrated-to-zero case should never be found")
+	}
+}
+
+func TestHallucinationsAreRefutedNotAccepted(t *testing.T) {
+	// Run many rounds on a case where the model often needs feedback; no
+	// wrong candidate may ever be recorded as Found with a failing verify.
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "GPT-4.1", src, llm.Calibration{Minus: 1, Plus: 4})
+	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 5}})
+	foundRounds := 0
+	for round := 0; round < 20; round++ {
+		res := p.OptimizeSeq(src, round)
+		if res.Outcome == Found {
+			foundRounds++
+			r := alive.Verify(src, res.Cand, alive.Options{Samples: 2048, Seed: uint64(round)})
+			if r.Verdict != alive.Correct {
+				t.Fatalf("round %d: accepted candidate fails re-verification:\n%s", round, res.Cand)
+			}
+		}
+	}
+	if foundRounds == 0 {
+		t.Fatal("expected some rounds to succeed")
+	}
+	if foundRounds == 20 {
+		t.Fatal("expected some rounds to fail (calibration is 4/5)")
+	}
+}
+
+func TestInterestingnessRules(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	src := parser.MustParseFunc(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  %b = add i8 %a, 2
+  ret i8 %b
+}`)
+	smaller := parser.MustParseFunc(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 3
+  ret i8 %a
+}`)
+	identical := parser.MustParseFunc(src.String())
+	differentSameSize := parser.MustParseFunc(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 2
+  %b = add i8 %a, 1
+  ret i8 %b
+}`)
+	if !Interesting(src, smaller, cfg.CPU) {
+		t.Fatal("fewer instructions must be interesting")
+	}
+	if Interesting(src, identical, cfg.CPU) {
+		t.Fatal("identical candidate must be uninteresting")
+	}
+	if !Interesting(src, differentSameSize, cfg.CPU) {
+		t.Fatal("same-size but different candidate must be interesting")
+	}
+	slower := parser.MustParseFunc(`define i8 @f(i8 %x) {
+  %a = udiv i8 %x, 3
+  %b = mul i8 %a, 3
+  ret i8 %b
+}`)
+	if Interesting(src, slower, cfg.CPU) {
+		t.Fatal("slower same-count candidate must be uninteresting")
+	}
+}
+
+func TestRunBatchAggregates(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	other := parser.MustParseFunc(`define i8 @g(i8 %x, i8 %y) {
+  %a = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = xor i8 %a, %o
+  ret i8 %r
+}`)
+	sim := llm.NewSim("Gemini2.0T", 7)
+	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 5, Plus: 5})
+	sim.Calibrate(ir.Hash(other), llm.Calibration{Minus: 5, Plus: 5})
+	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
+	found, stats := p.RunBatch([]*ir.Func{src, other}, 0)
+	if len(found) != 2 {
+		t.Fatalf("expected 2 found, got %d (%v)", len(found), stats.ByOutcome)
+	}
+	if stats.Sequences != 2 || stats.Usage.VirtualSeconds <= 0 {
+		t.Fatalf("stats not aggregated: %+v", stats)
+	}
+}
+
+func TestFigure3SyntaxErrorLoop(t *testing.T) {
+	// Reproduce the paper's Figure 3 walk: force the syntax-error channel by
+	// scanning rounds until the first attempt is a parse failure, then check
+	// the loop recovers using the opt error message.
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := llm.NewSim("Gemini2.0T", 7)
+	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 0, Plus: 5})
+	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
+	for round := 0; round < 64; round++ {
+		res := p.OptimizeSeq(src, round)
+		if len(res.Attempts) == 2 && !res.Attempts[0].Parsed {
+			if !strings.Contains(res.Attempts[0].Feedback, "error:") {
+				t.Fatalf("syntax feedback missing opt-style message: %q", res.Attempts[0].Feedback)
+			}
+			if res.Outcome != Found {
+				t.Fatalf("loop should recover from the syntax error, got %v", res.Outcome)
+			}
+			return
+		}
+	}
+	t.Fatal("syntax-error channel never fired in 64 rounds")
+}

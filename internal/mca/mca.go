@@ -1,0 +1,201 @@
+// Package mca is a static machine-code performance estimator in the spirit
+// of llvm-mca: given a straight-line instruction window, it reports the
+// instruction count and an estimated total cycle count for a fixed number of
+// iterations on a simple out-of-order CPU model.
+//
+// The paper's interestingness check (§3.3) compares the original and
+// candidate windows on exactly two metrics — instruction count and llvm-mca
+// "Total Cycles" on a btver2-like target — so the model only needs to rank
+// windows, not to predict absolute performance. The estimator models three
+// bounds and takes the max, which is how llvm-mca's steady state behaves for
+// windows without loop-carried dependencies:
+//
+//	cyclesPerIter = max(resource pressure, uops / dispatch width)
+//	total         = iterations * cyclesPerIter + pipeline fill (critical path)
+package mca
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// InstClass buckets opcodes by execution resource.
+type InstClass int
+
+// Instruction classes.
+const (
+	ClassALU InstClass = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassFCmp
+	ClassMinMax
+	ClassCast
+	ClassSelect
+	ClassShuffle
+	ClassFree // constants-only artifacts; never emitted
+)
+
+// Cost is the latency / reciprocal-throughput / micro-op triple of a class.
+type Cost struct {
+	Latency     int
+	RThroughput float64
+	MicroOps    int
+}
+
+// CPUModel is a named cost table.
+type CPUModel struct {
+	Name          string
+	DispatchWidth int
+	Costs         map[InstClass]Cost
+	// VectorFactor scales throughput cost for each 128 bits of vector width
+	// beyond the first (AMD Jaguar splits 256-bit ops).
+	VectorFactor float64
+}
+
+// BTVer2 approximates AMD Jaguar (the btver2 target the paper uses with
+// llvm-mca). Values follow the published instruction tables' orders of
+// magnitude; only relative ranking matters for the interestingness check.
+func BTVer2() *CPUModel {
+	return &CPUModel{
+		Name:          "btver2",
+		DispatchWidth: 2,
+		VectorFactor:  2,
+		Costs: map[InstClass]Cost{
+			ClassALU:     {Latency: 1, RThroughput: 0.5, MicroOps: 1},
+			ClassMul:     {Latency: 3, RThroughput: 1, MicroOps: 1},
+			ClassDiv:     {Latency: 25, RThroughput: 25, MicroOps: 2},
+			ClassLoad:    {Latency: 5, RThroughput: 1, MicroOps: 1},
+			ClassStore:   {Latency: 3, RThroughput: 1, MicroOps: 1},
+			ClassFPAdd:   {Latency: 3, RThroughput: 1, MicroOps: 1},
+			ClassFPMul:   {Latency: 2, RThroughput: 1, MicroOps: 1},
+			ClassFPDiv:   {Latency: 19, RThroughput: 19, MicroOps: 1},
+			ClassFCmp:    {Latency: 2, RThroughput: 1, MicroOps: 1},
+			ClassMinMax:  {Latency: 1, RThroughput: 0.5, MicroOps: 1},
+			ClassCast:    {Latency: 1, RThroughput: 0.5, MicroOps: 1},
+			ClassSelect:  {Latency: 1, RThroughput: 0.5, MicroOps: 1},
+			ClassShuffle: {Latency: 1, RThroughput: 0.5, MicroOps: 1},
+		},
+	}
+}
+
+// Classify buckets an instruction.
+func Classify(in *ir.Instr) InstClass {
+	switch in.Op {
+	case ir.OpMul:
+		return ClassMul
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		return ClassDiv
+	case ir.OpLoad:
+		return ClassLoad
+	case ir.OpStore:
+		return ClassStore
+	case ir.OpFAdd, ir.OpFSub, ir.OpFNeg:
+		return ClassFPAdd
+	case ir.OpFMul:
+		return ClassFPMul
+	case ir.OpFDiv:
+		return ClassFPDiv
+	case ir.OpFCmp:
+		return ClassFCmp
+	case ir.OpSelect:
+		return ClassSelect
+	case ir.OpCall:
+		switch ir.IntrinsicBase(in.Callee) {
+		case "umin", "umax", "smin", "smax", "abs":
+			return ClassMinMax
+		case "fshl", "fshr", "bswap", "bitreverse", "ctpop", "ctlz", "cttz":
+			return ClassALU
+		case "fabs", "minnum", "maxnum":
+			return ClassFPAdd
+		default:
+			return ClassALU
+		}
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc, ir.OpBitcast, ir.OpFPExt,
+		ir.OpFPTrunc, ir.OpSIToFP, ir.OpUIToFP, ir.OpFPToSI, ir.OpFPToUI,
+		ir.OpPtrToInt, ir.OpIntToPtr:
+		return ClassCast
+	case ir.OpExtractElt, ir.OpInsertElt, ir.OpShuffle:
+		return ClassShuffle
+	default:
+		return ClassALU
+	}
+}
+
+// Report is the analysis result.
+type Report struct {
+	Model        string
+	Iterations   int
+	Instructions int     // static instruction count (terminators excluded)
+	MicroOps     int     // per iteration
+	TotalCycles  int     // estimated cycles for Iterations iterations
+	RThroughput  float64 // block reciprocal throughput (cycles/iteration)
+	CriticalPath int     // latency of the longest dependency chain
+}
+
+// DefaultIterations matches llvm-mca's default of 100 iterations.
+const DefaultIterations = 100
+
+// Analyze estimates the performance of f's straight-line body on the model.
+// GEPs fold into addressing modes and are free, as llvm-mca reports for x86.
+func Analyze(f *ir.Func, model *CPUModel) Report {
+	return AnalyzeIterations(f, model, DefaultIterations)
+}
+
+// AnalyzeIterations is Analyze with an explicit iteration count.
+func AnalyzeIterations(f *ir.Func, model *CPUModel, iterations int) Report {
+	rep := Report{Model: model.Name, Iterations: iterations}
+	depth := make(map[ir.Value]int) // finish time of each value's def chain
+	var resource float64
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.IsTerminator() || in.Op == ir.OpPhi {
+				continue
+			}
+			if in.Op == ir.OpGEP {
+				// Address computation folds into the memory operation.
+				start := 0
+				for _, a := range in.Args {
+					if d, ok := depth[a]; ok && d > start {
+						start = d
+					}
+				}
+				depth[in] = start
+				continue
+			}
+			rep.Instructions++
+			cls := Classify(in)
+			cost := model.Costs[cls]
+			scale := 1.0
+			if v, ok := in.Ty.(ir.VecType); ok {
+				bits := v.N * ir.ScalarBits(v.Elem)
+				if bits > 128 {
+					scale = model.VectorFactor * float64((bits+127)/128) / 2
+				}
+			}
+			rep.MicroOps += cost.MicroOps
+			resource += cost.RThroughput * scale
+			start := 0
+			for _, a := range in.Args {
+				if d, ok := depth[a]; ok && d > start {
+					start = d
+				}
+			}
+			finish := start + cost.Latency
+			depth[in] = finish
+			if finish > rep.CriticalPath {
+				rep.CriticalPath = finish
+			}
+		}
+	}
+	dispatchBound := float64(rep.MicroOps) / float64(model.DispatchWidth)
+	perIter := math.Max(resource, dispatchBound)
+	rep.RThroughput = perIter
+	rep.TotalCycles = int(math.Ceil(float64(iterations)*perIter)) + rep.CriticalPath
+	return rep
+}

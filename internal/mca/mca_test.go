@@ -1,0 +1,113 @@
+package mca
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func TestFewerInstructionsFewerCycles(t *testing.T) {
+	src := parser.MustParseFunc(`define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`)
+	tgt := parser.MustParseFunc(`define i8 @tgt(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}`)
+	m := BTVer2()
+	rs := Analyze(src, m)
+	rt := Analyze(tgt, m)
+	if rs.Instructions != 4 || rt.Instructions != 3 {
+		t.Fatalf("instruction counts: src=%d tgt=%d", rs.Instructions, rt.Instructions)
+	}
+	if rt.TotalCycles >= rs.TotalCycles {
+		t.Fatalf("tgt should be faster: src=%d tgt=%d cycles", rs.TotalCycles, rt.TotalCycles)
+	}
+}
+
+func TestDivisionDominatesCost(t *testing.T) {
+	div := parser.MustParseFunc(`define i32 @f(i32 %x, i32 %y) {
+  %r = udiv i32 %x, %y
+  ret i32 %r
+}`)
+	add := parser.MustParseFunc(`define i32 @f(i32 %x, i32 %y) {
+  %r = add i32 %x, %y
+  ret i32 %r
+}`)
+	m := BTVer2()
+	if Analyze(div, m).TotalCycles <= 5*Analyze(add, m).TotalCycles {
+		t.Fatal("division should be far more expensive than addition")
+	}
+}
+
+func TestGEPIsFree(t *testing.T) {
+	withGEP := parser.MustParseFunc(`define i32 @f(ptr %p, i64 %i) {
+  %g = getelementptr i32, ptr %p, i64 %i
+  %v = load i32, ptr %g
+  ret i32 %v
+}`)
+	plain := parser.MustParseFunc(`define i32 @f(ptr %p) {
+  %v = load i32, ptr %p
+  ret i32 %v
+}`)
+	m := BTVer2()
+	a, b := Analyze(withGEP, m), Analyze(plain, m)
+	if a.Instructions != b.Instructions {
+		t.Fatalf("GEP should not count as an instruction: %d vs %d", a.Instructions, b.Instructions)
+	}
+	if a.TotalCycles != b.TotalCycles {
+		t.Fatalf("GEP should be free: %d vs %d cycles", a.TotalCycles, b.TotalCycles)
+	}
+}
+
+func TestCriticalPathReflectsDependencies(t *testing.T) {
+	chain := parser.MustParseFunc(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = add i32 %a, 2
+  %c = add i32 %b, 3
+  %d = add i32 %c, 4
+  ret i32 %d
+}`)
+	wide := parser.MustParseFunc(`define i32 @f(i32 %x) {
+  %a = add i32 %x, 1
+  %b = add i32 %x, 2
+  %c = add i32 %x, 3
+  %d = add i32 %x, 4
+  ret i32 %d
+}`)
+	m := BTVer2()
+	rc, rw := Analyze(chain, m), Analyze(wide, m)
+	if rc.CriticalPath <= rw.CriticalPath {
+		t.Fatalf("dependency chain should have a longer critical path: %d vs %d",
+			rc.CriticalPath, rw.CriticalPath)
+	}
+}
+
+func TestWideVectorsCostMore(t *testing.T) {
+	narrow := parser.MustParseFunc(`define <4 x i32> @f(<4 x i32> %v) {
+  %r = add <4 x i32> %v, %v
+  ret <4 x i32> %r
+}`)
+	wide := parser.MustParseFunc(`define <8 x i32> @f(<8 x i32> %v) {
+  %r = add <8 x i32> %v, %v
+  ret <8 x i32> %r
+}`)
+	m := BTVer2()
+	if Analyze(wide, m).RThroughput <= Analyze(narrow, m).RThroughput {
+		t.Fatal("256-bit vector ops should have higher reciprocal throughput")
+	}
+}
+
+func TestEmptyBodyZeroCost(t *testing.T) {
+	f := parser.MustParseFunc(`define i32 @f(i32 %x) { ret i32 %x }`)
+	r := Analyze(f, BTVer2())
+	if r.Instructions != 0 || r.TotalCycles != 0 {
+		t.Fatalf("empty body should be free: %+v", r)
+	}
+}

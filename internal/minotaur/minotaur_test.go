@@ -1,0 +1,78 @@
+package minotaur
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/parser"
+)
+
+func TestCrashesOnFloatingPoint(t *testing.T) {
+	// The paper's case study 3: "Minotaur crashes on this IR function".
+	pair := benchdata.FindingByID("133367").Pair
+	res := Optimize(parser.MustParseFunc(pair.Src), Options{})
+	if !res.Crashed {
+		t.Fatalf("expected a crash on the FP window: %+v", res)
+	}
+}
+
+func TestFindsScalarIdentity(t *testing.T) {
+	src := parser.MustParseFunc(`define i8 @src(i8 %x) {
+  %a = and i8 %x, -16
+  %b = and i8 %x, 15
+  %r = or i8 %a, %b
+  ret i8 %r
+}`)
+	res := Optimize(src, Options{})
+	if !res.Found || res.Candidate.NumInstrs(true) != 0 {
+		t.Fatalf("expected the identity to be found: %+v", res)
+	}
+}
+
+func TestFindsVectorDepthOne(t *testing.T) {
+	pair := benchdata.FindingByID("163110").Pair // vec sub(or,and) -> xor
+	res := Optimize(parser.MustParseFunc(pair.Src), Options{})
+	if !res.Found {
+		t.Fatalf("expected the vector xor rewrite: %+v", res)
+	}
+}
+
+func TestMissesUmaxChain(t *testing.T) {
+	// Paper: "Although Minotaur supports synthesizing this operation, it
+	// fails to detect the missed optimization" (case study 2).
+	pair := benchdata.FindingByID("142711").Pair
+	res := Optimize(parser.MustParseFunc(pair.Src), Options{})
+	if res.Found || res.Crashed || res.Unsupported {
+		t.Fatalf("umax chain should be supported but not found: %+v", res)
+	}
+}
+
+func TestRejectsUnsupportedWindows(t *testing.T) {
+	cases := []string{
+		`define i32 @f(i32 %x) { %c = icmp eq i32 %x, 0 %r = select i1 %c, i32 0, i32 %x ret i32 %r }`,
+		`define i8 @f(ptr %p) { %r = load i8, ptr %p ret i8 %r }`,
+		`define i8 @f(i8 %x) { %r = udiv i8 %x, 3 ret i8 %r }`,
+		`define i16 @f(i8 %x) { %r = zext i8 %x to i16 ret i16 %r }`,
+	}
+	for _, src := range cases {
+		res := Optimize(parser.MustParseFunc(src), Options{})
+		if !res.Unsupported {
+			t.Errorf("window should be unsupported: %s (%+v)", src, res)
+		}
+	}
+}
+
+// Emergence test: our Minotaur must detect exactly the paper's 3 RQ1 cases.
+func TestRQ1EmergentTotal(t *testing.T) {
+	found := map[string]bool{}
+	for _, c := range benchdata.RQ1Cases() {
+		src := parser.MustParseFunc(c.Pair.Src)
+		if Optimize(src, Options{Seed: 1}).Found {
+			found[c.IssueID] = true
+		}
+	}
+	if len(found) != benchdata.PaperRQ1Baselines.Minotaur {
+		t.Fatalf("minotaur found %d (%v), paper says %d",
+			len(found), found, benchdata.PaperRQ1Baselines.Minotaur)
+	}
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// canonicalize applies in-place rewrites that keep the instruction but
+// normalize its shape: constants on the right-hand side, sub->add,
+// mul-by-power-of-two->shl, reassociation of constant chains, and min/max
+// chain compression. It reports whether the instruction changed.
+func (t *transform) canonicalize(in *ir.Instr) bool {
+	changed := false
+	switch {
+	case in.Op.IsIntBinary() && in.Op.IsCommutative():
+		// Constant operands go on the RHS (LLVM's complexity ordering).
+		if ir.IsConst(in.Args[0]) && !ir.IsConst(in.Args[1]) {
+			in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			changed = true
+		}
+	case in.Op == ir.OpICmp:
+		if ir.IsConst(in.Args[0]) && !ir.IsConst(in.Args[1]) {
+			in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+			in.IPredV = in.IPredV.Swapped()
+			changed = true
+		}
+	case in.Op == ir.OpCall:
+		switch ir.IntrinsicBase(in.Callee) {
+		case "umin", "umax", "smin", "smax":
+			if len(in.Args) == 2 && ir.IsConst(in.Args[0]) && !ir.IsConst(in.Args[1]) {
+				in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+				changed = true
+			}
+		}
+	}
+
+	// sub X, C -> add X, -C.
+	if in.Op == ir.OpSub && ir.IsInt(in.Ty) {
+		if c, ok := constIntOf(in.Args[1]); ok {
+			w := scalarWidth(in)
+			in.Op = ir.OpAdd
+			in.Args[1] = ir.SplatInt(in.Ty, -ir.SignExt(c, w))
+			in.Flags = ir.NoFlags
+			changed = true
+		}
+	}
+
+	// mul X, 2^k -> shl X, k (flags carry over).
+	if in.Op == ir.OpMul {
+		if c, ok := constIntOf(in.Args[1]); ok && c != 0 && c&(c-1) == 0 && c != 1 {
+			k := int64(0)
+			for v := c; v > 1; v >>= 1 {
+				k++
+			}
+			in.Op = ir.OpShl
+			in.Args[1] = ir.SplatInt(in.Ty, k)
+			changed = true
+		}
+	}
+
+	// Reassociate constant chains: (X op C1) op C2 -> X op (C1 # C2).
+	if in.Op == ir.OpAdd || in.Op == ir.OpAnd || in.Op == ir.OpOr || in.Op == ir.OpXor || in.Op == ir.OpMul {
+		if c2, ok := constIntOf(in.Args[1]); ok {
+			if inner, ok2 := asInstr(in.Args[0], in.Op); ok2 {
+				if c1, ok3 := constIntOf(inner.Args[1]); ok3 {
+					w := scalarWidth(in)
+					mask := ir.MaskW(w)
+					var folded uint64
+					switch in.Op {
+					case ir.OpAdd:
+						folded = (c1 + c2) & mask
+					case ir.OpAnd:
+						folded = c1 & c2
+					case ir.OpOr:
+						folded = c1 | c2
+					case ir.OpXor:
+						folded = c1 ^ c2
+					case ir.OpMul:
+						folded = (c1 * c2) & mask
+					}
+					in.Args[0] = inner.Args[0]
+					in.Args[1] = ir.SplatInt(in.Ty, ir.SignExt(folded, w))
+					in.Flags = ir.NoFlags
+					changed = true
+				}
+			}
+		}
+	}
+
+	// shl (shl X, C1), C2 -> shl X, C1+C2 when in range.
+	if in.Op == ir.OpShl {
+		if c2, ok := constIntOf(in.Args[1]); ok {
+			if inner, ok2 := asInstr(in.Args[0], ir.OpShl); ok2 {
+				if c1, ok3 := constIntOf(inner.Args[1]); ok3 {
+					w := uint64(scalarWidth(in))
+					if c1+c2 < w {
+						in.Args[0] = inner.Args[0]
+						in.Args[1] = ir.SplatInt(in.Ty, int64(c1+c2))
+						in.Flags = ir.NoFlags
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Compress min/max chains with constants:
+	// umin(umin(X, C1), C2) -> umin(X, min(C1, C2)), etc.
+	if in.Op == ir.OpCall && len(in.Args) == 2 {
+		base := ir.IntrinsicBase(in.Callee)
+		switch base {
+		case "umin", "umax", "smin", "smax":
+			if c2, ok := constIntOf(in.Args[1]); ok {
+				if inner, ok2 := asIntrinsic(in.Args[0], base); ok2 && len(inner.Args) == 2 {
+					if c1, ok3 := constIntOf(inner.Args[1]); ok3 {
+						w := uint64(scalarWidth(in))
+						var folded uint64
+						switch base {
+						case "umin":
+							folded = uminU(c1, c2)
+						case "umax":
+							folded = umaxU(c1, c2)
+						case "smin":
+							folded = sminS(c1, c2, w)
+						case "smax":
+							folded = smaxS(c1, c2, w)
+						}
+						in.Args[0] = inner.Args[0]
+						in.Args[1] = ir.SplatInt(in.Ty, ir.SignExt(folded, int(w)))
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Compose conversion chains of the same direction:
+	// zext (zext X) -> zext X, sext (sext X) -> sext X, trunc (trunc X) -> trunc X.
+	if in.Op == ir.OpZExt || in.Op == ir.OpSExt || in.Op == ir.OpTrunc {
+		if inner, ok := asInstr(in.Args[0], in.Op); ok {
+			in.Args[0] = inner.Args[0]
+			in.Flags = ir.NoFlags
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,224 @@
+// Package opt models LLVM's `opt -O3` on peephole-sized IR: an
+// InstCombine-style pattern rewriter plus constant folding, operand
+// canonicalization and dead code elimination, run to a fixpoint.
+//
+// The rule base intentionally reproduces only the *baseline* optimizer: the
+// paper's benchmark suites are missed optimizations, i.e. rewrites the
+// baseline must NOT perform. Fixes that later landed in LLVM are modelled as
+// patch rules that can be switched on individually (Options.Patches), which
+// is how the Table 5 / Figure 5 experiments compare compiler versions.
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// MaxIters bounds the number of fixpoint iterations (default 25).
+	MaxIters int
+	// Patches enables the named patch rules (issue IDs from the paper's
+	// Table 5), modelling LLVM after the corresponding fix landed.
+	Patches []string
+	// DisableIntrinsicCanon turns off the select->min/max canonicalization
+	// family; used by ablation benchmarks.
+	DisableIntrinsicCanon bool
+}
+
+// RunO3 optimizes a clone of f with the default baseline pipeline.
+func RunO3(f *ir.Func) *ir.Func { return Run(f, Options{}) }
+
+// Run optimizes a clone of f according to opts and returns the result.
+// The input function is never mutated.
+func Run(f *ir.Func, opts Options) *ir.Func {
+	maxIters := opts.MaxIters
+	if maxIters == 0 {
+		maxIters = 25
+	}
+	g := ir.CloneFunc(f)
+	patches := make(map[string]bool, len(opts.Patches))
+	for _, p := range opts.Patches {
+		patches[p] = true
+	}
+	tr := &transform{fn: g, patches: patches, noIntrinsicCanon: opts.DisableIntrinsicCanon}
+	tr.seedNames()
+	for iter := 0; iter < maxIters; iter++ {
+		changed := tr.iterate()
+		changed = tr.dce() || changed
+		if !changed {
+			break
+		}
+	}
+	return g
+}
+
+// transform holds the per-run rewriting state.
+type transform struct {
+	fn               *ir.Func
+	patches          map[string]bool
+	noIntrinsicCanon bool
+
+	repl  map[ir.Value]ir.Value
+	used  map[string]bool
+	fresh int
+}
+
+func (t *transform) seedNames() {
+	t.used = make(map[string]bool)
+	for _, p := range t.fn.Params {
+		t.used[p.Nm] = true
+	}
+	for _, in := range t.fn.Instrs() {
+		if in.HasResult() {
+			t.used[in.Nm] = true
+		}
+	}
+}
+
+func (t *transform) freshName() string {
+	for {
+		name := "t" + itoa(t.fresh)
+		t.fresh++
+		if !t.used[name] {
+			t.used[name] = true
+			return name
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// resolve follows the replacement map transitively.
+func (t *transform) resolve(v ir.Value) ir.Value {
+	for {
+		n, ok := t.repl[v]
+		if !ok {
+			return v
+		}
+		v = n
+	}
+}
+
+// iterate runs one rewriting sweep over the function; it reports whether
+// anything changed.
+func (t *transform) iterate() bool {
+	changed := false
+	t.repl = make(map[ir.Value]ir.Value)
+	for _, b := range t.fn.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			// Rewrite operands through the replacement map first.
+			for ai, a := range in.Args {
+				if r := t.resolve(a); r != a {
+					in.Args[ai] = r
+					changed = true
+				}
+			}
+			// 1. Constant folding.
+			if c, ok := t.constFold(in); ok {
+				t.repl[in] = c
+				changed = true
+				continue
+			}
+			// 2. In-place canonicalization (operand order, op strength).
+			if t.canonicalize(in) {
+				changed = true
+			}
+			// 3. Value simplification: replace with an existing value or
+			//    constant.
+			if v, ok := t.simplify(in); ok {
+				t.repl[in] = v
+				changed = true
+				continue
+			}
+			// 4. Rewrites that emit replacement instructions. A rule may
+			//    also delete a void instruction outright (nil value).
+			if news, v, ok := t.rewrite(in, out); ok {
+				out = append(out, news...)
+				if v != nil {
+					t.repl[in] = v
+				}
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	// Phi operands and later-block uses may still reference replaced values.
+	if len(t.repl) > 0 {
+		for _, b := range t.fn.Blocks {
+			for _, in := range b.Instrs {
+				for ai, a := range in.Args {
+					if r := t.resolve(a); r != a {
+						in.Args[ai] = r
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// dce removes instructions whose results are unused and that have no side
+// effects; it reports whether anything was removed.
+func (t *transform) dce() bool {
+	live := make(map[*ir.Instr]bool)
+	var mark func(v ir.Value)
+	mark = func(v ir.Value) {
+		in, ok := v.(*ir.Instr)
+		if !ok || live[in] {
+			return
+		}
+		live[in] = true
+		for _, a := range in.Args {
+			mark(a)
+		}
+	}
+	for _, b := range t.fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasSideEffects() || in.IsTerminator() || in.Op == ir.OpPhi {
+				mark(in)
+			}
+		}
+	}
+	changed := false
+	for _, b := range t.fn.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			if live[in] {
+				out = append(out, in)
+			} else {
+				changed = true
+			}
+		}
+		b.Instrs = out
+	}
+	return changed
+}
+
+// EnabledPatches lists the patch rule names compiled into the optimizer, in
+// sorted order. Used by documentation and the experiment harness.
+func EnabledPatches() []string {
+	names := make([]string, 0, len(patchRules))
+	for n := range patchRules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

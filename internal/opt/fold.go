@@ -1,0 +1,121 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// constFold evaluates an instruction whose operands are all constants by
+// executing it in the interpreter, and converts the result back into a
+// constant. Folding is skipped when evaluation would be UB (e.g. division
+// by a constant zero must be preserved) or when the opcode touches memory
+// or control flow.
+func (t *transform) constFold(in *ir.Instr) (ir.Value, bool) {
+	switch in.Op {
+	case ir.OpLoad, ir.OpStore, ir.OpGEP, ir.OpPhi, ir.OpBr, ir.OpRet,
+		ir.OpUnreachable, ir.OpPtrToInt, ir.OpIntToPtr:
+		return nil, false
+	case ir.OpCall:
+		if !interp.SupportedIntrinsic(in.Callee) {
+			return nil, false
+		}
+	}
+	if !in.HasResult() {
+		return nil, false
+	}
+	for _, a := range in.Args {
+		if !ir.IsConst(a) {
+			return nil, false
+		}
+		if _, isUndef := a.(*ir.Undef); isUndef {
+			// Folding undef requires choice semantics; leave it alone.
+			return nil, false
+		}
+	}
+	// Wrap the single instruction into a zero-parameter function and run it.
+	clone := &ir.Instr{
+		Op: in.Op, Nm: "v", Ty: in.Ty, Args: append([]ir.Value(nil), in.Args...),
+		IPredV: in.IPredV, FPredV: in.FPredV, Flags: in.Flags,
+		Callee: in.Callee, ElemTy: in.ElemTy, Align: in.Align,
+	}
+	fn := ir.NewFunc("fold", in.Ty, nil, []*ir.Instr{clone, ir.RetI(clone)})
+	res := interp.Exec(fn, interp.Env{})
+	if res.UB || !res.Completed {
+		return nil, false
+	}
+	return ConstFromRVal(in.Ty, res.Ret)
+}
+
+// ConstFromRVal converts an interpreter value back into an IR constant.
+func ConstFromRVal(ty ir.Type, rv interp.RVal) (ir.Value, bool) {
+	elem := ir.Elem(ty)
+	one := func(l interp.Word) (ir.Value, bool) {
+		if l.Poison {
+			return &ir.PoisonVal{Ty: elem}, true
+		}
+		switch e := elem.(type) {
+		case ir.IntType:
+			return &ir.ConstInt{Ty: e, V: l.V & ir.MaskW(e.W)}, true
+		case ir.FloatType:
+			// Reconstruct the float from its bits.
+			return &ir.ConstFloat{Ty: e, F: bitsToFloat(e.W, l.V)}, true
+		case ir.PtrType:
+			if l.V == 0 {
+				return &ir.Null{}, true
+			}
+			return nil, false
+		}
+		return nil, false
+	}
+	if !ir.IsVector(ty) {
+		if len(rv.Lanes) != 1 {
+			return nil, false
+		}
+		return one(rv.Lanes[0])
+	}
+	vt := ty.(ir.VecType)
+	allPoison, allZero, uniform := true, true, true
+	for i, l := range rv.Lanes {
+		if !l.Poison {
+			allPoison = false
+		}
+		if l.Poison || l.V != 0 {
+			allZero = false
+		}
+		if l.Poison != rv.Lanes[0].Poison || l.V != rv.Lanes[0].V {
+			_ = i
+			uniform = false
+		}
+	}
+	if allPoison {
+		return &ir.PoisonVal{Ty: ty}, true
+	}
+	if allZero {
+		return &ir.Zero{Ty: ty}, true
+	}
+	if uniform && !rv.Lanes[0].Poison {
+		e, ok := one(rv.Lanes[0])
+		if !ok {
+			return nil, false
+		}
+		return &ir.Splat{Ty: vt, Elem: e}, true
+	}
+	elems := make([]ir.Value, len(rv.Lanes))
+	for i, l := range rv.Lanes {
+		e, ok := one(l)
+		if !ok {
+			return nil, false
+		}
+		elems[i] = e
+	}
+	return &ir.ConstVec{Ty: vt, Elems: elems}, true
+}
+
+func bitsToFloat(w int, bits uint64) float64 {
+	if w == 32 {
+		return float64(math.Float32frombits(uint32(bits)))
+	}
+	return math.Float64frombits(bits)
+}

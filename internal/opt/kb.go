@@ -1,0 +1,435 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// kbRules are rewrite rules known to the *simulated LLM* but deliberately
+// absent from both the baseline optimizer and the patch set: together with
+// patchRules they form the knowledge base that internal/llm consults when
+// proposing candidates. Keeping them inside this package reuses the tested
+// rewrite engine and guarantees every knowledge-base proposal is expressible
+// as a (sound) rewrite.
+//
+// Rule names carry a "kb:" prefix so they can never be confused with the
+// modelled LLVM patches.
+var kbRules = map[string][]patchFn{
+	"kb:rotate":          {kbRotate},        // or (shl X, C), (lshr X, w-C) -> fshl
+	"kb:sat-umax":        {kbSatUmax},       // uadd.sat(usub.sat(V,C),C)    -> umax(V,C)
+	"kb:minmax-const":    {kbMinMaxConst},   // umin(umax(V,hi),lo), lo<hi   -> lo
+	"kb:umin-umax-leaf":  {kbUminUmaxLeaf},  // umin(V, umax(V,U))           -> V
+	"kb:dead-store":      {kbDeadStore},     // store (load P), P            -> (removed)
+	"kb:ctpop-bit":       {kbCtpopBit},      // ctpop (and X, 1)             -> and X, 1
+	"kb:xor-and-or":      {kbXorAndOr},      // xor (and X,Y), (or X,Y)      -> xor X, Y
+	"kb:sub-or-and":      {kbSubOrAnd},      // sub (or X,Y), (and X,Y)      -> xor X, Y
+	"kb:add-and-or":      {kbAddAndOr},      // add (and X,Y), (or X,Y)      -> add X, Y
+	"kb:select-eq-zero":  {kbSelectEqZero},  // select (icmp eq X,0), 0, X   -> X
+	"kb:and-not-self":    {kbAndNotSelf},    // and (xor X,-1), X            -> 0
+	"kb:or-not-self":     {kbOrNotSelf},     // or (xor X,-1), X             -> -1
+	"kb:icmp-known-bits": {kbICmpKnownBits}, // icmp ult (and X,L), H, L<H   -> true
+	"kb:mul-udiv-cancel": {kbMulUdivCancel}, // udiv (mul nuw X,C), C        -> X
+	"kb:fneg-fneg":       {kbFnegFneg},      // fneg (fneg X)                -> X
+	"kb:and-lshr-bit":    {kbAndLshrBit},    // and (lshr X,w-1), 1          -> lshr X, w-1
+	"kb:sub-add-cancel":  {kbSubAddCancel},  // sub (add X,Y), Y             -> X
+	"kb:add-sub-cancel":  {kbAddSubCancel},  // add (sub X,Y), Y             -> X
+	"kb:compl-mask-self": {kbComplMaskSelf}, // or (and X,Y), (and X, ~Y)    -> X
+}
+
+// KBNames returns the knowledge-base rule names (without the patch rules).
+func KBNames() []string {
+	names := make([]string, 0, len(kbRules))
+	for n := range kbRules {
+		names = append(names, n)
+	}
+	return names
+}
+
+// AllRuleNames returns every optional rule: modelled patches plus the LLM
+// knowledge base. Enabling all of them yields the "ideal optimizer" the
+// simulated LLM aspires to.
+func AllRuleNames() []string {
+	return append(PatchIDs(), KBNames()...)
+}
+
+func kbRotate(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpOr || !ir.IsInt(in.Ty) {
+		return nil, nil, false
+	}
+	w := uint64(scalarWidth(in))
+	match := func(a, b ir.Value) ([]*ir.Instr, ir.Value, bool) {
+		shl, ok := asInstr(a, ir.OpShl)
+		if !ok {
+			return nil, nil, false
+		}
+		lshr, ok := asInstr(b, ir.OpLShr)
+		if !ok || shl.Args[0] != lshr.Args[0] {
+			return nil, nil, false
+		}
+		c1, ok1 := constIntOf(shl.Args[1])
+		c2, ok2 := constIntOf(lshr.Args[1])
+		if !ok1 || !ok2 || c1 == 0 || c1 >= w || c1+c2 != w {
+			return nil, nil, false
+		}
+		x := shl.Args[0]
+		rot := ir.CallI(t.freshName(), ir.IntrinsicName("fshl", in.Ty), in.Ty,
+			x, x, ir.SplatInt(in.Ty, int64(c1)))
+		return []*ir.Instr{rot}, rot, true
+	}
+	if news, v, ok := match(in.Args[0], in.Args[1]); ok {
+		return news, v, ok
+	}
+	return match(in.Args[1], in.Args[0])
+}
+
+func kbSatUmax(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	add, ok := asIntrinsic(in, "uadd.sat")
+	if !ok || len(in.Args) != 2 {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(add.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	sub, ok := asIntrinsic(add.Args[0], "usub.sat")
+	if !ok || len(sub.Args) != 2 {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(sub.Args[1])
+	if !ok || c != c2 {
+		return nil, nil, false
+	}
+	umax := ir.CallI(t.freshName(), ir.IntrinsicName("umax", in.Ty), in.Ty,
+		sub.Args[0], add.Args[1])
+	return []*ir.Instr{umax}, umax, true
+}
+
+func kbMinMaxConst(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	um, ok := asIntrinsic(in, "umin")
+	if !ok || len(in.Args) != 2 {
+		return nil, nil, false
+	}
+	lo, ok := constIntOf(um.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	umax, ok := asIntrinsic(um.Args[0], "umax")
+	if !ok || len(umax.Args) != 2 {
+		return nil, nil, false
+	}
+	hi, ok := constIntOf(umax.Args[1])
+	if !ok || lo >= hi {
+		return nil, nil, false
+	}
+	return nil, ir.SplatInt(in.Ty, ir.SignExt(lo, scalarWidth(in))), true
+}
+
+func kbUminUmaxLeaf(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	um, ok := asIntrinsic(in, "umin")
+	if !ok || len(in.Args) != 2 {
+		return nil, nil, false
+	}
+	match := func(v, other ir.Value) (ir.Value, bool) {
+		umax, ok := asIntrinsic(other, "umax")
+		if !ok {
+			return nil, false
+		}
+		if umax.Args[0] == v || umax.Args[1] == v {
+			return v, true
+		}
+		return nil, false
+	}
+	if v, ok := match(um.Args[0], um.Args[1]); ok {
+		return nil, v, true
+	}
+	if v, ok := match(um.Args[1], um.Args[0]); ok {
+		return nil, v, true
+	}
+	return nil, nil, false
+}
+
+// kbDeadStore removes a store that writes back a value just loaded from the
+// same address, provided no other store intervenes.
+func kbDeadStore(_ *transform, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpStore {
+		return nil, nil, false
+	}
+	load, ok := asInstr(in.Args[0], ir.OpLoad)
+	if !ok || load.Args[0] != in.Args[1] || !ir.Equal(load.Ty, in.Args[0].Type()) {
+		return nil, nil, false
+	}
+	seen := false
+	for _, p := range prior {
+		if p == load {
+			seen = true
+			continue
+		}
+		if seen && p.Op == ir.OpStore {
+			return nil, nil, false
+		}
+	}
+	if !seen {
+		return nil, nil, false
+	}
+	// Dropping the store: no replacement value, no new instructions.
+	return nil, nil, true
+}
+
+func kbCtpopBit(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	ct, ok := asIntrinsic(in, "ctpop")
+	if !ok || len(in.Args) != 1 {
+		return nil, nil, false
+	}
+	and, ok := asInstr(ct.Args[0], ir.OpAnd)
+	if !ok {
+		return nil, nil, false
+	}
+	if c, okc := constIntOf(and.Args[1]); !okc || c != 1 {
+		return nil, nil, false
+	}
+	return nil, and, true
+}
+
+func kbPairBin(in *ir.Instr, opA, opB ir.Opcode) (x, y ir.Value, ok bool) {
+	a, ok1 := asInstr(in.Args[0], opA)
+	b, ok2 := asInstr(in.Args[1], opB)
+	if !ok1 || !ok2 {
+		return nil, nil, false
+	}
+	if a.Args[0] == b.Args[0] && a.Args[1] == b.Args[1] {
+		return a.Args[0], a.Args[1], true
+	}
+	if a.Args[0] == b.Args[1] && a.Args[1] == b.Args[0] {
+		return a.Args[0], a.Args[1], true
+	}
+	return nil, nil, false
+}
+
+func kbXorAndOr(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpXor {
+		return nil, nil, false
+	}
+	x, y, ok := kbPairBin(in, ir.OpAnd, ir.OpOr)
+	if !ok {
+		x, y, ok = kbPairBin(in, ir.OpOr, ir.OpAnd)
+	}
+	if !ok {
+		return nil, nil, false
+	}
+	r := ir.Bin(ir.OpXor, t.freshName(), ir.NoFlags, x, y)
+	return []*ir.Instr{r}, r, true
+}
+
+func kbSubOrAnd(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSub {
+		return nil, nil, false
+	}
+	x, y, ok := kbPairBin(in, ir.OpOr, ir.OpAnd)
+	if !ok {
+		return nil, nil, false
+	}
+	r := ir.Bin(ir.OpXor, t.freshName(), ir.NoFlags, x, y)
+	return []*ir.Instr{r}, r, true
+}
+
+func kbAddAndOr(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAdd {
+		return nil, nil, false
+	}
+	x, y, ok := kbPairBin(in, ir.OpAnd, ir.OpOr)
+	if !ok {
+		x, y, ok = kbPairBin(in, ir.OpOr, ir.OpAnd)
+	}
+	if !ok {
+		return nil, nil, false
+	}
+	r := ir.Bin(ir.OpAdd, t.freshName(), ir.NoFlags, x, y)
+	return []*ir.Instr{r}, r, true
+}
+
+func kbSelectEqZero(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSelect {
+		return nil, nil, false
+	}
+	cmp, ok := in.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp || cmp.IPredV != ir.EQ || !isZeroConst(cmp.Args[1]) {
+		return nil, nil, false
+	}
+	x := cmp.Args[0]
+	if isZeroConst(in.Args[1]) && in.Args[2] == x {
+		return nil, x, true
+	}
+	return nil, nil, false
+}
+
+func kbNotOf(v ir.Value) (ir.Value, bool) {
+	x, ok := asInstr(v, ir.OpXor)
+	if !ok || !isAllOnesConst(x.Args[1]) {
+		return nil, false
+	}
+	return x.Args[0], true
+}
+
+func kbAndNotSelf(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAnd {
+		return nil, nil, false
+	}
+	if n, ok := kbNotOf(in.Args[0]); ok && n == in.Args[1] {
+		return nil, ir.SplatInt(in.Ty, 0), true
+	}
+	if n, ok := kbNotOf(in.Args[1]); ok && n == in.Args[0] {
+		return nil, ir.SplatInt(in.Ty, 0), true
+	}
+	return nil, nil, false
+}
+
+func kbOrNotSelf(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpOr {
+		return nil, nil, false
+	}
+	if n, ok := kbNotOf(in.Args[0]); ok && n == in.Args[1] {
+		return nil, ir.SplatInt(in.Ty, -1), true
+	}
+	if n, ok := kbNotOf(in.Args[1]); ok && n == in.Args[0] {
+		return nil, ir.SplatInt(in.Ty, -1), true
+	}
+	return nil, nil, false
+}
+
+func kbICmpKnownBits(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpICmp || in.IPredV != ir.ULT {
+		return nil, nil, false
+	}
+	h, ok := constIntOf(in.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	and, ok := asInstr(in.Args[0], ir.OpAnd)
+	if !ok {
+		return nil, nil, false
+	}
+	l, ok := constIntOf(and.Args[1])
+	if !ok || l >= h {
+		return nil, nil, false
+	}
+	if ir.IsVector(in.Ty) {
+		return nil, ir.SplatInt(in.Ty, 1), true
+	}
+	return nil, ir.CBool(true), true
+}
+
+func kbMulUdivCancel(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpUDiv {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok || c == 0 {
+		return nil, nil, false
+	}
+	mul, ok := asInstr(in.Args[0], ir.OpMul)
+	if !ok || !mul.Flags.Has(ir.NUW) {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(mul.Args[1])
+	if !ok || c != c2 {
+		return nil, nil, false
+	}
+	return nil, mul.Args[0], true
+}
+
+func kbFnegFneg(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpFNeg {
+		return nil, nil, false
+	}
+	inner, ok := asInstr(in.Args[0], ir.OpFNeg)
+	if !ok {
+		return nil, nil, false
+	}
+	return nil, inner.Args[0], true
+}
+
+func kbAndLshrBit(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAnd {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok || c != 1 {
+		return nil, nil, false
+	}
+	sh, ok := asInstr(in.Args[0], ir.OpLShr)
+	if !ok {
+		return nil, nil, false
+	}
+	amt, ok := constIntOf(sh.Args[1])
+	if !ok || int(amt) != scalarWidth(in)-1 {
+		return nil, nil, false
+	}
+	return nil, sh, true
+}
+
+func kbSubAddCancel(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSub {
+		return nil, nil, false
+	}
+	add, ok := asInstr(in.Args[0], ir.OpAdd)
+	if !ok || add.Flags != ir.NoFlags {
+		return nil, nil, false
+	}
+	if add.Args[0] == in.Args[1] {
+		return nil, add.Args[1], true
+	}
+	if add.Args[1] == in.Args[1] {
+		return nil, add.Args[0], true
+	}
+	return nil, nil, false
+}
+
+func kbAddSubCancel(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAdd {
+		return nil, nil, false
+	}
+	match := func(a, b ir.Value) (ir.Value, bool) {
+		sub, ok := asInstr(a, ir.OpSub)
+		if !ok || sub.Flags != ir.NoFlags {
+			return nil, false
+		}
+		if sub.Args[1] == b {
+			return sub.Args[0], true
+		}
+		return nil, false
+	}
+	if v, ok := match(in.Args[0], in.Args[1]); ok {
+		return nil, v, true
+	}
+	if v, ok := match(in.Args[1], in.Args[0]); ok {
+		return nil, v, true
+	}
+	return nil, nil, false
+}
+
+func kbComplMaskSelf(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpOr {
+		return nil, nil, false
+	}
+	a, ok1 := asInstr(in.Args[0], ir.OpAnd)
+	b, ok2 := asInstr(in.Args[1], ir.OpAnd)
+	if !ok1 || !ok2 {
+		return nil, nil, false
+	}
+	// Find the shared X and check the masks are Y and ~Y.
+	for _, xi := range []int{0, 1} {
+		for _, yi := range []int{0, 1} {
+			x := a.Args[xi]
+			if b.Args[yi] != x {
+				continue
+			}
+			y := a.Args[1-xi]
+			if n, ok := kbNotOf(b.Args[1-yi]); ok && n == y {
+				return nil, x, true
+			}
+			if n, ok := kbNotOf(y); ok && n == b.Args[1-yi] {
+				return nil, x, true
+			}
+		}
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,92 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// asInstr returns v as a defining instruction with the given opcode.
+func asInstr(v ir.Value, op ir.Opcode) (*ir.Instr, bool) {
+	in, ok := v.(*ir.Instr)
+	if !ok || in.Op != op {
+		return nil, false
+	}
+	return in, true
+}
+
+// asIntrinsic returns v as a call to the given intrinsic base name.
+func asIntrinsic(v ir.Value, base string) (*ir.Instr, bool) {
+	in, ok := v.(*ir.Instr)
+	if !ok || in.Op != ir.OpCall || ir.IntrinsicBase(in.Callee) != base {
+		return nil, false
+	}
+	return in, true
+}
+
+// constIntOf returns the uniform integer bit pattern of a constant operand.
+func constIntOf(v ir.Value) (uint64, bool) { return ir.IntConstValue(v) }
+
+// scalarWidth returns the lane bit width of an integer-typed value.
+func scalarWidth(v ir.Value) int { return ir.ScalarBits(ir.Elem(v.Type())) }
+
+// isZeroConst reports whether v is the all-zero integer constant.
+func isZeroConst(v ir.Value) bool {
+	c, ok := constIntOf(v)
+	return ok && c&ir.MaskW(scalarWidth(v)) == 0
+}
+
+// isAllOnesConst reports whether v is the all-ones integer constant.
+func isAllOnesConst(v ir.Value) bool {
+	c, ok := constIntOf(v)
+	w := scalarWidth(v)
+	return ok && c&ir.MaskW(w) == ir.MaskW(w)
+}
+
+// sameValue reports whether two operands are the identical SSA value or
+// identical constants.
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	if ir.IsConst(a) && ir.IsConst(b) && ir.Equal(a.Type(), b.Type()) {
+		ca, oka := constIntOf(a)
+		cb, okb := constIntOf(b)
+		if oka && okb {
+			return ca == cb
+		}
+	}
+	return false
+}
+
+// signedMin and signedMax return the extreme signed values at width w as bit
+// patterns.
+func signedMinPattern(w int) uint64 { return uint64(1) << uint(w-1) }
+func signedMaxPattern(w int) uint64 { return ir.MaskW(w) >> 1 }
+
+// uminU, umaxU, sminS, smaxS compute bounds used by min/max folding.
+func uminU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func umaxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sminS(a, b, w uint64) uint64 {
+	if ir.SignExt(a, int(w)) < ir.SignExt(b, int(w)) {
+		return a
+	}
+	return b
+}
+
+func smaxS(a, b, w uint64) uint64 {
+	if ir.SignExt(a, int(w)) > ir.SignExt(b, int(w)) {
+		return a
+	}
+	return b
+}

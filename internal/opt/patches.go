@@ -1,0 +1,418 @@
+package opt
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// patchFn is a rewrite rule that models one LLVM fix. It follows the same
+// contract as transform.rewrite.
+type patchFn func(t *transform, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool)
+
+// patchRules maps the paper's fixed-issue IDs (Table 5) to the rewrites each
+// fix introduced; issues 157371 and 163108 landed as two patches each, so
+// they enable two rules. The pattern families are synthetic reconstructions
+// aligned with the paper's case studies (§4.3): 128134 is the consecutive
+// load merge (Figure 4a/4d), 142711 is the umax-shl chain (Figure 4b/4e),
+// and 133367 is the fcmp-ord-select elimination (Figure 4c/4f). Each family
+// is a genuine refinement the baseline optimizer misses.
+var patchRules = map[string][]patchFn{
+	"128134": {patchLoadMerge},                    // or(shl(zext(load hi)), zext(load lo)) -> wide load
+	"133367": {patchFcmpOrdSelect},                // fcmp oeq (select (fcmp ord X, _), X, 0), C -> fcmp oeq X, C
+	"142674": {patchComplMaskOr},                  // or (and X, C), (and X, ~C)       -> X
+	"142711": {patchUmaxShlChain},                 // umax(shl nuw (umax(X,C1)), C2)   -> umax(shl nuw X, C2)
+	"143211": {patchLshrShlMask},                  // lshr (shl X, C), C               -> and X, mask
+	"143636": {patchClampSmax},                    // select(X<0, 0, umin(X,C))        -> umin(smax(X,0),C)
+	"154238": {patchSelectZeroOne},                // select C, 1, 0                   -> zext C
+	"157315": {patchUminZextCover},                // umin(zext X, C>=xmax)            -> zext X
+	"157370": {patchAshrShlSext},                  // ashr (shl X, C), C               -> sext(trunc X)
+	"157371": {patchMulMinusOne, patchNegViaXor},  // mul X,-1 -> sub 0,X; add(xor X,-1),1 -> sub 0,X
+	"157524": {patchXorNegNot},                    // xor (sub 0, X), -1               -> add X, -1
+	"163108": {patchAbsorption, patchAndAshrSign}, // or(X, and(X,Y)) -> X; and(ashr X,w-1),X -> smin(X,0)
+	"166973": {patchShlLshrMask},                  // shl (lshr X, C), C               -> and X, high-mask
+}
+
+// PatchIDs returns the issue IDs with modelled fixes, unordered.
+func PatchIDs() []string { return EnabledPatches() }
+
+func patchClampSmax(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSelect {
+		return nil, nil, false
+	}
+	cmp, ok := in.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp || cmp.IPredV != ir.SLT || !isZeroConst(cmp.Args[1]) {
+		return nil, nil, false
+	}
+	x := cmp.Args[0]
+	if !isZeroConst(in.Args[1]) {
+		return nil, nil, false
+	}
+	makeClamp := func(umin *ir.Instr) (*ir.Instr, *ir.Instr) {
+		ty := x.Type()
+		smax := ir.CallI(t.freshName(), ir.IntrinsicName("smax", ty), ty, x, ir.SplatInt(ty, 0))
+		umin2 := ir.CallI(t.freshName(), umin.Callee, ty, smax, umin.Args[1])
+		return smax, umin2
+	}
+	// Form A: select(X<0, 0, umin(X, C)).
+	if umin, ok := asIntrinsic(in.Args[2], "umin"); ok && sameValue(umin.Args[0], x) {
+		smax, umin2 := makeClamp(umin)
+		return []*ir.Instr{smax, umin2}, umin2, true
+	}
+	// Form B: select(X<0, 0, trunc [nuw] (umin(X, C))).
+	if tr, ok := asInstr(in.Args[2], ir.OpTrunc); ok {
+		if umin, ok2 := asIntrinsic(tr.Args[0], "umin"); ok2 && sameValue(umin.Args[0], x) {
+			if c, okc := constIntOf(umin.Args[1]); okc && c <= ir.MaskW(scalarWidth(in)) {
+				smax, umin2 := makeClamp(umin)
+				tr2 := ir.Conv(ir.OpTrunc, t.freshName(), umin2, in.Ty, tr.Flags)
+				return []*ir.Instr{smax, umin2, tr2}, tr2, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+func patchLoadMerge(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpOr || !in.Flags.Has(ir.Disjoint) || ir.IsVector(in.Ty) {
+		return nil, nil, false
+	}
+	match := func(hiSide, loSide ir.Value) ([]*ir.Instr, ir.Value, bool) {
+		shl, ok := asInstr(hiSide, ir.OpShl)
+		if !ok {
+			return nil, nil, false
+		}
+		shAmt, ok := constIntOf(shl.Args[1])
+		if !ok {
+			return nil, nil, false
+		}
+		zextHi, ok := asInstr(shl.Args[0], ir.OpZExt)
+		if !ok {
+			return nil, nil, false
+		}
+		zextLo, ok := asInstr(loSide, ir.OpZExt)
+		if !ok {
+			return nil, nil, false
+		}
+		loadHi, ok := asInstr(zextHi.Args[0], ir.OpLoad)
+		if !ok {
+			return nil, nil, false
+		}
+		loadLo, ok := asInstr(zextLo.Args[0], ir.OpLoad)
+		if !ok {
+			return nil, nil, false
+		}
+		halfBits := scalarWidth(loadLo)
+		if scalarWidth(loadHi) != halfBits || int(shAmt) != halfBits ||
+			scalarWidth(in) != 2*halfBits {
+			return nil, nil, false
+		}
+		// The high load must be at loPtr + halfBits/8 bytes.
+		gep, ok := asInstr(loadHi.Args[0], ir.OpGEP)
+		if !ok || len(gep.Args) != 2 || gep.Args[0] != loadLo.Args[0] {
+			return nil, nil, false
+		}
+		idx, ok := constIntOf(gep.Args[1])
+		if !ok {
+			return nil, nil, false
+		}
+		offBytes := int64(idx) * int64(ir.StoreBytes(gep.ElemTy))
+		if offBytes != int64(halfBits/8) {
+			return nil, nil, false
+		}
+		align := loadLo.Align
+		wide := ir.LoadI(t.freshName(), in.Ty, loadLo.Args[0], align)
+		return []*ir.Instr{wide}, wide, true
+	}
+	if news, v, ok := match(in.Args[0], in.Args[1]); ok {
+		return news, v, ok
+	}
+	return match(in.Args[1], in.Args[0])
+}
+
+func patchUmaxShlChain(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	outer, ok := asIntrinsic(in, "umax")
+	if !ok || len(in.Args) != 2 {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(outer.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	shl, ok := asInstr(outer.Args[0], ir.OpShl)
+	if !ok || !shl.Flags.Has(ir.NUW) {
+		return nil, nil, false
+	}
+	k, ok := constIntOf(shl.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	innerMax, ok := asIntrinsic(shl.Args[0], "umax")
+	if !ok || len(innerMax.Args) != 2 {
+		return nil, nil, false
+	}
+	c1, ok := constIntOf(innerMax.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	w := uint64(scalarWidth(in))
+	if k >= w || c1 > ir.MaskW(int(w))>>k { // C1<<k must not overflow
+		return nil, nil, false
+	}
+	if c1<<k > c2 {
+		return nil, nil, false
+	}
+	x := innerMax.Args[0]
+	shl2 := ir.Bin(ir.OpShl, t.freshName(), shl.Flags, x, shl.Args[1])
+	umax2 := ir.CallI(t.freshName(), outer.Callee, in.Ty, shl2, outer.Args[1])
+	return []*ir.Instr{shl2, umax2}, umax2, true
+}
+
+func patchFcmpOrdSelect(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpFCmp || in.FPredV != ir.OEQ {
+		return nil, nil, false
+	}
+	c, ok := in.Args[1].(*ir.ConstFloat)
+	if !ok || c.F == 0 || math.IsNaN(c.F) {
+		return nil, nil, false
+	}
+	sel, ok := asInstr(in.Args[0], ir.OpSelect)
+	if !ok {
+		return nil, nil, false
+	}
+	ord, ok := asInstr(sel.Args[0], ir.OpFCmp)
+	if !ok || ord.FPredV != ir.ORD {
+		return nil, nil, false
+	}
+	x := ord.Args[0]
+	if k, isC := ord.Args[1].(*ir.ConstFloat); !isC || math.IsNaN(k.F) {
+		return nil, nil, false
+	}
+	if sel.Args[1] != x {
+		return nil, nil, false
+	}
+	if z, isC := sel.Args[2].(*ir.ConstFloat); !isC || z.F != 0 {
+		return nil, nil, false
+	}
+	cmp := ir.FCmpI(t.freshName(), ir.OEQ, x, in.Args[1])
+	return []*ir.Instr{cmp}, cmp, true
+}
+
+// patchComplMaskOr rewrites or (and X, C1), (and X, C2) -> X when C1 and C2
+// are disjoint and together cover every bit.
+func patchComplMaskOr(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpOr {
+		return nil, nil, false
+	}
+	a, ok1 := asInstr(in.Args[0], ir.OpAnd)
+	b, ok2 := asInstr(in.Args[1], ir.OpAnd)
+	if !ok1 || !ok2 || a.Args[0] != b.Args[0] {
+		return nil, nil, false
+	}
+	c1, okc1 := constIntOf(a.Args[1])
+	c2, okc2 := constIntOf(b.Args[1])
+	if !okc1 || !okc2 {
+		return nil, nil, false
+	}
+	mask := ir.MaskW(scalarWidth(in))
+	if c1&c2 != 0 || (c1|c2)&mask != mask {
+		return nil, nil, false
+	}
+	return nil, a.Args[0], true
+}
+
+// patchAbsorption rewrites or(X, and(X, Y)) -> X and and(X, or(X, Y)) -> X.
+func patchAbsorption(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	var innerOp ir.Opcode
+	switch in.Op {
+	case ir.OpOr:
+		innerOp = ir.OpAnd
+	case ir.OpAnd:
+		innerOp = ir.OpOr
+	default:
+		return nil, nil, false
+	}
+	match := func(x, other ir.Value) (ir.Value, bool) {
+		inner, ok := asInstr(other, innerOp)
+		if !ok {
+			return nil, false
+		}
+		if inner.Args[0] == x || inner.Args[1] == x {
+			return x, true
+		}
+		return nil, false
+	}
+	if v, ok := match(in.Args[0], in.Args[1]); ok {
+		return nil, v, true
+	}
+	if v, ok := match(in.Args[1], in.Args[0]); ok {
+		return nil, v, true
+	}
+	return nil, nil, false
+}
+
+func patchAndAshrSign(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAnd {
+		return nil, nil, false
+	}
+	match := func(a, b ir.Value) ([]*ir.Instr, ir.Value, bool) {
+		sh, ok := asInstr(a, ir.OpAShr)
+		if !ok {
+			return nil, nil, false
+		}
+		c, ok := constIntOf(sh.Args[1])
+		if !ok || int(c) != scalarWidth(in)-1 || sh.Args[0] != b {
+			return nil, nil, false
+		}
+		smin := ir.CallI(t.freshName(), ir.IntrinsicName("smin", in.Ty), in.Ty, b, ir.SplatInt(in.Ty, 0))
+		return []*ir.Instr{smin}, smin, true
+	}
+	if news, v, ok := match(in.Args[0], in.Args[1]); ok {
+		return news, v, ok
+	}
+	return match(in.Args[1], in.Args[0])
+}
+
+func patchLshrShlMask(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpLShr {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	shl, ok := asInstr(in.Args[0], ir.OpShl)
+	if !ok {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(shl.Args[1])
+	if !ok || c != c2 || c >= uint64(scalarWidth(in)) {
+		return nil, nil, false
+	}
+	mask := ir.MaskW(scalarWidth(in)) >> c
+	and := ir.Bin(ir.OpAnd, t.freshName(), ir.NoFlags, shl.Args[0],
+		ir.SplatInt(in.Ty, ir.SignExt(mask, scalarWidth(in))))
+	return []*ir.Instr{and}, and, true
+}
+
+// patchShlLshrMask rewrites shl (lshr X, C), C -> and X, (mask << C).
+func patchShlLshrMask(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpShl || in.Flags != ir.NoFlags {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	lshr, ok := asInstr(in.Args[0], ir.OpLShr)
+	if !ok || lshr.Flags != ir.NoFlags {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(lshr.Args[1])
+	if !ok || c != c2 || c >= uint64(scalarWidth(in)) {
+		return nil, nil, false
+	}
+	w := scalarWidth(in)
+	mask := (ir.MaskW(w) << c) & ir.MaskW(w)
+	and := ir.Bin(ir.OpAnd, t.freshName(), ir.NoFlags, lshr.Args[0],
+		ir.SplatInt(in.Ty, ir.SignExt(mask, w)))
+	return []*ir.Instr{and}, and, true
+}
+
+func patchSelectZeroOne(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSelect || !ir.IsInt(in.Ty) || scalarWidth(in) == 1 {
+		return nil, nil, false
+	}
+	if ir.Lanes(in.Args[0].Type()) != ir.Lanes(in.Ty) {
+		return nil, nil, false
+	}
+	tc, okT := constIntOf(in.Args[1])
+	fc, okF := constIntOf(in.Args[2])
+	if !okT || !okF || tc != 1 || fc != 0 {
+		return nil, nil, false
+	}
+	z := ir.Conv(ir.OpZExt, t.freshName(), in.Args[0], in.Ty, ir.NoFlags)
+	return []*ir.Instr{z}, z, true
+}
+
+func patchUminZextCover(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	um, ok := asIntrinsic(in, "umin")
+	if !ok || len(in.Args) != 2 {
+		return nil, nil, false
+	}
+	z, ok := asInstr(um.Args[0], ir.OpZExt)
+	if !ok {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(um.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	if c >= ir.MaskW(scalarWidth(z.Args[0])) {
+		return nil, z, true
+	}
+	return nil, nil, false
+}
+
+func patchAshrShlSext(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAShr {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok {
+		return nil, nil, false
+	}
+	shl, ok := asInstr(in.Args[0], ir.OpShl)
+	if !ok || shl.Flags != ir.NoFlags {
+		return nil, nil, false
+	}
+	c2, ok := constIntOf(shl.Args[1])
+	if !ok || c != c2 {
+		return nil, nil, false
+	}
+	w := scalarWidth(in)
+	if int(c) <= 0 || int(c) >= w {
+		return nil, nil, false
+	}
+	narrow := ir.WithLanes(in.Ty, ir.IntT(w-int(c)))
+	tr := ir.Conv(ir.OpTrunc, t.freshName(), shl.Args[0], narrow, ir.NoFlags)
+	se := ir.Conv(ir.OpSExt, t.freshName(), tr, in.Ty, ir.NoFlags)
+	return []*ir.Instr{tr, se}, se, true
+}
+
+func patchMulMinusOne(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpMul || !isAllOnesConst(in.Args[1]) {
+		return nil, nil, false
+	}
+	neg := &ir.Instr{Op: ir.OpSub, Nm: t.freshName(), Ty: in.Ty,
+		Args: []ir.Value{ir.SplatInt(in.Ty, 0), in.Args[0]}}
+	return []*ir.Instr{neg}, neg, true
+}
+
+func patchNegViaXor(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAdd {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok || c != 1 {
+		return nil, nil, false
+	}
+	not, ok := asInstr(in.Args[0], ir.OpXor)
+	if !ok || !isAllOnesConst(not.Args[1]) {
+		return nil, nil, false
+	}
+	neg := &ir.Instr{Op: ir.OpSub, Nm: t.freshName(), Ty: in.Ty,
+		Args: []ir.Value{ir.SplatInt(in.Ty, 0), not.Args[0]}}
+	return []*ir.Instr{neg}, neg, true
+}
+
+func patchXorNegNot(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpXor || !isAllOnesConst(in.Args[1]) {
+		return nil, nil, false
+	}
+	sub, ok := asInstr(in.Args[0], ir.OpSub)
+	if !ok || !isZeroConst(sub.Args[0]) || sub.Flags != ir.NoFlags {
+		return nil, nil, false
+	}
+	add := ir.Bin(ir.OpAdd, t.freshName(), ir.NoFlags, sub.Args[1], ir.SplatInt(in.Ty, -1))
+	return []*ir.Instr{add}, add, true
+}

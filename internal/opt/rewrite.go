@@ -1,0 +1,173 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// rewrite applies rules that replace an instruction with one or more new
+// instructions (or an existing value). It returns the instructions to
+// insert, the value that replaces the original result, and success.
+func (t *transform) rewrite(in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if !t.noIntrinsicCanon {
+		if news, v, ok := t.selectToMinMax(in); ok {
+			return news, v, ok
+		}
+	}
+	if news, v, ok := t.selectBoolInvert(in); ok {
+		return news, v, ok
+	}
+	if news, v, ok := t.zextOfTrunc(in); ok {
+		return news, v, ok
+	}
+	if news, v, ok := t.andOfZextCover(in); ok {
+		return news, v, ok
+	}
+	if news, v, ok := t.udivUremPow2(in); ok {
+		return news, v, ok
+	}
+	// Optional rules: the modelled LLVM fixes (Table 5 / Figure 5) and the
+	// LLM knowledge base, applied in deterministic name order.
+	if len(t.patches) > 0 {
+		names := make([]string, 0, len(t.patches))
+		for n := range t.patches {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rules := patchRules[n]
+			if kb, ok := kbRules[n]; ok {
+				rules = kb
+			}
+			for _, fn := range rules {
+				if news, v, applied := fn(t, in, prior); applied {
+					return news, v, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// selectToMinMax canonicalizes select(icmp pred A, B), A, B (and the
+// swapped-arm form) into the matching min/max intrinsic, as InstCombine does
+// for directly-matching operand shapes.
+func (t *transform) selectToMinMax(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSelect || !ir.IsInt(in.Ty) {
+		return nil, nil, false
+	}
+	cmp, ok := in.Args[0].(*ir.Instr)
+	if !ok || cmp.Op != ir.OpICmp {
+		return nil, nil, false
+	}
+	a, b := cmp.Args[0], cmp.Args[1]
+	tv, fv := in.Args[1], in.Args[2]
+	if !ir.Equal(a.Type(), in.Ty) {
+		return nil, nil, false
+	}
+	var pred ir.IPred
+	switch {
+	case sameValue(tv, a) && sameValue(fv, b):
+		pred = cmp.IPredV
+	case sameValue(tv, b) && sameValue(fv, a):
+		pred = cmp.IPredV.Inverse()
+	default:
+		return nil, nil, false
+	}
+	var base string
+	switch pred {
+	case ir.SLT, ir.SLE:
+		base = "smin"
+	case ir.SGT, ir.SGE:
+		base = "smax"
+	case ir.ULT, ir.ULE:
+		base = "umin"
+	case ir.UGT, ir.UGE:
+		base = "umax"
+	default:
+		return nil, nil, false
+	}
+	call := ir.CallI(t.freshName(), ir.IntrinsicName(base, in.Ty), in.Ty, tv, fv)
+	return []*ir.Instr{call}, call, true
+}
+
+// selectBoolInvert rewrites select C, false, true -> xor C, true.
+func (t *transform) selectBoolInvert(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpSelect || !ir.Equal(in.Ty, ir.I1) || ir.IsVector(in.Args[0].Type()) {
+		return nil, nil, false
+	}
+	tc, okT := constIntOf(in.Args[1])
+	fc, okF := constIntOf(in.Args[2])
+	if !okT || !okF || tc&1 != 0 || fc&1 != 1 {
+		return nil, nil, false
+	}
+	x := ir.Bin(ir.OpXor, t.freshName(), ir.NoFlags, in.Args[0], ir.CBool(true))
+	return []*ir.Instr{x}, x, true
+}
+
+// zextOfTrunc rewrites zext (trunc X) back to X's type as a mask:
+// plain trunc -> and X, lowmask; trunc nuw -> X itself.
+func (t *transform) zextOfTrunc(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpZExt {
+		return nil, nil, false
+	}
+	inner, ok := asInstr(in.Args[0], ir.OpTrunc)
+	if !ok || !ir.Equal(inner.Args[0].Type(), in.Ty) {
+		return nil, nil, false
+	}
+	if inner.Flags.Has(ir.NUW) {
+		return nil, inner.Args[0], true
+	}
+	lowBits := scalarWidth(inner)
+	mask := ir.SplatInt(in.Ty, int64(ir.MaskW(lowBits)))
+	and := ir.Bin(ir.OpAnd, t.freshName(), ir.NoFlags, inner.Args[0], mask)
+	return []*ir.Instr{and}, and, true
+}
+
+// andOfZextCover simplifies and (zext X), C -> zext X when C covers every
+// bit X can set.
+func (t *transform) andOfZextCover(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpAnd {
+		return nil, nil, false
+	}
+	inner, ok := asInstr(in.Args[0], ir.OpZExt)
+	if !ok {
+		return nil, nil, false
+	}
+	c, ok2 := constIntOf(in.Args[1])
+	if !ok2 {
+		return nil, nil, false
+	}
+	innerBits := scalarWidth(inner.Args[0])
+	if c&ir.MaskW(innerBits) == ir.MaskW(innerBits) {
+		return nil, inner, true
+	}
+	return nil, nil, false
+}
+
+// udivUremPow2 rewrites unsigned division and remainder by powers of two
+// into shifts and masks.
+func (t *transform) udivUremPow2(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	if in.Op != ir.OpUDiv && in.Op != ir.OpURem {
+		return nil, nil, false
+	}
+	c, ok := constIntOf(in.Args[1])
+	if !ok || c == 0 || c&(c-1) != 0 {
+		return nil, nil, false
+	}
+	k := int64(0)
+	for v := c; v > 1; v >>= 1 {
+		k++
+	}
+	if in.Op == ir.OpUDiv {
+		flags := ir.NoFlags
+		if in.Flags.Has(ir.Exact) {
+			flags = ir.Exact
+		}
+		sh := ir.Bin(ir.OpLShr, t.freshName(), flags, in.Args[0], ir.SplatInt(in.Ty, k))
+		return []*ir.Instr{sh}, sh, true
+	}
+	and := ir.Bin(ir.OpAnd, t.freshName(), ir.NoFlags, in.Args[0], ir.SplatInt(in.Ty, int64(c-1)))
+	return []*ir.Instr{and}, and, true
+}

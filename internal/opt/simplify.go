@@ -1,0 +1,259 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// simplify tries to replace an instruction with an existing value or a
+// constant (InstSimplify-style identities). Every rule here is a refinement:
+// the replacement's behaviours are a subset of the original's on all inputs.
+func (t *transform) simplify(in *ir.Instr) (ir.Value, bool) {
+	switch in.Op {
+	case ir.OpAdd:
+		if isZeroConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpSub:
+		if isZeroConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if sameValue(in.Args[0], in.Args[1]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+	case ir.OpMul:
+		if isZeroConst(in.Args[1]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+			return in.Args[0], true
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+			return in.Args[0], true
+		}
+		if isZeroConst(in.Args[0]) {
+			// 0/X is 0 (if X is 0 the original is UB, so 0 refines it).
+			return ir.SplatInt(in.Ty, 0), true
+		}
+	case ir.OpURem:
+		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		if isZeroConst(in.Args[0]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+	case ir.OpSRem:
+		if c, ok := constIntOf(in.Args[1]); ok {
+			w := scalarWidth(in)
+			if c == 1 || ir.SignExt(c, w) == -1 {
+				return ir.SplatInt(in.Ty, 0), true
+			}
+		}
+		if isZeroConst(in.Args[0]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if isZeroConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if isZeroConst(in.Args[0]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		if c, ok := constIntOf(in.Args[1]); ok && c >= uint64(scalarWidth(in)) {
+			return &ir.PoisonVal{Ty: in.Ty}, true
+		}
+	case ir.OpAnd:
+		if isZeroConst(in.Args[1]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		if isAllOnesConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if sameValue(in.Args[0], in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpOr:
+		if isZeroConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if isAllOnesConst(in.Args[1]) {
+			return ir.SplatInt(in.Ty, -1), true
+		}
+		if sameValue(in.Args[0], in.Args[1]) {
+			return in.Args[0], true
+		}
+	case ir.OpXor:
+		if isZeroConst(in.Args[1]) {
+			return in.Args[0], true
+		}
+		if sameValue(in.Args[0], in.Args[1]) {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		// xor (xor X, C), C -> X (same constant cancels; the reassociation
+		// in canonicalize handles differing constants).
+		if inner, ok := asInstr(in.Args[0], ir.OpXor); ok && sameValue(inner.Args[1], in.Args[1]) {
+			return inner.Args[0], true
+		}
+	case ir.OpICmp:
+		if v, ok := t.simplifyICmp(in); ok {
+			return v, true
+		}
+	case ir.OpSelect:
+		if c, ok := constIntOf(in.Args[0]); ok && !ir.IsVector(in.Args[0].Type()) {
+			if c&1 == 1 {
+				return in.Args[1], true
+			}
+			return in.Args[2], true
+		}
+		if sameValue(in.Args[1], in.Args[2]) {
+			return in.Args[1], true
+		}
+		// select C, true, false -> C (i1 only).
+		if ir.Equal(in.Ty, ir.I1) {
+			tc, okT := constIntOf(in.Args[1])
+			fc, okF := constIntOf(in.Args[2])
+			if okT && okF && tc&1 == 1 && fc&1 == 0 {
+				return in.Args[0], true
+			}
+		}
+	case ir.OpTrunc:
+		// trunc (zext/sext X) back to the original type -> X.
+		if inner, ok := in.Args[0].(*ir.Instr); ok && (inner.Op == ir.OpZExt || inner.Op == ir.OpSExt) {
+			if ir.Equal(inner.Args[0].Type(), in.Ty) {
+				return inner.Args[0], true
+			}
+		}
+	case ir.OpFreeze:
+		if ir.IsConst(in.Args[0]) {
+			switch in.Args[0].(type) {
+			case *ir.PoisonVal, *ir.Undef:
+				return ir.ZeroValue(in.Ty), true
+			default:
+				return in.Args[0], true
+			}
+		}
+		// freeze (freeze X) -> freeze X.
+		if inner, ok := asInstr(in.Args[0], ir.OpFreeze); ok {
+			return inner, true
+		}
+	case ir.OpCall:
+		if v, ok := t.simplifyIntrinsic(in); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (t *transform) simplifyICmp(in *ir.Instr) (ir.Value, bool) {
+	x, y := in.Args[0], in.Args[1]
+	boolConst := func(b bool) ir.Value {
+		if ir.IsVector(in.Ty) {
+			v := int64(0)
+			if b {
+				v = 1
+			}
+			return ir.SplatInt(in.Ty, v)
+		}
+		return ir.CBool(b)
+	}
+	if sameValue(x, y) {
+		switch in.IPredV {
+		case ir.EQ, ir.ULE, ir.UGE, ir.SLE, ir.SGE:
+			return boolConst(true), true
+		default:
+			return boolConst(false), true
+		}
+	}
+	c, ok := constIntOf(y)
+	if !ok || !ir.IsInt(x.Type()) {
+		return nil, false
+	}
+	w := scalarWidth(x)
+	mask := ir.MaskW(w)
+	switch in.IPredV {
+	case ir.ULT:
+		if c == 0 {
+			return boolConst(false), true
+		}
+	case ir.UGE:
+		if c == 0 {
+			return boolConst(true), true
+		}
+	case ir.UGT:
+		if c == mask {
+			return boolConst(false), true
+		}
+	case ir.ULE:
+		if c == mask {
+			return boolConst(true), true
+		}
+	case ir.SLT:
+		if c == signedMinPattern(w) {
+			return boolConst(false), true
+		}
+	case ir.SGE:
+		if c == signedMinPattern(w) {
+			return boolConst(true), true
+		}
+	case ir.SGT:
+		if c == signedMaxPattern(w) {
+			return boolConst(false), true
+		}
+	case ir.SLE:
+		if c == signedMaxPattern(w) {
+			return boolConst(true), true
+		}
+	}
+	return nil, false
+}
+
+func (t *transform) simplifyIntrinsic(in *ir.Instr) (ir.Value, bool) {
+	base := ir.IntrinsicBase(in.Callee)
+	if len(in.Args) != 2 {
+		return nil, false
+	}
+	x, y := in.Args[0], in.Args[1]
+	switch base {
+	case "umin", "umax", "smin", "smax":
+		if sameValue(x, y) {
+			return x, true
+		}
+	}
+	c, ok := constIntOf(y)
+	if !ok {
+		return nil, false
+	}
+	w := scalarWidth(in)
+	mask := ir.MaskW(w)
+	switch base {
+	case "umin":
+		if c == 0 {
+			return ir.SplatInt(in.Ty, 0), true
+		}
+		if c == mask {
+			return x, true
+		}
+	case "umax":
+		if c == 0 {
+			return x, true
+		}
+		if c == mask {
+			return ir.SplatInt(in.Ty, -1), true
+		}
+	case "smin":
+		if c == signedMinPattern(w) {
+			return ir.SplatInt(in.Ty, ir.SignExt(c, w)), true
+		}
+		if c == signedMaxPattern(w) {
+			return x, true
+		}
+	case "smax":
+		if c == signedMinPattern(w) {
+			return x, true
+		}
+		if c == signedMaxPattern(w) {
+			return ir.SplatInt(in.Ty, ir.SignExt(c, w)), true
+		}
+	}
+	return nil, false
+}

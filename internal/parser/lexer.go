@@ -1,0 +1,170 @@
+// Package parser implements a lexer and recursive-descent parser for the
+// LLVM .ll subset modelled by internal/ir. Diagnostics mimic the style of
+// LLVM's opt front end ("error: expected instruction opcode" with the
+// offending line and a caret), because LPO forwards these messages verbatim
+// to the LLM as repair feedback.
+package parser
+
+import (
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tLocal  // %name
+	tGlobal // @name
+	tInt    // integer literal (possibly negative)
+	tFloat  // float literal (scientific, decimal, or 0x hex bits)
+	tPunct  // single punctuation rune
+)
+
+type token struct {
+	kind tokKind
+	text string // for locals/globals the text excludes the sigil
+	line int    // 1-based
+	col  int    // 1-based byte column of the first rune
+}
+
+type lexer struct {
+	src   string
+	lines []string
+	pos   int
+	line  int
+	col   int
+	toks  []token
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lex tokenizes src. Unknown bytes become single-rune punctuation tokens so
+// the parser can produce a positioned diagnostic.
+func lex(src string) *lexer {
+	l := &lexer{src: src, lines: strings.Split(src, "\n"), line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '%' || c == '@':
+			kind := tLocal
+			if c == '@' {
+				kind = tGlobal
+			}
+			startLine, startCol := l.line, l.col
+			l.advance(1)
+			start := l.pos
+			if l.pos < len(l.src) && l.src[l.pos] == '"' {
+				// Quoted name: @"foo bar".
+				l.advance(1)
+				qs := l.pos
+				for l.pos < len(l.src) && l.src[l.pos] != '"' {
+					l.advance(1)
+				}
+				name := l.src[qs:l.pos]
+				if l.pos < len(l.src) {
+					l.advance(1)
+				}
+				l.emitAt(kind, name, startLine, startCol)
+				continue
+			}
+			for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+				l.advance(1)
+			}
+			l.emitAt(kind, l.src[start:l.pos], startLine, startCol)
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isIdentStart(c):
+			startLine, startCol := l.line, l.col
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+				l.advance(1)
+			}
+			l.emitAt(tIdent, l.src[start:l.pos], startLine, startCol)
+		default:
+			l.emitAt(tPunct, string(c), l.line, l.col)
+			l.advance(1)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tEOF, line: l.line, col: l.col})
+	return l
+}
+
+func (l *lexer) lexNumber() {
+	startLine, startCol := l.line, l.col
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.advance(1)
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '0' && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		l.advance(2)
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.advance(1)
+		}
+		l.emitAt(tFloat, l.src[start:l.pos], startLine, startCol)
+		return
+	}
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.advance(1)
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		isFloat = true
+		l.advance(1)
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		isFloat = true
+		l.advance(1)
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.advance(1)
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.advance(1)
+		}
+	}
+	kind := tInt
+	if isFloat {
+		kind = tFloat
+	}
+	l.emitAt(kind, l.src[start:l.pos], startLine, startCol)
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) emitAt(kind tokKind, text string, line, col int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
