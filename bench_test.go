@@ -6,17 +6,18 @@ package repro
 // runs the full-size versions.
 
 import (
+	"context"
 	"io"
 	"testing"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/extract"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/mca"
 	"repro/internal/opt"
 	"repro/internal/parser"
@@ -97,55 +98,89 @@ func BenchmarkFigure5Spec(b *testing.B) {
 
 // --- Ablations (DESIGN.md §6) ---
 
-func pipelineFor(attempts int, cfgMod func(*lpo.Config)) (*lpo.Pipeline, *ir.Func) {
+func engineFor(attempts int, cfgMod func(*engine.Config)) (*engine.Engine, *ir.Func) {
 	src := opt.RunO3(parser.MustParseFunc(clampSrc))
 	sim := llm.NewSim("Gemini2.0T", 9)
 	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 2, Plus: 5})
-	cfg := lpo.Config{AttemptLimit: attempts, Verify: alive.Options{Samples: 256, Seed: 9}}
+	cfg := engine.Config{AttemptLimit: attempts, Verify: alive.Options{Samples: 256, Seed: 9},
+		// The ablations measure the loop itself; disable the memoization so
+		// every iteration pays the real verification cost.
+		DisableVerifyCache: true}
 	if cfgMod != nil {
 		cfgMod(&cfg)
 	}
-	return lpo.New(sim, cfg), src
+	return engine.New(sim, cfg), src
 }
 
 // BenchmarkAblationAttemptLimit1 is LPO- (no feedback round).
 func BenchmarkAblationAttemptLimit1(b *testing.B) {
-	p, src := pipelineFor(1, nil)
+	e, src := engineFor(1, nil)
 	for i := 0; i < b.N; i++ {
-		p.OptimizeSeq(src, i)
+		e.OptimizeSeq(context.Background(), src, i)
 	}
 }
 
 // BenchmarkAblationAttemptLimit2 is the paper's configuration.
 func BenchmarkAblationAttemptLimit2(b *testing.B) {
-	p, src := pipelineFor(2, nil)
+	e, src := engineFor(2, nil)
 	for i := 0; i < b.N; i++ {
-		p.OptimizeSeq(src, i)
+		e.OptimizeSeq(context.Background(), src, i)
 	}
 }
 
 // BenchmarkAblationAttemptLimit4 doubles the feedback budget.
 func BenchmarkAblationAttemptLimit4(b *testing.B) {
-	p, src := pipelineFor(4, nil)
+	e, src := engineFor(4, nil)
 	for i := 0; i < b.N; i++ {
-		p.OptimizeSeq(src, i)
+		e.OptimizeSeq(context.Background(), src, i)
 	}
 }
 
 // BenchmarkAblationNoInterestingness shows the cost of skipping the cheap
 // filter: every candidate goes straight to the verifier.
 func BenchmarkAblationNoInterestingness(b *testing.B) {
-	p, src := pipelineFor(2, func(c *lpo.Config) { c.DisableInterestingness = true })
+	e, src := engineFor(2, func(c *engine.Config) { c.DisableInterestingness = true })
 	for i := 0; i < b.N; i++ {
-		p.OptimizeSeq(src, i)
+		e.OptimizeSeq(context.Background(), src, i)
 	}
 }
 
 // BenchmarkAblationNoOptPreprocess skips candidate canonicalization.
 func BenchmarkAblationNoOptPreprocess(b *testing.B) {
-	p, src := pipelineFor(2, func(c *lpo.Config) { c.DisableOptPreprocess = true })
+	e, src := engineFor(2, func(c *engine.Config) { c.DisableOptPreprocess = true })
 	for i := 0; i < b.N; i++ {
-		p.OptimizeSeq(src, i)
+		e.OptimizeSeq(context.Background(), src, i)
+	}
+}
+
+// BenchmarkEngineWorkers measures the wall-clock scaling of the concurrent
+// engine over a fixed extracted batch as the pool grows.
+func BenchmarkEngineWorkers(b *testing.B) {
+	projects := corpus.Generate(corpus.Options{Seed: 5, ModulesPerProject: 2, FuncsPerModule: 6})
+	ex := extract.New(extract.Options{})
+	var seqs []*extract.Sequence
+	for _, p := range projects {
+		for _, m := range p.Modules {
+			seqs = append(seqs, ex.Module(m)...)
+		}
+	}
+	if len(seqs) > 120 {
+		seqs = seqs[:120]
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim := llm.NewSim("Gemini2.0T", 5)
+				e := engine.New(sim, engine.Config{
+					Workers: workers, Rounds: 2,
+					Verify: alive.Options{Samples: 128, Seed: 5},
+				})
+				results, _ := e.RunAll(context.Background(), engine.Sequences(seqs...))
+				if len(results) != len(seqs) {
+					b.Fatal("lost results")
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,10 @@
 //	lpo-bench -figure 4|5           regenerate one figure
 //	lpo-bench -all                  everything (default)
 //	lpo-bench -rounds N -n N -seed N  sizing knobs
+//	lpo-bench -workers N            engine worker pool for the RQ runs
+//	                                (0 = one per CPU; results are
+//	                                deterministic for a fixed seed
+//	                                regardless of N)
 package main
 
 import (
@@ -23,6 +27,7 @@ func main() {
 	rounds := flag.Int("rounds", 5, "RQ1 rounds per model")
 	n := flag.Int("n", 250, "RQ3 sampled sequences (paper: 5000)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	flag.Parse()
 
 	if *table == 0 && *figure == 0 {
@@ -34,11 +39,11 @@ func main() {
 		case 1:
 			experiments.PrintTable1(w)
 		case 2:
-			experiments.RunRQ1(experiments.RQ1Options{Rounds: *rounds, Seed: *seed}).Print(w)
+			experiments.RunRQ1(experiments.RQ1Options{Rounds: *rounds, Seed: *seed, Workers: *workers}).Print(w)
 		case 3:
-			experiments.RunRQ2(experiments.RQ2Options{Seed: *seed}).Print(w)
+			experiments.RunRQ2(experiments.RQ2Options{Seed: *seed, Workers: *workers}).Print(w)
 		case 4:
-			experiments.RunRQ3(experiments.RQ3Options{Sequences: *n, Seed: *seed}).Print(w)
+			experiments.RunRQ3(experiments.RQ3Options{Sequences: *n, Seed: *seed, Workers: *workers}).Print(w)
 		case 5:
 			experiments.RunTable5(*seed).Print(w)
 		default:

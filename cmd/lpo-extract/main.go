@@ -36,10 +36,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, perr)
 		os.Exit(1)
 	}
+	// Stream: each kept sequence is printed as soon as Algorithm 2 finds it,
+	// without materializing the whole extraction.
 	ex := extract.New(extract.Options{MinLen: *minLen})
-	for _, s := range ex.Module(m) {
+	ex.Stream(m, func(s *extract.Sequence) bool {
 		fmt.Printf("; from @%s block %%%s (%d instructions)\n%s\n", s.Func, s.Block, s.Len, s.Fn)
-	}
+		return true
+	})
 	st := ex.Stats()
 	fmt.Printf("; %d raw sequences, %d kept, %d duplicates, %d already optimizable, %d too short\n",
 		st.Sequences, st.Kept, st.Duplicates, st.Optimizable, st.TooShort)

@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	lpo-opt [-patches 143636,163108] [-all-rules] [file.ll]
+//	lpo-opt [-patches 143636,163108] [-all-rules] [-workers N] [file.ll]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/parser"
@@ -22,6 +24,7 @@ import (
 func main() {
 	patches := flag.String("patches", "", "comma-separated patch/rule names to enable")
 	allRules := flag.Bool("all-rules", false, "enable every patch and knowledge-base rule")
+	workers := flag.Int("workers", 0, "optimize functions in parallel (0 = one per CPU)")
 	flag.Parse()
 
 	var src []byte
@@ -46,9 +49,12 @@ func main() {
 	} else if *patches != "" {
 		rules = strings.Split(*patches, ",")
 	}
+	// Functions are optimized independently; ParMap fans them out and keeps
+	// module order, so output is identical at every worker count.
 	out := &ir.Module{Name: m.Name}
-	for _, f := range m.Funcs {
-		out.Funcs = append(out.Funcs, opt.Run(f, opt.Options{Patches: rules}))
-	}
+	out.Funcs = engine.ParMap(context.Background(), *workers, m.Funcs,
+		func(_ context.Context, _ int, f *ir.Func) *ir.Func {
+			return opt.Run(f, opt.Options{Patches: rules})
+		})
 	fmt.Print(out.String())
 }

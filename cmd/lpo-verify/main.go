@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lpo-verify [-samples N] pair.ll
+//	lpo-verify [-samples N] [-gain] pair.ll
 package main
 
 import (
@@ -14,12 +14,15 @@ import (
 	"os"
 
 	"repro/internal/alive"
+	"repro/internal/engine"
+	"repro/internal/mca"
 	"repro/internal/parser"
 )
 
 func main() {
 	samples := flag.Int("samples", 4096, "random samples when not exhaustive")
 	seed := flag.Uint64("seed", 1, "sampling seed")
+	gain := flag.Bool("gain", false, "also report the engine's filter-stage verdict (instrs/cycles gain)")
 	flag.Parse()
 
 	var src []byte
@@ -48,6 +51,16 @@ func main() {
 	}
 	if f := m.FuncByName("tgt"); f != nil {
 		tf = f
+	}
+	if *gain {
+		cpu := mca.BTVer2()
+		sr, tr := mca.Analyze(sf, cpu), mca.Analyze(tf, cpu)
+		verdict := "uninteresting"
+		if engine.Interesting(sf, tf, cpu) {
+			verdict = "interesting"
+		}
+		fmt.Printf("filter stage: %s (%d->%d instrs, %d->%d cycles)\n",
+			verdict, sr.Instructions, tr.Instructions, sr.TotalCycles, tr.TotalCycles)
 	}
 	res := alive.Verify(sf, tf, alive.Options{Samples: *samples, Seed: *seed})
 	switch res.Verdict {

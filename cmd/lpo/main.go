@@ -1,26 +1,36 @@
 // Command lpo runs the full discovery pipeline (paper Algorithm 1) over an
-// .ll module or over the built-in synthetic corpus: extract dependent
-// instruction sequences, prompt the (simulated) LLM, verify candidates, and
-// report every verified missed optimization.
+// .ll module or over the built-in synthetic corpus. Sequences are extracted
+// with Algorithm 2 and streamed through the concurrent engine: a pool of
+// -workers workers drives each sequence through Propose → Preprocess →
+// Filter → Verify, results are reassembled in input order, and every
+// verified missed optimization is reported as it arrives. Interrupting the
+// run (SIGINT) cancels the engine's context and drains cleanly.
 //
 // Usage:
 //
-//	lpo [-model Gemini2.0T] [-rounds 4] [file.ll]
+//	lpo [-model Gemini2.0T] [-rounds 4] [-workers 8] [file.ll]
 //	lpo -corpus            run over the synthetic 14-project corpus
+//
+// Concurrency flags:
+//
+//	-workers N   worker pool size (default: one per CPU); results are
+//	             deterministic for a fixed -seed regardless of N
+//	-queue N     bounded work/result queue size (default 2*workers),
+//	             the backpressure window between extraction and the pool
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/extract"
-	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
-	"repro/internal/parser"
 )
 
 func main() {
@@ -28,55 +38,56 @@ func main() {
 	rounds := flag.Int("rounds", 4, "attempts (rounds) per sequence")
 	seed := flag.Uint64("seed", 1, "seed")
 	useCorpus := flag.Bool("corpus", false, "scan the synthetic corpus instead of a file")
+	workers := flag.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "bounded queue size (0 = 2*workers)")
+	stats := flag.Bool("stats", true, "print per-stage engine statistics")
 	flag.Parse()
 
-	var seqs []*ir.Func
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ex := extract.New(extract.Options{})
-	if *useCorpus {
-		for _, p := range corpus.Generate(corpus.Options{Seed: *seed}) {
-			for _, m := range p.Modules {
-				for _, s := range ex.Module(m) {
-					seqs = append(seqs, s.Fn)
-				}
-			}
-		}
-	} else {
-		if flag.NArg() == 0 {
-			fmt.Fprintln(os.Stderr, "usage: lpo [flags] file.ll  (or -corpus)")
-			os.Exit(2)
-		}
-		data, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	var src engine.Source
+	switch {
+	case *useCorpus:
+		src = engine.Corpus(corpus.Options{Seed: *seed}, ex)
+	case flag.NArg() > 0:
+		src = engine.File(flag.Arg(0), ex)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: lpo [flags] file.ll  (or -corpus)")
+		os.Exit(2)
+	}
+
+	sim := llm.NewSim(*model, *seed)
+	eng := engine.New(sim, engine.Config{
+		Workers:   *workers,
+		QueueSize: *queue,
+		Rounds:    *rounds,
+		Verify:    alive.Options{Samples: 1024, Seed: *seed},
+	})
+
+	results, engStats := eng.Run(ctx, src)
+	found := 0
+	for res := range results {
+		switch res.Outcome {
+		case engine.Found:
+			found++
+			fmt.Printf("\n=== missed optimization (%d->%d instrs, %d->%d cycles, round %d) ===\n",
+				res.InstrsBefore, res.InstrsAfter, res.CyclesBefore, res.CyclesAfter, res.Round)
+			fmt.Printf("--- original ---\n%s--- optimized ---\n%s", res.Src, res.Cand)
+		case engine.Errored:
+			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)
-		}
-		m, perr := parser.Parse(string(data))
-		if perr != nil {
-			fmt.Fprintln(os.Stderr, perr)
-			os.Exit(1)
-		}
-		for _, s := range ex.Module(m) {
-			seqs = append(seqs, s.Fn)
 		}
 	}
 	st := ex.Stats()
-	fmt.Printf("extracted %d unique sequences (%d raw, %d duplicates, %d already optimizable)\n",
+	fmt.Printf("\nextracted %d unique sequences (%d raw, %d duplicates, %d already optimizable)\n",
 		st.Kept, st.Sequences, st.Duplicates, st.Optimizable)
-
-	sim := llm.NewSim(*model, *seed)
-	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 1024, Seed: *seed}})
-	found := 0
-	for _, s := range seqs {
-		for round := 0; round < *rounds; round++ {
-			res := pipe.OptimizeSeq(s, round)
-			if res.Outcome == lpo.Found {
-				found++
-				fmt.Printf("\n=== missed optimization (%d->%d instrs, %d->%d cycles) ===\n",
-					res.InstrsBefore, res.InstrsAfter, res.CyclesBefore, res.CyclesAfter)
-				fmt.Printf("--- original ---\n%s--- optimized ---\n%s", s, res.Cand)
-				break
-			}
-		}
+	if *stats {
+		engStats.Print(os.Stdout)
 	}
-	fmt.Printf("\n%d verified missed optimizations found with %s\n", found, *model)
+	if ctx.Err() != nil {
+		fmt.Println("(interrupted — partial results)")
+	}
+	fmt.Printf("%d verified missed optimizations found with %s\n", found, *model)
 }

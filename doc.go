@@ -7,8 +7,39 @@
 // Minotaur superoptimizer baselines, a synthetic corpus, and a calibrated
 // simulated LLM provider.
 //
+// # The Engine API
+//
+// Discovery (the paper's Algorithm 1) runs on internal/engine, a concurrent,
+// context-aware batch API. An engine.Source streams extracted instruction
+// sequences — from a parsed .ll file (engine.File), the synthetic corpus
+// (engine.Corpus), pre-extracted slices (engine.Sequences), or bare
+// functions (engine.Funcs) — into a pool of workers that drive each sequence
+// through the stage chain Propose → Preprocess → Filter → Verify with the
+// paper's feedback loop between attempts:
+//
+//	ex := extract.New(extract.Options{})
+//	eng := engine.New(llm.NewSim("Gemini2.0T", seed), engine.Config{
+//		Workers: 8, Rounds: 4,
+//		Verify: alive.Options{Samples: 1024, Seed: seed},
+//	})
+//	results, stats := eng.Run(ctx, engine.Corpus(corpus.Options{Seed: seed}, ex))
+//	for res := range results { ... }
+//
+// Results are reassembled in source order before they are emitted, so for a
+// fixed seed the output stream is identical regardless of the worker count.
+// Cancelling ctx drains the run cleanly. Stats exposes concurrency-safe
+// per-stage metrics (invocation counts, outcome tallies, accumulated
+// llm.Usage, per-stage latency) that may be read while the run is in
+// flight, and a cross-worker verification cache deduplicates identical
+// (source, candidate) refinement checks by structural hash.
+//
+// The knobs surface on the CLIs: cmd/lpo takes -workers and -queue,
+// cmd/lpo-bench and cmd/lpo-opt take -workers; engine.ParMap backs the
+// provider-free fan-outs (patch-impact scans, baseline sweeps, batch opt).
+//
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure. The root-level
-// benchmarks in bench_test.go regenerate each experiment.
+// benchmarks in bench_test.go regenerate each experiment and measure the
+// engine's worker scaling (BenchmarkEngineWorkers).
 package repro

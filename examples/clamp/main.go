@@ -5,14 +5,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/alive"
+	"repro/internal/engine"
 	"repro/internal/extract"
 	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/parser"
 )
 
@@ -51,10 +52,10 @@ func main() {
 	// channel, then print the full exchange.
 	sim := llm.NewSim("Gemini2.0T", 7)
 	sim.Calibrate(ir.Hash(window), llm.Calibration{Minus: 0, Plus: 5})
-	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 1024, Seed: 7}})
+	eng := engine.New(sim, engine.Config{Verify: alive.Options{Samples: 1024, Seed: 7}})
 	for round := 0; round < 64; round++ {
-		res := pipe.OptimizeSeq(window, round)
-		if len(res.Attempts) == 2 && !res.Attempts[0].Parsed && res.Outcome == lpo.Found {
+		res := eng.OptimizeSeq(context.Background(), window, round)
+		if len(res.Attempts) == 2 && !res.Attempts[0].Parsed && res.Outcome == engine.Found {
 			fmt.Println("attempt 1: syntactically invalid candidate (paper Figure 3b):")
 			fmt.Println(res.Attempts[0].Candidate)
 			fmt.Println("\nopt feedback (paper Figure 3c):")

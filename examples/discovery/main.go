@@ -1,47 +1,45 @@
-// Discovery runs a miniature RQ2: generate the synthetic corpus, extract
-// unique windows, and let the simulated local model hunt for missed
-// optimizations, printing each verified find.
+// Discovery runs a miniature RQ2 on the concurrent engine: the synthetic
+// corpus is extracted as a stream, the worker pool hunts for missed
+// optimizations over several rounds per window, and verified finds are
+// printed in deterministic (source) order as they are reassembled.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/extract"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 )
 
 func main() {
-	projects := corpus.Generate(corpus.Options{Seed: 11, ModulesPerProject: 2, FuncsPerModule: 4})
-	cs := corpus.Summarize(projects)
-	fmt.Printf("corpus: %d projects, %d modules, %d functions\n", cs.Projects, cs.Modules, cs.Funcs)
-
 	ex := extract.New(extract.Options{})
-	var seqs []*extract.Sequence
-	for _, p := range projects {
-		for _, m := range p.Modules {
-			seqs = append(seqs, ex.Module(m)...)
-		}
-	}
-	st := ex.Stats()
-	fmt.Printf("extraction: %d raw, %d duplicates removed, %d already optimizable, %d kept\n\n",
-		st.Sequences, st.Duplicates, st.Optimizable, st.Kept)
+	src := engine.Corpus(corpus.Options{Seed: 11, ModulesPerProject: 2, FuncsPerModule: 4}, ex)
 
 	sim := llm.NewSim("Llama3.3", 11)
-	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 512, Seed: 11}})
+	eng := engine.New(sim, engine.Config{
+		Workers: 4,
+		Rounds:  8,
+		Verify:  alive.Options{Samples: 512, Seed: 11},
+	})
+
+	results, stats := eng.Run(context.Background(), src)
 	found := 0
-	for _, s := range seqs {
-		for round := 0; round < 8; round++ {
-			res := pipe.OptimizeSeq(s.Fn, round)
-			if res.Outcome == lpo.Found {
-				found++
-				fmt.Printf("missed optimization in %s (@%s): %d->%d instrs\n",
-					s.Module, s.Func, res.InstrsBefore, res.InstrsAfter)
-				break
-			}
+	for res := range results {
+		if res.Outcome == engine.Found {
+			found++
+			fmt.Printf("missed optimization in %s (@%s): %d->%d instrs (round %d)\n",
+				res.Seq.Module, res.Seq.Func, res.InstrsBefore, res.InstrsAfter, res.Round)
 		}
 	}
+
+	st := ex.Stats()
+	fmt.Printf("\nextraction: %d raw, %d duplicates removed, %d already optimizable, %d kept\n",
+		st.Sequences, st.Duplicates, st.Optimizable, st.Kept)
+	stats.Print(os.Stdout)
 	fmt.Printf("\n%d verified missed optimizations discovered\n", found)
 }

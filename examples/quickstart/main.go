@@ -3,13 +3,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/alive"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/parser"
 )
 
@@ -33,10 +34,10 @@ func main() {
 	sim := llm.NewSim("Gemini2.0T", 42)
 	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 5, Plus: 5})
 
-	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 2048, Seed: 42}})
-	res := pipe.OptimizeSeq(src, 0)
+	eng := engine.New(sim, engine.Config{Verify: alive.Options{Samples: 2048, Seed: 42}})
+	res := eng.OptimizeSeq(context.Background(), src, 0)
 	fmt.Printf("pipeline outcome: %s\n", res.Outcome)
-	if res.Outcome != lpo.Found {
+	if res.Outcome != engine.Found {
 		log.Fatalf("expected a verified optimization, got %v", res.Outcome)
 	}
 	fmt.Println("\nverified optimization (paper Figure 1c):")

@@ -1,0 +1,335 @@
+// Package engine is the concurrent discovery API for the paper's Algorithm 1.
+// It replaces the old sequential lpo.Pipeline: an Engine drives a pool of
+// workers over a Source of extracted instruction sequences, pushing each one
+// through the composable stage chain Propose → Preprocess → Filter → Verify
+// (with the paper's feedback loop between attempts), and streams Results back
+// in source order.
+//
+// The engine is context-aware end to end — cancelling the context passed to
+// Run stops the feeder, the workers, and any in-flight provider call — and
+// deterministic: for a fixed provider seed the set and order of emitted
+// results is identical regardless of the worker count, because each sequence's
+// trip through the loop depends only on (sequence, round) and results are
+// reassembled in input order before they are emitted.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/alive"
+	"repro/internal/extract"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/mca"
+	"repro/internal/opt"
+)
+
+// Config tunes the engine. The zero value reproduces the paper's settings
+// (ATTEMPT_LIMIT = 2, btver2 interestingness model, one round) with one
+// worker per CPU.
+type Config struct {
+	// Workers is the size of the worker pool (default runtime.GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the input and result queues (default 2*Workers), so a
+	// slow consumer exerts backpressure on the Source instead of buffering
+	// the whole corpus in memory.
+	QueueSize int
+	// Rounds is how many provider rounds to try per sequence (default 1).
+	// Unless AllRounds is set, a sequence stops at its first Found round.
+	Rounds int
+	// AllRounds runs every round even after a Found and records each round's
+	// outcome in Result.RoundOutcomes (used by the RQ1 detection matrix).
+	AllRounds bool
+	// DedupSequences makes the engine skip sequences whose structural hash it
+	// has already processed (Outcome Duplicate). Useful when combining
+	// sources that were not already deduplicated by one shared Extractor.
+	DedupSequences bool
+
+	AttemptLimit int         // max LLM attempts per sequence (paper: 2)
+	Opt          opt.Options // optimizer used for candidate preprocessing
+	Verify       alive.Options
+	CPU          *mca.CPUModel
+	// DisableInterestingness skips the interestingness filter (ablation).
+	DisableInterestingness bool
+	// DisableOptPreprocess skips running opt on candidates (ablation).
+	DisableOptPreprocess bool
+	// DisableVerifyCache disables the cross-worker verification cache.
+	DisableVerifyCache bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 2 * c.Workers
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.AttemptLimit == 0 {
+		c.AttemptLimit = 2
+	}
+	if c.CPU == nil {
+		c.CPU = mca.BTVer2()
+	}
+	return c
+}
+
+// Outcome classifies one sequence's trip through the loop.
+type Outcome string
+
+// Outcomes.
+const (
+	Found         Outcome = "found"         // verified missed optimization
+	Uninteresting Outcome = "uninteresting" // candidate no better than the original
+	Refuted       Outcome = "refuted"       // all attempts failed verification
+	SyntaxFailed  Outcome = "syntax-failed" // all attempts failed to parse
+	NoProposal    Outcome = "no-proposal"   // LLM echoed the input
+	Errored       Outcome = "error"         // provider or source error
+	Canceled      Outcome = "canceled"      // context ended mid-sequence
+	Duplicate     Outcome = "duplicate"     // engine-level dedup hit
+)
+
+// Attempt records one iteration of the loop for reporting and tests.
+type Attempt struct {
+	Candidate string // raw LLM text (IR extracted)
+	Feedback  string // feedback generated FROM this attempt ("" if none)
+	Parsed    bool
+	Verified  bool
+}
+
+// Result is the outcome for one instruction sequence.
+type Result struct {
+	Seq   *extract.Sequence // provenance (nil when the input was a bare func)
+	Index int               // position in the source stream
+	Round int               // round that decided the outcome
+
+	Outcome  Outcome
+	Src      *ir.Func
+	Cand     *ir.Func // verified candidate (Outcome == Found)
+	Attempts []Attempt
+	Err      error // set for Errored / Canceled
+
+	// RoundOutcomes holds every round's outcome when Config.AllRounds.
+	RoundOutcomes []Outcome
+
+	Usage llm.Usage // accumulated over all attempts and rounds
+	// Gain metrics for found optimizations.
+	InstrsBefore, InstrsAfter int
+	CyclesBefore, CyclesAfter int
+}
+
+// String renders a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d->%d instrs, %d->%d cycles",
+		r.Outcome, r.InstrsBefore, r.InstrsAfter, r.CyclesBefore, r.CyclesAfter)
+}
+
+// Engine binds the provider and the substrate stages together behind a
+// concurrent batch API. Build one with New, then call Run (streaming) or
+// RunAll (collecting); OptimizeSeq is the single-sequence entry point the
+// batch machinery itself uses.
+type Engine struct {
+	client llm.Client
+	cfg    Config
+	stats  *Stats
+
+	vmu    sync.Mutex
+	vcache map[verifyKey]*verifyEntry
+
+	dmu  sync.Mutex
+	seen map[uint64]bool
+}
+
+type verifyKey struct{ src, cand uint64 }
+
+// verifyEntry is a singleflight cache slot: the first worker to claim the
+// key computes the verdict inside once; later workers block on it.
+type verifyEntry struct {
+	once sync.Once
+	res  alive.Result
+}
+
+// New builds an engine with the given client and config defaults applied.
+func New(client llm.Client, cfg Config) *Engine {
+	return &Engine{
+		client: client,
+		cfg:    cfg.withDefaults(),
+		stats:  newStats(),
+		vcache: make(map[verifyKey]*verifyEntry),
+		seen:   make(map[uint64]bool),
+	}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// item is one unit of scheduled work.
+type item struct {
+	idx int
+	seq *extract.Sequence
+}
+
+// Run streams every sequence of src through the discovery loop using the
+// configured worker pool and emits one Result per input on the returned
+// channel, in input order. The returned Stats is live — its accessors are
+// safe to call while the run is in flight — and is quiescent once the
+// channel closes. Cancelling ctx drains the run promptly: remaining
+// sequences are skipped and the channel closes. The caller must either
+// drain the channel or cancel ctx — abandoning the channel with a live
+// context leaks the pool.
+//
+// The same Engine may be reused for several runs; Stats accumulates across
+// them (call Stats.Reset between runs for per-run numbers).
+func (e *Engine) Run(ctx context.Context, src Source) (<-chan Result, *Stats) {
+	out := make(chan Result)
+	items := make(chan item, e.cfg.QueueSize)
+	results := make(chan Result, e.cfg.QueueSize)
+
+	// Feeder: pull from the source until it drains, the context ends, or it
+	// fails. A source error becomes a final Errored result so the consumer
+	// sees it in-band.
+	go func() {
+		defer close(items)
+		for idx := 0; ; idx++ {
+			seq, ok, err := src.Next(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // cancellation is not a source failure
+				}
+				res := Result{Index: idx, Outcome: Errored, Err: err}
+				e.stats.recordResult(res)
+				select {
+				case results <- res:
+				case <-ctx.Done():
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case items <- item{idx: idx, seq: seq}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range items {
+				var res Result
+				if ctx.Err() != nil {
+					res = Result{Index: it.idx, Seq: it.seq, Src: it.seq.Fn,
+						Outcome: Canceled, Err: ctx.Err()}
+				} else {
+					res = e.runSeq(ctx, it)
+				}
+				e.stats.recordResult(res)
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					// Consumer is gone; keep draining items so the feeder
+					// never blocks, but stop forwarding.
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reassembler: emit results in input order so output is deterministic
+	// regardless of worker count and scheduling.
+	go func() {
+		defer close(out)
+		pending := make(map[int]Result)
+		next := 0
+		for res := range results {
+			pending[res.Index] = res
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					// Keep consuming `results` (loop continues) so workers
+					// and feeder unwind; just stop emitting.
+				}
+			}
+		}
+	}()
+
+	return out, e.stats
+}
+
+// RunAll collects a Run into a slice, in input order.
+func (e *Engine) RunAll(ctx context.Context, src Source) ([]Result, *Stats) {
+	ch, stats := e.Run(ctx, src)
+	var out []Result
+	for r := range ch {
+		out = append(out, r)
+	}
+	return out, stats
+}
+
+// runSeq drives one scheduled sequence through its round budget.
+func (e *Engine) runSeq(ctx context.Context, it item) Result {
+	if e.cfg.DedupSequences && it.seq.Fn != nil {
+		h := ir.Hash(it.seq.Fn)
+		e.dmu.Lock()
+		dup := e.seen[h]
+		if !dup {
+			e.seen[h] = true
+		}
+		e.dmu.Unlock()
+		if dup {
+			return Result{Index: it.idx, Seq: it.seq, Src: it.seq.Fn, Outcome: Duplicate}
+		}
+	}
+
+	var agg Result
+	var usage llm.Usage
+	var roundOutcomes []Outcome
+	firstFound := -1
+	for round := 0; round < e.cfg.Rounds; round++ {
+		r := e.OptimizeSeq(ctx, it.seq.Fn, round)
+		usage.Add(r.Usage)
+		if e.cfg.AllRounds {
+			roundOutcomes = append(roundOutcomes, r.Outcome)
+		}
+		keep := firstFound < 0 // before the first Found, the latest round is representative
+		if r.Outcome == Found && firstFound < 0 {
+			firstFound = round
+			keep = true
+		}
+		if keep {
+			agg = r
+			agg.Round = round
+		}
+		if r.Outcome == Canceled {
+			break
+		}
+		if r.Outcome == Found && !e.cfg.AllRounds {
+			break
+		}
+	}
+	agg.Index = it.idx
+	agg.Seq = it.seq
+	agg.Usage = usage
+	agg.RoundOutcomes = roundOutcomes
+	return agg
+}

@@ -1,6 +1,7 @@
-package lpo
+package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,12 +31,12 @@ func clampCase() benchdata.Pair {
 	panic("missing case")
 }
 
-func TestPipelineFindsClampFirstAttempt(t *testing.T) {
+func TestEngineFindsClampFirstAttempt(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
-	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
-	res := p.OptimizeSeq(src, 0)
+	e := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := e.OptimizeSeq(context.Background(), src, 0)
 	if res.Outcome != Found {
 		t.Fatalf("expected Found, got %v (attempts: %+v)", res.Outcome, res.Attempts)
 	}
@@ -51,12 +52,12 @@ func TestPipelineFindsClampFirstAttempt(t *testing.T) {
 	}
 }
 
-func TestPipelineUsesFeedbackLoop(t *testing.T) {
+func TestEngineUsesFeedbackLoop(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 0, Plus: 5})
-	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
-	res := p.OptimizeSeq(src, 0)
+	e := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := e.OptimizeSeq(context.Background(), src, 0)
 	if res.Outcome != Found {
 		t.Fatalf("expected Found via feedback, got %v (attempts: %+v)", res.Outcome, res.Attempts)
 	}
@@ -85,8 +86,8 @@ func TestAttemptLimitOneDisablesFeedback(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 0, Plus: 5})
-	p := New(sim, Config{AttemptLimit: 1, Verify: alive.Options{Samples: 512, Seed: 3}})
-	res := p.OptimizeSeq(src, 0)
+	e := New(sim, Config{AttemptLimit: 1, Verify: alive.Options{Samples: 512, Seed: 3}})
+	res := e.OptimizeSeq(context.Background(), src, 0)
 	if res.Outcome == Found {
 		t.Fatal("LPO- (no feedback) should not find this calibrated case")
 	}
@@ -99,8 +100,8 @@ func TestNoProposalWhenModelCannotFind(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	sim := calibratedSim(t, "Gemma3", src, llm.Calibration{Minus: 0, Plus: 0})
-	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
-	res := p.OptimizeSeq(src, 0)
+	e := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
+	res := e.OptimizeSeq(context.Background(), src, 0)
 	if res.Outcome == Found {
 		t.Fatal("calibrated-to-zero case should never be found")
 	}
@@ -112,10 +113,10 @@ func TestHallucinationsAreRefutedNotAccepted(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	sim := calibratedSim(t, "GPT-4.1", src, llm.Calibration{Minus: 1, Plus: 4})
-	p := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 5}})
+	e := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 5}})
 	foundRounds := 0
 	for round := 0; round < 20; round++ {
-		res := p.OptimizeSeq(src, round)
+		res := e.OptimizeSeq(context.Background(), src, round)
 		if res.Outcome == Found {
 			foundRounds++
 			r := alive.Verify(src, res.Cand, alive.Options{Samples: 2048, Seed: uint64(round)})
@@ -168,7 +169,7 @@ func TestInterestingnessRules(t *testing.T) {
 	}
 }
 
-func TestRunBatchAggregates(t *testing.T) {
+func TestRunAggregatesStats(t *testing.T) {
 	pair := clampCase()
 	src := parser.MustParseFunc(pair.Src)
 	other := parser.MustParseFunc(`define i8 @g(i8 %x, i8 %y) {
@@ -180,13 +181,92 @@ func TestRunBatchAggregates(t *testing.T) {
 	sim := llm.NewSim("Gemini2.0T", 7)
 	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 5, Plus: 5})
 	sim.Calibrate(ir.Hash(other), llm.Calibration{Minus: 5, Plus: 5})
-	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
-	found, stats := p.RunBatch([]*ir.Func{src, other}, 0)
-	if len(found) != 2 {
-		t.Fatalf("expected 2 found, got %d (%v)", len(found), stats.ByOutcome)
+	e := New(sim, Config{Workers: 2, Verify: alive.Options{Samples: 256, Seed: 3}})
+	results, stats := e.RunAll(context.Background(), Funcs(src, other))
+	if len(results) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(results))
 	}
-	if stats.Sequences != 2 || stats.Usage.VirtualSeconds <= 0 {
-		t.Fatalf("stats not aggregated: %+v", stats)
+	found := 0
+	for _, r := range results {
+		if r.Outcome == Found {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("expected 2 found, got %d (%v)", found, stats.ByOutcome())
+	}
+	if stats.Sequences() != 2 || stats.Usage().VirtualSeconds <= 0 {
+		t.Fatalf("stats not aggregated: %d sequences, %+v", stats.Sequences(), stats.Usage())
+	}
+	if stats.Outcome(Found) != 2 {
+		t.Fatalf("outcome tally wrong: %v", stats.ByOutcome())
+	}
+	if p := stats.Stage(StagePropose); p.Invocations < 2 || p.Seconds <= 0 {
+		t.Fatalf("propose stage metrics missing: %+v", p)
+	}
+	if v := stats.Stage(StageVerify); v.Invocations < 2 {
+		t.Fatalf("verify stage metrics missing: %+v", v)
+	}
+}
+
+func TestResultsArriveInSourceOrder(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	fns := make([]*ir.Func, 24)
+	for i := range fns {
+		fns[i] = src
+	}
+	e := New(sim, Config{Workers: 8, Verify: alive.Options{Samples: 128, Seed: 3}})
+	results, _ := e.RunAll(context.Background(), Funcs(fns...))
+	if len(results) != len(fns) {
+		t.Fatalf("expected %d results, got %d", len(fns), len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d carries index %d — reassembly broken", i, r.Index)
+		}
+	}
+}
+
+func TestVerifyCacheSharedAcrossWorkers(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	fns := make([]*ir.Func, 16)
+	for i := range fns {
+		fns[i] = src
+	}
+	e := New(sim, Config{Workers: 4, Verify: alive.Options{Samples: 256, Seed: 3}})
+	results, stats := e.RunAll(context.Background(), Funcs(fns...))
+	for _, r := range results {
+		if r.Outcome != Found {
+			t.Fatalf("expected every copy to be Found, got %v", r.Outcome)
+		}
+	}
+	// 16 identical windows propose the same candidate: one real verification,
+	// fifteen cache hits.
+	if hits := stats.VerifyCacheHits(); hits != len(fns)-1 {
+		t.Fatalf("expected %d cache hits, got %d", len(fns)-1, hits)
+	}
+}
+
+func TestEngineDedupSequences(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	e := New(sim, Config{Workers: 1, DedupSequences: true,
+		Verify: alive.Options{Samples: 128, Seed: 3}})
+	results, stats := e.RunAll(context.Background(), Funcs(src, src, src))
+	if results[0].Outcome != Found {
+		t.Fatalf("first copy should be Found, got %v", results[0].Outcome)
+	}
+	if results[1].Outcome != Duplicate || results[2].Outcome != Duplicate {
+		t.Fatalf("later copies should be Duplicate, got %v / %v",
+			results[1].Outcome, results[2].Outcome)
+	}
+	if stats.Outcome(Duplicate) != 2 {
+		t.Fatalf("duplicate tally wrong: %v", stats.ByOutcome())
 	}
 }
 
@@ -198,9 +278,9 @@ func TestFigure3SyntaxErrorLoop(t *testing.T) {
 	src := parser.MustParseFunc(pair.Src)
 	sim := llm.NewSim("Gemini2.0T", 7)
 	sim.Calibrate(ir.Hash(src), llm.Calibration{Minus: 0, Plus: 5})
-	p := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
+	e := New(sim, Config{Verify: alive.Options{Samples: 256, Seed: 3}})
 	for round := 0; round < 64; round++ {
-		res := p.OptimizeSeq(src, round)
+		res := e.OptimizeSeq(context.Background(), src, round)
 		if len(res.Attempts) == 2 && !res.Attempts[0].Parsed {
 			if !strings.Contains(res.Attempts[0].Feedback, "error:") {
 				t.Fatalf("syntax feedback missing opt-style message: %q", res.Attempts[0].Feedback)

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/llm"
+)
+
+// StageMetrics is a snapshot of one pipeline stage's counters.
+type StageMetrics struct {
+	Invocations int
+	// Seconds is the stage's accumulated latency: virtual seconds for the
+	// propose stage (the provider's throughput model), measured wall seconds
+	// for the local preprocess/filter/verify stages.
+	Seconds float64
+}
+
+// Stats aggregates a run. All methods are safe to call concurrently with a
+// run in flight; numbers are final once the result channel has closed. An
+// Engine accumulates stats across runs until Reset is called.
+type Stats struct {
+	mu        sync.Mutex
+	sequences int
+	byOutcome map[Outcome]int
+	usage     llm.Usage
+	stages    map[string]*StageMetrics
+	cacheHits int
+}
+
+func newStats() *Stats {
+	return &Stats{
+		byOutcome: make(map[Outcome]int),
+		stages:    make(map[string]*StageMetrics),
+	}
+}
+
+func (s *Stats) recordResult(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sequences++
+	s.byOutcome[r.Outcome]++
+	s.usage.Add(r.Usage)
+}
+
+func (s *Stats) recordStage(name string, seconds float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.stages[name]
+	if m == nil {
+		m = &StageMetrics{}
+		s.stages[name] = m
+	}
+	m.Invocations++
+	m.Seconds += seconds
+}
+
+func (s *Stats) recordCacheHit() {
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+// Sequences is the number of sequences that have completed the loop.
+func (s *Stats) Sequences() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sequences
+}
+
+// Outcome returns the tally for one outcome.
+func (s *Stats) Outcome(o Outcome) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byOutcome[o]
+}
+
+// ByOutcome returns a copy of the outcome tallies.
+func (s *Stats) ByOutcome() map[Outcome]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Outcome]int, len(s.byOutcome))
+	for k, v := range s.byOutcome {
+		out[k] = v
+	}
+	return out
+}
+
+// Usage returns the accumulated provider usage.
+func (s *Stats) Usage() llm.Usage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage
+}
+
+// Stage returns a snapshot of one stage's metrics (see StageNames).
+func (s *Stats) Stage(name string) StageMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.stages[name]; m != nil {
+		return *m
+	}
+	return StageMetrics{}
+}
+
+// VerifyCacheHits is the number of verifications skipped by the cache.
+func (s *Stats) VerifyCacheHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHits
+}
+
+// Reset clears every counter (typically between runs of a reused Engine).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sequences = 0
+	s.byOutcome = make(map[Outcome]int)
+	s.usage = llm.Usage{}
+	s.stages = make(map[string]*StageMetrics)
+	s.cacheHits = 0
+}
+
+// Print renders a human-readable summary of the run.
+func (s *Stats) Print(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(w, "sequences: %d\n", s.sequences)
+	outs := make([]string, 0, len(s.byOutcome))
+	for o := range s.byOutcome {
+		outs = append(outs, string(o))
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		fmt.Fprintf(w, "  %-14s %d\n", o, s.byOutcome[Outcome(o)])
+	}
+	fmt.Fprintf(w, "usage: %d in / %d out tokens, %.1f virtual s, $%.4f\n",
+		s.usage.InputTokens, s.usage.OutputTokens, s.usage.VirtualSeconds, s.usage.CostUSD)
+	for _, name := range StageNames() {
+		if m := s.stages[name]; m != nil {
+			fmt.Fprintf(w, "stage %-11s %6d calls, %8.2fs\n", name, m.Invocations, m.Seconds)
+		}
+	}
+	if s.cacheHits > 0 {
+		fmt.Fprintf(w, "verify cache hits: %d\n", s.cacheHits)
+	}
+}

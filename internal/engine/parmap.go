@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParMap applies fn to every item on a bounded worker pool and returns the
+// results in input order, so output is deterministic regardless of worker
+// count. workers <= 0 uses GOMAXPROCS. When ctx ends early, the remaining
+// slots keep their zero value; fn should check ctx itself if it is
+// expensive. It backs the non-LLM fan-outs (patch-impact scans, baseline
+// sweeps, batch opt) that do not need the full engine.
+func ParMap[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) R) []R {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(items) || ctx.Err() != nil {
+					return
+				}
+				out[i] = fn(ctx, i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -49,6 +49,9 @@ func TestRQ1TotalsMatchPaper(t *testing.T) {
 	}
 }
 
+// raceEnabled is set by race_enabled_test.go when built with -race.
+var raceEnabled bool
+
 func absDiff(a, b int) int {
 	if a > b {
 		return a - b
@@ -144,7 +147,9 @@ func TestTable5ImpactShape(t *testing.T) {
 		if row.IRFiles == 0 {
 			t.Errorf("patch %s touches no corpus file — planting broken", row.PatchID)
 		}
-		if math.Abs(row.DeltaPct) > 50 {
+		if !raceEnabled && math.Abs(row.DeltaPct) > 50 {
+			// Wall-clock deltas are meaningless under the race detector's
+			// instrumentation overhead; only assert them in normal builds.
 			t.Errorf("compile-time delta implausible for %s: %+.1f%%", row.PatchID, row.DeltaPct)
 		}
 	}

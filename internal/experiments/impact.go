@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/benchdata"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/opt"
 )
@@ -49,10 +51,12 @@ func RunTable5(seed uint64) *Table5Report {
 			}
 		}
 	}
-	baseline := make([]uint64, len(fns))
-	for i, f := range fns {
-		baseline[i] = ir.Hash(opt.RunO3(f.fn))
-	}
+	// The baseline and per-patch scans are pure hash computations; fan them
+	// out (ParMap keeps results in index order, so counts are unchanged).
+	ctx := context.Background()
+	baseline := engine.ParMap(ctx, 0, fns, func(_ context.Context, _ int, f fnRef) uint64 {
+		return ir.Hash(opt.RunO3(f.fn))
+	})
 	// Min-of-N over a multi-pass timing window keeps the wall-clock
 	// measurement stable enough for the percent-level deltas the paper
 	// reports (single passes over the corpus are tens of milliseconds and
@@ -79,9 +83,11 @@ func RunTable5(seed uint64) *Table5Report {
 	for _, row := range benchdata.Table5() {
 		modules := map[int]bool{}
 		prjs := map[int]bool{}
+		patched := engine.ParMap(ctx, 0, fns, func(_ context.Context, _ int, f fnRef) uint64 {
+			return ir.Hash(opt.Run(f.fn, opt.Options{Patches: []string{row.IssueID}}))
+		})
 		for i, f := range fns {
-			h := ir.Hash(opt.Run(f.fn, opt.Options{Patches: []string{row.IssueID}}))
-			if h != baseline[i] {
+			if patched[i] != baseline[i] {
 				modules[f.module] = true
 				prjs[f.project] = true
 			}

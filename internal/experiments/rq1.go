@@ -6,15 +6,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/alive"
 	"repro/internal/benchdata"
+	"repro/internal/engine"
 	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/minotaur"
 	"repro/internal/opt"
 	"repro/internal/parser"
@@ -23,9 +24,10 @@ import (
 
 // RQ1Options sizes the Table 2 run.
 type RQ1Options struct {
-	Rounds int    // paper: 5
-	Seed   uint64 // provider seed
-	Models []string
+	Rounds  int    // paper: 5
+	Seed    uint64 // provider seed
+	Models  []string
+	Workers int // engine worker pool (default GOMAXPROCS)
 }
 
 func (o RQ1Options) withDefaults() RQ1Options {
@@ -91,6 +93,15 @@ func RunRQ1(opts RQ1Options) *RQ1Report {
 			rep.Minotaur[c.IssueID] = true
 		}
 	}
+	// Per-round detection counts. Each (case, round, variant) trip through
+	// the loop is independent, so both engine variants fan the cases out
+	// across their worker pool with AllRounds recording every round's
+	// outcome; ordered reassembly keeps cells aligned with the case list.
+	ctx := context.Background()
+	srcs := make([]*ir.Func, len(cases))
+	for i, c := range cases {
+		srcs[i] = canon[c.IssueID]
+	}
 	for _, model := range opts.Models {
 		sim := llm.NewSim(model, opts.Seed)
 		for _, c := range cases {
@@ -101,16 +112,22 @@ func RunRQ1(opts RQ1Options) *RQ1Report {
 				sim.Calibrate(ir.Hash(src), llm.Calibration{})
 			}
 		}
-		full := lpo.New(sim, lpo.Config{AttemptLimit: 2, Verify: verify})
-		minus := lpo.New(sim, lpo.Config{AttemptLimit: 1, Verify: verify})
-		for _, c := range cases {
-			src := canon[c.IssueID]
+		base := engine.Config{Verify: verify, Workers: opts.Workers,
+			Rounds: opts.Rounds, AllRounds: true}
+		fullCfg, minusCfg := base, base
+		fullCfg.AttemptLimit = 2
+		minusCfg.AttemptLimit = 1
+		full, _ := engine.New(sim, fullCfg).RunAll(ctx, engine.Funcs(srcs...))
+		minus, _ := engine.New(sim, minusCfg).RunAll(ctx, engine.Funcs(srcs...))
+		for i, c := range cases {
 			cell := RQ1Cell{}
-			for round := 0; round < opts.Rounds; round++ {
-				if minus.OptimizeSeq(src, round).Outcome == lpo.Found {
+			for _, o := range minus[i].RoundOutcomes {
+				if o == engine.Found {
 					cell.Minus++
 				}
-				if full.OptimizeSeq(src, round).Outcome == lpo.Found {
+			}
+			for _, o := range full[i].RoundOutcomes {
+				if o == engine.Found {
 					cell.Plus++
 				}
 			}

@@ -1,16 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/alive"
 	"repro/internal/benchdata"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/extract"
 	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/minotaur"
 	"repro/internal/parser"
 	"repro/internal/souper"
@@ -22,6 +23,7 @@ type RQ2Options struct {
 	DiscoverRounds int // LPO rounds per sequence during discovery (default 25)
 	Model          string
 	CorpusOpts     corpus.Options
+	Workers        int // engine worker pool (default GOMAXPROCS)
 }
 
 func (o RQ2Options) withDefaults() RQ2Options {
@@ -76,25 +78,34 @@ func RunRQ2(opts RQ2Options) *RQ2Report {
 	rep.Extracted = ex.Stats()
 
 	sim := llm.NewSim(opts.Model, opts.Seed)
-	pipe := lpo.New(sim, lpo.Config{Verify: alive.Options{Samples: 512, Seed: opts.Seed}})
+	eng := engine.New(sim, engine.Config{
+		Verify:  alive.Options{Samples: 512, Seed: opts.Seed},
+		Workers: opts.Workers,
+		Rounds:  opts.DiscoverRounds,
+	})
 
-	for _, f := range benchdata.RQ2Findings() {
-		row := RQ2Row{IssueID: f.IssueID, Status: f.Status, Family: f.Family}
-		src := parser.MustParseFunc(f.Pair.Src)
-
-		// Discovery: the registry instance must be present in the corpus
-		// extraction (possibly canonicalized); then the pipeline must find
-		// it within the round budget.
-		target := src
-		if s, ok := byHash[ir.Hash(src)]; ok {
-			target = s.Fn
+	// Discovery: the registry instance must be present in the corpus
+	// extraction (possibly canonicalized); then the engine must find it
+	// within the round budget. Findings fan out across the worker pool;
+	// ordered reassembly keeps results aligned with the findings list.
+	findings := benchdata.RQ2Findings()
+	srcs := make([]*ir.Func, len(findings))
+	targets := make([]*ir.Func, len(findings))
+	for i, f := range findings {
+		srcs[i] = parser.MustParseFunc(f.Pair.Src)
+		targets[i] = srcs[i]
+		if s, ok := byHash[ir.Hash(srcs[i])]; ok {
+			targets[i] = s.Fn
 		}
-		for round := 0; round < opts.DiscoverRounds; round++ {
-			if pipe.OptimizeSeq(target, round).Outcome == lpo.Found {
-				row.Discovered = true
-				rep.Discovered++
-				break
-			}
+	}
+	discovered, _ := eng.RunAll(context.Background(), engine.Funcs(targets...))
+
+	for i, f := range findings {
+		row := RQ2Row{IssueID: f.IssueID, Status: f.Status, Family: f.Family}
+		src := srcs[i]
+		if discovered[i].Outcome == engine.Found {
+			row.Discovered = true
+			rep.Discovered++
 		}
 
 		// Baselines.

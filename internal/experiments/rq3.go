@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/extract"
-	"repro/internal/ir"
 	"repro/internal/llm"
-	"repro/internal/lpo"
 	"repro/internal/souper"
 )
 
@@ -19,6 +19,7 @@ import (
 type RQ3Options struct {
 	Sequences int
 	Seed      uint64
+	Workers   int // engine worker pool (default GOMAXPROCS)
 }
 
 func (o RQ3Options) withDefaults() RQ3Options {
@@ -48,33 +49,40 @@ type RQ3Report struct {
 // model, and Souper at Enum 0-3 with the 20-minute timeout.
 func RunRQ3(opts RQ3Options) *RQ3Report {
 	opts = opts.withDefaults()
-	projects := corpus.Generate(corpus.Options{Seed: opts.Seed})
+	ctx := context.Background()
 	ex := extract.New(extract.Options{})
-	var seqs []*ir.Func
-	for _, p := range projects {
-		for _, m := range p.Modules {
-			for _, s := range ex.Module(m) {
-				seqs = append(seqs, s.Fn)
-			}
+	var seqs []*extract.Sequence
+	// Scope the stream's context to the sampling loop: cancelling it stops
+	// the Corpus producer goroutine once the sample is full.
+	sampleCtx, stopSampling := context.WithCancel(ctx)
+	src := engine.Corpus(corpus.Options{Seed: opts.Seed}, ex)
+	for len(seqs) < opts.Sequences {
+		s, ok, err := src.Next(sampleCtx)
+		if err != nil || !ok {
+			break
 		}
+		seqs = append(seqs, s)
 	}
-	if len(seqs) > opts.Sequences {
-		seqs = seqs[:opts.Sequences]
-	}
+	stopSampling()
 	rep := &RQ3Report{Sequences: len(seqs)}
 
 	verify := alive.Options{Samples: 256, Seed: opts.Seed}
 	for _, model := range []string{"Llama3.3", "Gemini2.5"} {
 		sim := llm.NewSim(model, opts.Seed)
-		pipe := lpo.New(sim, lpo.Config{Verify: verify})
-		row := RQ3Row{Tool: "LPO/" + model, Cases: len(seqs)}
-		for _, s := range seqs {
-			r := pipe.OptimizeSeq(s, 0)
-			row.SecPerCase += r.Usage.VirtualSeconds
-			row.TotalCost += r.Usage.CostUSD
+		eng := engine.New(sim, engine.Config{Verify: verify, Workers: opts.Workers})
+		results, _ := eng.RunAll(ctx, engine.Sequences(seqs...))
+		// Fold usage in stream order (not from the live Stats) so the float
+		// sums are bit-identical for every worker count.
+		var u llm.Usage
+		for _, r := range results {
+			u.Add(r.Usage)
 		}
-		row.SecPerCase /= float64(len(seqs))
-		rep.Rows = append(rep.Rows, row)
+		rep.Rows = append(rep.Rows, RQ3Row{
+			Tool:       "LPO/" + model,
+			Cases:      len(seqs),
+			SecPerCase: u.VirtualSeconds / float64(len(seqs)),
+			TotalCost:  u.CostUSD,
+		})
 	}
 	for enum := 0; enum <= 3; enum++ {
 		name := "Souper/Default"
@@ -82,10 +90,21 @@ func RunRQ3(opts RQ3Options) *RQ3Report {
 			name = fmt.Sprintf("Souper/Enum=%d", enum)
 		}
 		row := RQ3Row{Tool: name, Cases: len(seqs)}
-		for i, s := range seqs {
-			r := souper.Optimize(s, souper.Options{Enum: enum, Seed: opts.Seed + uint64(i)})
-			row.SecPerCase += r.VirtualSeconds
-			if r.TimedOut {
+		// The baseline sweep is provider-free; fan it out with ParMap and
+		// fold the indexed results back in order so the sums stay
+		// bit-identical to a sequential run.
+		type souperOut struct {
+			seconds  float64
+			timedOut bool
+		}
+		outs := engine.ParMap(ctx, opts.Workers, seqs,
+			func(_ context.Context, i int, s *extract.Sequence) souperOut {
+				r := souper.Optimize(s.Fn, souper.Options{Enum: enum, Seed: opts.Seed + uint64(i)})
+				return souperOut{seconds: r.VirtualSeconds, timedOut: r.TimedOut}
+			})
+		for _, o := range outs {
+			row.SecPerCase += o.seconds
+			if o.timedOut {
 				row.Timeouts++
 			}
 		}

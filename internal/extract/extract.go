@@ -7,6 +7,7 @@ package extract
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/opt"
@@ -44,9 +45,13 @@ type Stats struct {
 	Unsupported int // dropped: not wrappable (phi/label operands, void mid-results)
 }
 
-// Extractor holds the cross-module dedup set.
+// Extractor holds the cross-module dedup set. The dedup set and counters are
+// guarded by a mutex, so one Extractor may be shared across concurrent
+// extraction workers (the engine's streaming sources do exactly that);
+// deduplication stays global across all of them.
 type Extractor struct {
 	opts  Options
+	mu    sync.Mutex
 	dedup map[uint64]bool
 	stats Stats
 }
@@ -60,22 +65,58 @@ func New(opts Options) *Extractor {
 }
 
 // Stats returns a copy of the running counters.
-func (e *Extractor) Stats() Stats { return e.stats }
+func (e *Extractor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// claim atomically tests-and-inserts a structural hash into the dedup set,
+// reporting whether the caller owns the first sighting.
+func (e *Extractor) claim(digest uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dedup[digest] {
+		e.stats.Duplicates++
+		return false
+	}
+	e.dedup[digest] = true
+	e.stats.Kept++
+	return true
+}
+
+func (e *Extractor) count(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}
 
 // Module extracts all unique, not-already-optimizable sequences from m.
 func (e *Extractor) Module(m *ir.Module) []*Sequence {
 	var out []*Sequence
+	e.Stream(m, func(s *Sequence) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// Stream extracts sequences from m and hands each kept one to yield as soon
+// as it is found, without materializing the whole slice. Extraction stops
+// early when yield returns false. Stream is safe to call concurrently on
+// different modules of the same Extractor.
+func (e *Extractor) Stream(m *ir.Module, yield func(*Sequence) bool) {
 	for _, f := range m.Funcs {
 		for _, bb := range f.Blocks {
 			for _, seq := range SeqsFromBlock(bb) {
-				e.stats.Sequences++
+				e.count(func(s *Stats) { s.Sequences++ })
 				if len(seq) < e.opts.MinLen || (e.opts.MaxLen > 0 && len(seq) > e.opts.MaxLen) {
-					e.stats.TooShort++
+					e.count(func(s *Stats) { s.TooShort++ })
 					continue
 				}
 				wrapped, err := WrapAsFunc(seq, "src")
 				if err != nil {
-					e.stats.Unsupported++
+					e.count(func(s *Stats) { s.Unsupported++ })
 					continue
 				}
 				// Line 7-8 of Alg. 2: if LLVM can further optimize the
@@ -83,7 +124,7 @@ func (e *Extractor) Module(m *ir.Module) []*Sequence {
 				// search should only see code the compiler thinks is final.
 				optimized := opt.Run(wrapped, e.opts.Opt)
 				if optimized.NumInstrs(true) < wrapped.NumInstrs(true) {
-					e.stats.Optimizable++
+					e.count(func(s *Stats) { s.Optimizable++ })
 					continue
 				}
 				// Pure canonicalization (same size, different shape) is
@@ -92,20 +133,17 @@ func (e *Extractor) Module(m *ir.Module) []*Sequence {
 				if !ir.StructurallyEqual(optimized, wrapped) {
 					wrapped = optimized
 				}
-				digest := ir.Hash(wrapped)
-				if e.dedup[digest] {
-					e.stats.Duplicates++
+				if !e.claim(ir.Hash(wrapped)) {
 					continue
 				}
-				e.dedup[digest] = true
-				e.stats.Kept++
-				out = append(out, &Sequence{
+				if !yield(&Sequence{
 					Fn: wrapped, Module: m.Name, Func: f.Name, Block: bb.Name, Len: len(seq),
-				})
+				}) {
+					return
+				}
 			}
 		}
 	}
-	return out
 }
 
 // SeqsFromBlock is the paper's ExtractSeqsFromBB: it walks the block's

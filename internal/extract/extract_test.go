@@ -2,6 +2,7 @@ package extract
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/ir"
@@ -217,5 +218,67 @@ func TestExtractedSequencesAreCanonical(t *testing.T) {
 	txt := seqs[0].Fn.String()
 	if strings.Contains(txt, "add i32 7,") {
 		t.Fatalf("sequence was not canonicalized:\n%s", txt)
+	}
+}
+
+func TestConcurrentStreamSharesDedup(t *testing.T) {
+	// Two goroutines stream the same module through one Extractor: the
+	// shared dedup set must keep exactly one copy of every unique sequence
+	// (the duplicate tally absorbs the rest), with no data race.
+	src := `define i32 @f(i32 %x, i32 %y) {
+  %a = add i32 %x, %y
+  %b = mul i32 %a, %x
+  ret i32 %b
+}
+define i32 @g(i32 %x) {
+  %a = shl i32 %x, 3
+  %b = xor i32 %a, 7
+  ret i32 %b
+}`
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := New(Options{})
+	want := len(baseline.Module(m))
+	if want == 0 {
+		t.Fatal("test module yields no sequences")
+	}
+
+	const goroutines = 8
+	ex := New(Options{})
+	var mu sync.Mutex
+	var kept []*Sequence
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex.Stream(m, func(s *Sequence) bool {
+				mu.Lock()
+				kept = append(kept, s)
+				mu.Unlock()
+				return true
+			})
+		}()
+	}
+	wg.Wait()
+	if len(kept) != want {
+		t.Fatalf("concurrent streams kept %d sequences, want %d", len(kept), want)
+	}
+	st := ex.Stats()
+	if st.Kept != want {
+		t.Fatalf("stats kept %d, want %d", st.Kept, want)
+	}
+	hashes := map[uint64]bool{}
+	for _, s := range kept {
+		if h := ir.Hash(s.Fn); hashes[h] {
+			t.Fatal("duplicate sequence escaped the shared dedup set")
+		} else {
+			hashes[h] = true
+		}
+	}
+	if st.Duplicates == 0 {
+		t.Fatal("expected the redundant streams to be counted as duplicates")
 	}
 }

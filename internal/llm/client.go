@@ -1,5 +1,7 @@
 package llm
 
+import "context"
+
 // Role of a chat message.
 type Role string
 
@@ -35,17 +37,28 @@ type Usage struct {
 	CostUSD        float64
 }
 
+// Add accumulates v into u field by field.
+func (u *Usage) Add(v Usage) {
+	u.InputTokens += v.InputTokens
+	u.OutputTokens += v.OutputTokens
+	u.VirtualSeconds += v.VirtualSeconds
+	u.CostUSD += v.CostUSD
+}
+
 // Response is a chat completion.
 type Response struct {
 	Text  string
 	Usage Usage
 }
 
-// Client is the provider interface LPO drives. Exactly one implementation
-// exists in this offline reproduction (Sim); the interface keeps the
-// pipeline compatible with a real HTTP-backed provider.
+// Client is the provider interface LPO drives. Implementations must be safe
+// for concurrent Complete calls and must honor context cancellation: the
+// engine fans requests out across a worker pool and cancels in-flight work
+// when its context ends. Exactly one implementation exists in this offline
+// reproduction (Sim); the interface keeps the pipeline compatible with a
+// real HTTP-backed provider.
 type Client interface {
-	Complete(req Request) (Response, error)
+	Complete(ctx context.Context, req Request) (Response, error)
 	Profile() Profile
 }
 

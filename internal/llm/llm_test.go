@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestSimEmitsKnowledgeBaseRewrite(t *testing.T) {
 	src := parser.MustParseFunc(kbCase)
 	sim := NewSim("Gemini2.0T", 3)
 	sim.Calibrate(ir.Hash(src), Calibration{Minus: 5, Plus: 5})
-	resp, err := sim.Complete(Request{Messages: []Message{
+	resp, err := sim.Complete(context.Background(), Request{Messages: []Message{
 		{Role: RoleSystem, Content: SystemPrompt},
 		{Role: RoleUser, Content: "Optimize:\n" + src.String()},
 	}})
@@ -69,7 +70,7 @@ func TestSimEchoesUnknownWindows(t *testing.T) {
   ret i8 %r
 }`)
 	sim := NewSim("o4-mini", 3)
-	resp, err := sim.Complete(Request{Messages: []Message{
+	resp, err := sim.Complete(context.Background(), Request{Messages: []Message{
 		{Role: RoleUser, Content: src.String()},
 	}})
 	if err != nil {
@@ -87,7 +88,7 @@ func TestStratifiedCalibrationIsExact(t *testing.T) {
 	sim.Calibrate(ir.Hash(src), Calibration{Minus: 2, Plus: 4})
 	firstOK, secondOK := 0, 0
 	for round := 0; round < 5; round++ {
-		r1, _ := sim.Complete(Request{Round: round, Messages: []Message{
+		r1, _ := sim.Complete(context.Background(), Request{Round: round, Messages: []Message{
 			{Role: RoleUser, Content: src.String()},
 		}})
 		if _, err := parser.ParseFunc(ExtractFunc(r1.Text)); err == nil {
@@ -97,7 +98,7 @@ func TestStratifiedCalibrationIsExact(t *testing.T) {
 			}
 		}
 		// Second attempt with feedback.
-		r2, _ := sim.Complete(Request{Round: round, Messages: []Message{
+		r2, _ := sim.Complete(context.Background(), Request{Round: round, Messages: []Message{
 			{Role: RoleUser, Content: src.String()},
 			{Role: RoleAssistant, Content: r1.Text},
 			{Role: RoleUser, Content: "feedback"},
@@ -160,7 +161,7 @@ func TestHallucinationsAreWellFormedButDifferent(t *testing.T) {
 func TestCostAccounting(t *testing.T) {
 	src := parser.MustParseFunc(kbCase)
 	sim := NewSim("Gemini2.5", 1)
-	resp, err := sim.Complete(Request{Messages: []Message{
+	resp, err := sim.Complete(context.Background(), Request{Messages: []Message{
 		{Role: RoleUser, Content: src.String()},
 	}})
 	if err != nil {
@@ -170,7 +171,7 @@ func TestCostAccounting(t *testing.T) {
 		t.Fatal("API model should report cost")
 	}
 	local := NewSim("Llama3.3", 1)
-	resp2, _ := local.Complete(Request{Messages: []Message{
+	resp2, _ := local.Complete(context.Background(), Request{Messages: []Message{
 		{Role: RoleUser, Content: src.String()},
 	}})
 	if resp2.Usage.CostUSD != 0 {

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -46,7 +47,8 @@ func NewSim(model string, seed uint64) *Sim {
 func (s *Sim) Profile() Profile { return s.prof }
 
 // Calibrate registers a Table 2 calibration entry for the function with the
-// given structural hash.
+// given structural hash. Calibrate must not be called concurrently with
+// Complete; calibrate once up front, then hand the Sim to the engine.
 func (s *Sim) Calibrate(h uint64, c Calibration) { s.cal[h] = c }
 
 // SystemPrompt is the instruction LPO sends (paper Figure 2).
@@ -54,8 +56,13 @@ const SystemPrompt = "If the provided instruction sequence is suboptimal, " +
 	"output the optimal and correct implementation. If the result is " +
 	"incorrect, revise it based on the provided feedback."
 
-// Complete implements Client.
-func (s *Sim) Complete(req Request) (Response, error) {
+// Complete implements Client. All per-call state is derived from the request
+// alone, so concurrent Complete calls are safe. Cancellation is checked up
+// front: a real provider would abort the HTTP round trip.
+func (s *Sim) Complete(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
+	}
 	inTokens := 0
 	attempt := 0
 	firstUser := ""

@@ -9,24 +9,39 @@ import (
 	"repro/internal/ir"
 )
 
-// Error is a positioned parse diagnostic formatted like LLVM's opt front
-// end: the message, the offending source line, and a caret.
-type Error struct {
-	Msg  string
+// ParseError is a structured, positioned parse diagnostic. Line and Col are
+// 1-based; both are 0 when the error has no single source position (e.g. a
+// post-parse verification failure). The rendered message follows LLVM's opt
+// front end — "line:col: error: <msg>", the offending source line, and a
+// caret — because LPO forwards these messages verbatim to the LLM as repair
+// feedback, and positions make the repair actionable.
+type ParseError struct {
 	Line int
 	Col  int
-	Src  string
+	Msg  string
+	Src  string // the offending source line ("" when unavailable)
 }
 
-func (e *Error) Error() string {
+// NewParseError builds a positioned diagnostic.
+func NewParseError(msg string, line, col int, src string) *ParseError {
+	return &ParseError{Line: line, Col: col, Msg: msg, Src: src}
+}
+
+func (e *ParseError) Error() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "error: %s\n", e.Msg)
-	sb.WriteString(e.Src)
-	sb.WriteString("\n")
-	for i := 1; i < e.Col; i++ {
-		sb.WriteString(" ")
+	if e.Line > 0 {
+		fmt.Fprintf(&sb, "%d:%d: ", e.Line, e.Col)
 	}
-	sb.WriteString("^")
+	fmt.Fprintf(&sb, "error: %s", e.Msg)
+	if e.Src != "" {
+		sb.WriteString("\n")
+		sb.WriteString(e.Src)
+		sb.WriteString("\n")
+		for i := 1; i < e.Col; i++ {
+			sb.WriteString(" ")
+		}
+		sb.WriteString("^")
+	}
 	return sb.String()
 }
 
@@ -78,7 +93,7 @@ func Parse(src string) (*ir.Module, error) {
 	}
 	for _, f := range m.Funcs {
 		if err := ir.VerifyFunc(f); err != nil {
-			return nil, fmt.Errorf("error: %s", err)
+			return nil, &ParseError{Msg: err.Error()}
 		}
 	}
 	return m, nil
@@ -126,7 +141,7 @@ func (p *parser) errAt(t token, format string, args ...any) error {
 	if t.line-1 >= 0 && t.line-1 < len(p.lines) {
 		srcLine = p.lines[t.line-1]
 	}
-	return &Error{Msg: fmt.Sprintf(format, args...), Line: t.line, Col: t.col, Src: srcLine}
+	return NewParseError(fmt.Sprintf(format, args...), t.line, t.col, srcLine)
 }
 
 func (p *parser) expectPunct(s string) error {
