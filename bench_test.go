@@ -254,6 +254,28 @@ func BenchmarkOptClamp(b *testing.B) {
 	}
 }
 
+// BenchmarkOptAllRules runs the full pipeline with every patch and
+// knowledge-base rule enabled — the configuration the simulated LLM uses for
+// every proposal, and the worst case for rule dispatch. The per-rule
+// old-vs-new dispatch comparison lives in internal/opt's
+// BenchmarkRewriteDispatch; the sub-benchmarks here show what sharing the
+// prebuilt opcode-indexed RuleSet across runs saves over rebuilding it.
+func BenchmarkOptAllRules(b *testing.B) {
+	f := parser.MustParseFunc(clampSrc)
+	rules := opt.AllRuleNames()
+	b.Run("per-run-tables", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt.Run(f, opt.Options{Patches: rules})
+		}
+	})
+	rs := opt.NewRuleSet(opt.Options{Patches: rules})
+	b.Run("prebuilt-ruleset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt.Run(f, opt.Options{Rules: rs})
+		}
+	})
+}
+
 func BenchmarkAliveVerifyClamp(b *testing.B) {
 	src := parser.MustParseFunc(clampSrc)
 	tgt := parser.MustParseFunc(`define i8 @tgt(i32 %0) {

@@ -2,9 +2,15 @@
 // stdin, runs the baseline peephole pipeline (optionally with patch or
 // knowledge-base rules enabled), and prints the optimized module.
 //
+// The -rules flag lists the rule registry instead of optimizing: one line
+// per rule with its ID, enable name, provenance (baseline rules are always
+// on; patch and kb rules are enabled via -patches / -all-rules), the root
+// opcodes it dispatches on, and the pattern it implements.
+//
 // Usage:
 //
 //	lpo-opt [-patches 143636,163108] [-all-rules] [-workers N] [file.ll]
+//	lpo-opt -rules
 package main
 
 import (
@@ -25,7 +31,13 @@ func main() {
 	patches := flag.String("patches", "", "comma-separated patch/rule names to enable")
 	allRules := flag.Bool("all-rules", false, "enable every patch and knowledge-base rule")
 	workers := flag.Int("workers", 0, "optimize functions in parallel (0 = one per CPU)")
+	listRules := flag.Bool("rules", false, "list the rule registry with provenance and exit")
 	flag.Parse()
+
+	if *listRules {
+		printRules(os.Stdout)
+		return
+	}
 
 	var src []byte
 	var err error
@@ -49,12 +61,35 @@ func main() {
 	} else if *patches != "" {
 		rules = strings.Split(*patches, ",")
 	}
+	// The rule selection and its opcode-indexed dispatch table are built
+	// once and shared by every worker; RuleSet is immutable after creation.
+	rs := opt.NewRuleSet(opt.Options{Patches: rules})
 	// Functions are optimized independently; ParMap fans them out and keeps
 	// module order, so output is identical at every worker count.
 	out := &ir.Module{Name: m.Name}
 	out.Funcs = engine.ParMap(context.Background(), *workers, m.Funcs,
 		func(_ context.Context, _ int, f *ir.Func) *ir.Func {
-			return opt.Run(f, opt.Options{Patches: rules})
+			return opt.Run(f, opt.Options{Rules: rs})
 		})
 	fmt.Print(out.String())
+}
+
+// printRules renders the registry, one rule per line, in dispatch order.
+func printRules(w io.Writer) {
+	rules := opt.Rules()
+	fmt.Fprintf(w, "%d registered rules (baseline always on; enable others with -patches or -all-rules)\n",
+		len(rules))
+	fmt.Fprintf(w, "%-28s %-10s %-10s %-18s %s\n", "ID", "ENABLE", "PROV", "ROOTS", "PATTERN")
+	for _, r := range rules {
+		roots := make([]string, len(r.Roots))
+		for i, op := range r.Roots {
+			roots[i] = op.Name()
+		}
+		enable := r.Name
+		if r.Provenance == opt.ProvBaseline {
+			enable = "-"
+		}
+		fmt.Fprintf(w, "%-28s %-10s %-10s %-18s %s\n",
+			r.ID, enable, r.Provenance, strings.Join(roots, ","), r.Doc)
+	}
 }

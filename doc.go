@@ -37,6 +37,24 @@
 // cmd/lpo-bench and cmd/lpo-opt take -workers; engine.ParMap backs the
 // provider-free fan-outs (patch-impact scans, baseline sweeps, batch opt).
 //
+// # The Rule Registry
+//
+// Every rewrite the optimizer can perform — the baseline InstSimplify
+// identities and InstCombine-style rewrites, the modelled LLVM patches
+// (Table 5), and the simulated LLM's knowledge base — is a first-class
+// opt.Rule: an ID, a provenance, the root opcodes it fires on, a pattern doc
+// string and a synthetic example it provably fires on (the registry
+// soundness sweep in internal/opt verifies each against internal/alive).
+// opt.Run resolves Options into an opt.RuleSet — an opcode-indexed dispatch
+// table in deterministic rule order — once per run, so the per-instruction
+// hot path never sorts or scans unrelated rules; llm.Sim and the engine
+// share one prebuilt RuleSet across all calls. Per-rule hit counters flow
+// end to end: opt.RunWithStats reports them per run, every Found
+// engine.Result carries the optional rules that close its window,
+// engine.Stats aggregates the attribution, and the RQ1/RQ2/Figure-5
+// experiments print which rule closed each benchmark. cmd/lpo-opt -rules
+// lists the registry.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure. The root-level

@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"errors"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -31,12 +33,16 @@ func corpusSeqs(t testing.TB, n int) []*extract.Sequence {
 }
 
 // fingerprint reduces a result to the fields that must not depend on
-// scheduling: stream position, outcome, and the found rewrite.
+// scheduling: stream position, outcome, the found rewrite, the exact
+// proposal sequence (every attempt's candidate text, in order), and the
+// rule attribution.
 type fingerprint struct {
-	index   int
-	outcome Outcome
-	cand    uint64
-	round   int
+	index     int
+	outcome   Outcome
+	cand      uint64
+	round     int
+	proposals string
+	rules     string
 }
 
 func fingerprints(results []Result) []fingerprint {
@@ -46,6 +52,17 @@ func fingerprints(results []Result) []fingerprint {
 		if r.Cand != nil {
 			fp.cand = ir.Hash(r.Cand)
 		}
+		var props []string
+		for _, a := range r.Attempts {
+			props = append(props, a.Candidate)
+		}
+		fp.proposals = strings.Join(props, "\x00")
+		var rules []string
+		for id := range r.RuleHits {
+			rules = append(rules, id)
+		}
+		sort.Strings(rules)
+		fp.rules = strings.Join(rules, ",")
 		out[i] = fp
 	}
 	return out
@@ -90,6 +107,45 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if foundSerial == 0 {
 		t.Fatal("batch found nothing — the determinism check is vacuous")
+	}
+}
+
+// TestSameSeedRunsProposeIdenticalCandidates is the regression test for the
+// registry's determinism guarantee: the knowledge base reaches llm.Sim as an
+// ordered RuleSet (the seed code leaked map-iteration order through
+// opt.AllRuleNames), so two engines built the same way must propose the
+// byte-identical candidate sequence — across fresh runs and worker counts.
+func TestSameSeedRunsProposeIdenticalCandidates(t *testing.T) {
+	seqs := corpusSeqs(t, 40)
+	run := func(workers int) []fingerprint {
+		sim := llm.NewSim("Gemini2.0T", 13)
+		e := New(sim, Config{
+			Workers: workers,
+			Rounds:  2,
+			Verify:  alive.Options{Samples: 64, Seed: 13},
+		})
+		results, _ := e.RunAll(context.Background(), Sequences(seqs...))
+		return fingerprints(results)
+	}
+	first := run(1)
+	again := run(1)
+	wide := run(6)
+	proposed := 0
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("two same-seed runs diverged at result %d:\n%+v\nvs\n%+v",
+				i, first[i], again[i])
+		}
+		if first[i] != wide[i] {
+			t.Fatalf("worker count changed result %d:\n%+v\nvs\n%+v",
+				i, first[i], wide[i])
+		}
+		if first[i].proposals != "" {
+			proposed++
+		}
+	}
+	if proposed == 0 {
+		t.Fatal("no proposals at all — the regression test is vacuous")
 	}
 }
 

@@ -121,6 +121,11 @@ type Result struct {
 	// Gain metrics for found optimizations.
 	InstrsBefore, InstrsAfter int
 	CyclesBefore, CyclesAfter int
+
+	// RuleHits attributes a Found outcome to the registry rules that close
+	// the source window (optional patch/KB rules only, keyed by rule ID).
+	// Nil for every other outcome.
+	RuleHits map[string]int
 }
 
 // String renders a result for logs.
@@ -137,6 +142,11 @@ type Engine struct {
 	client llm.Client
 	cfg    Config
 	stats  *Stats
+	// kb is the full rule registry as a prebuilt dispatch table, used to
+	// attribute Found results to the rules that close the window; optSet is
+	// the prebuilt selection for Config.Opt, shared by every preprocess call.
+	kb     *opt.RuleSet
+	optSet *opt.RuleSet
 
 	vmu    sync.Mutex
 	vcache map[verifyKey]*verifyEntry
@@ -156,10 +166,17 @@ type verifyEntry struct {
 
 // New builds an engine with the given client and config defaults applied.
 func New(client llm.Client, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	optSet := cfg.Opt.Rules
+	if optSet == nil {
+		optSet = opt.NewRuleSet(cfg.Opt)
+	}
 	return &Engine{
 		client: client,
-		cfg:    cfg.withDefaults(),
+		cfg:    cfg,
 		stats:  newStats(),
+		kb:     opt.FullRuleSet(),
+		optSet: optSet,
 		vcache: make(map[verifyKey]*verifyEntry),
 		seen:   make(map[uint64]bool),
 	}

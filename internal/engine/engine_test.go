@@ -9,6 +9,7 @@ import (
 	"repro/internal/benchdata"
 	"repro/internal/ir"
 	"repro/internal/llm"
+	"repro/internal/opt"
 	"repro/internal/parser"
 )
 
@@ -206,6 +207,42 @@ func TestRunAggregatesStats(t *testing.T) {
 	}
 	if v := stats.Stage(StageVerify); v.Invocations < 2 {
 		t.Fatalf("verify stage metrics missing: %+v", v)
+	}
+}
+
+func TestFoundResultsCarryRuleAttribution(t *testing.T) {
+	pair := clampCase()
+	src := parser.MustParseFunc(pair.Src)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	e := New(sim, Config{Verify: alive.Options{Samples: 512, Seed: 3}})
+	results, stats := e.RunAll(context.Background(), Funcs(src))
+	if results[0].Outcome != Found {
+		t.Fatalf("expected Found, got %v", results[0].Outcome)
+	}
+	if results[0].RuleHits["143636/clamp-smax"] == 0 {
+		t.Fatalf("clamp finding not attributed to its rule: %v", results[0].RuleHits)
+	}
+	for id := range results[0].RuleHits {
+		r := opt.RuleByID(id)
+		if r == nil {
+			t.Fatalf("attribution names unregistered rule %q", id)
+		}
+		if r.Provenance == opt.ProvBaseline {
+			t.Fatalf("attribution leaked baseline rule %q", id)
+		}
+	}
+	// The engine-level stats aggregate the same attribution.
+	if stats.RuleHits()["143636/clamp-smax"] == 0 {
+		t.Fatalf("stats missing rule attribution: %v", stats.RuleHits())
+	}
+	var buf strings.Builder
+	stats.Print(&buf)
+	if !strings.Contains(buf.String(), "143636/clamp-smax") {
+		t.Fatalf("stats rendering missing attribution:\n%s", buf.String())
+	}
+	stats.Reset()
+	if len(stats.RuleHits()) != 0 {
+		t.Fatal("Reset did not clear rule attribution")
 	}
 }
 

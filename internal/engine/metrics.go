@@ -28,12 +28,14 @@ type Stats struct {
 	usage     llm.Usage
 	stages    map[string]*StageMetrics
 	cacheHits int
+	ruleHits  map[string]int
 }
 
 func newStats() *Stats {
 	return &Stats{
 		byOutcome: make(map[Outcome]int),
 		stages:    make(map[string]*StageMetrics),
+		ruleHits:  make(map[string]int),
 	}
 }
 
@@ -43,6 +45,9 @@ func (s *Stats) recordResult(r Result) {
 	s.sequences++
 	s.byOutcome[r.Outcome]++
 	s.usage.Add(r.Usage)
+	for id, n := range r.RuleHits {
+		s.ruleHits[id] += n
+	}
 }
 
 func (s *Stats) recordStage(name string, seconds float64) {
@@ -105,6 +110,18 @@ func (s *Stats) Stage(name string) StageMetrics {
 	return StageMetrics{}
 }
 
+// RuleHits returns a copy of the per-rule attribution tallies: how often
+// each registry rule (keyed by rule ID) closed a verified finding.
+func (s *Stats) RuleHits() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.ruleHits))
+	for k, v := range s.ruleHits {
+		out[k] = v
+	}
+	return out
+}
+
 // VerifyCacheHits is the number of verifications skipped by the cache.
 func (s *Stats) VerifyCacheHits() int {
 	s.mu.Lock()
@@ -121,6 +138,7 @@ func (s *Stats) Reset() {
 	s.usage = llm.Usage{}
 	s.stages = make(map[string]*StageMetrics)
 	s.cacheHits = 0
+	s.ruleHits = make(map[string]int)
 }
 
 // Print renders a human-readable summary of the run.
@@ -145,5 +163,16 @@ func (s *Stats) Print(w io.Writer) {
 	}
 	if s.cacheHits > 0 {
 		fmt.Fprintf(w, "verify cache hits: %d\n", s.cacheHits)
+	}
+	if len(s.ruleHits) > 0 {
+		fmt.Fprintln(w, "rule attribution (verified findings):")
+		ids := make([]string, 0, len(s.ruleHits))
+		for id := range s.ruleHits {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "  %-28s %d\n", id, s.ruleHits[id])
+		}
 	}
 }

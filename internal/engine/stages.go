@@ -60,7 +60,11 @@ func (e *Engine) preprocess(candidate string) (*ir.Func, error) {
 		return nil, err
 	}
 	if !e.cfg.DisableOptPreprocess {
-		cand = opt.Run(cand, e.cfg.Opt)
+		// The rule selection for Config.Opt is prebuilt once in New; only
+		// the iteration bound still comes from the per-run options.
+		o := e.cfg.Opt
+		o.Rules = e.optSet
+		cand = opt.Run(cand, o)
 	}
 	return cand, nil
 }
@@ -154,6 +158,7 @@ func (e *Engine) OptimizeSeq(ctx context.Context, src *ir.Func, round int) Resul
 			res.Attempts = append(res.Attempts, att)
 			res.Outcome = Found
 			res.Cand = cand
+			res.RuleHits = e.attribute(src)
 			rep := mca.Analyze(cand, e.cfg.CPU)
 			res.InstrsAfter = rep.Instructions
 			res.CyclesAfter = rep.TotalCycles
@@ -174,6 +179,19 @@ func (e *Engine) OptimizeSeq(ctx context.Context, src *ir.Func, round int) Resul
 		res.Outcome = SyntaxFailed
 	}
 	return res
+}
+
+// attribute names the registry rules (patch/KB provenance only) that close
+// the src window, keyed by rule ID. It is the registry view of "which missed
+// optimization is this": running the full rule set over the source and
+// recording which non-baseline rules fire. Nil when no optional rule applies
+// (e.g. a provider that found a rewrite outside the knowledge base).
+func (e *Engine) attribute(src *ir.Func) map[string]int {
+	hits := opt.Attribute(src, e.kb)
+	if len(hits) == 0 {
+		return nil
+	}
+	return hits
 }
 
 // Interesting implements the paper's §3.3 check: a candidate is worth

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/alive"
 	"repro/internal/benchdata"
@@ -53,6 +54,10 @@ type RQ1Report struct {
 	SouperD  map[string]bool
 	SouperE  map[string]bool
 	Minotaur map[string]bool
+	// Attribution maps each benchmark to the registry rules (sorted IDs)
+	// that close it — the rule-level answer to "which missed optimization
+	// is this".
+	Attribution map[string][]string
 }
 
 // RunRQ1 reproduces Table 2: every benchmark is run Rounds times per model
@@ -72,8 +77,11 @@ func RunRQ1(opts RQ1Options) *RQ1Report {
 	// extracted sequences do (the extractor folds opt's canonicalization
 	// into the kept window).
 	canon := make(map[string]*ir.Func, len(cases))
+	kb := opt.FullRuleSet()
+	rep.Attribution = make(map[string][]string, len(cases))
 	for _, c := range cases {
 		canon[c.IssueID] = opt.RunO3(parser.MustParseFunc(c.Pair.Src))
+		rep.Attribution[c.IssueID] = opt.AttributedIDs(canon[c.IssueID], kb)
 	}
 	for _, c := range cases {
 		rep.Cases = append(rep.Cases, c.IssueID)
@@ -229,4 +237,15 @@ func (r *RQ1Report) Print(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Paper totals: Gemma3 2/3, Llama3.3 6/7, Gemini2.0 7/11, Gemini2.0T 14/21, GPT-4.1 7/12, o4-mini 14/18; Souper 3/14 (15 total), Minotaur 3")
+	header := false
+	for _, id := range ids {
+		if len(r.Attribution[id]) == 0 {
+			continue // no registry rule closes this benchmark
+		}
+		if !header {
+			fmt.Fprintln(w, "Rule attribution (registry rule closing each benchmark):")
+			header = true
+		}
+		fmt.Fprintf(w, "  %-8s %s\n", id, strings.Join(r.Attribution[id], ", "))
+	}
 }

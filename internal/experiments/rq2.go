@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 
 	"repro/internal/alive"
 	"repro/internal/benchdata"
@@ -41,7 +43,8 @@ type RQ2Row struct {
 	IssueID       string
 	Status        benchdata.Status
 	Family        string
-	Discovered    bool // found by the LPO discovery run over the corpus
+	Discovered    bool     // found by the LPO discovery run over the corpus
+	Rules         []string // registry rules (sorted IDs) that closed the finding
 	SouperDefault bool
 	SouperEnum    bool
 	SouperTimeout bool // enum timed out at every level
@@ -106,6 +109,10 @@ func RunRQ2(opts RQ2Options) *RQ2Report {
 		if discovered[i].Outcome == engine.Found {
 			row.Discovered = true
 			rep.Discovered++
+			for id := range discovered[i].RuleHits {
+				row.Rules = append(row.Rules, id)
+			}
+			sort.Strings(row.Rules)
 		}
 
 		// Baselines.
@@ -178,8 +185,8 @@ func (r *RQ2Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "corpus: %d projects, %d modules, %d functions; extraction: %d raw sequences, %d duplicates eliminated, %d unique kept\n",
 		r.CorpusStats.Projects, r.CorpusStats.Modules, r.CorpusStats.Funcs,
 		r.Extracted.Sequences, r.Extracted.Duplicates, r.Extracted.Kept)
-	fmt.Fprintf(w, "%-8s %-12s %-20s %-10s %-8s %-10s %-10s\n",
-		"Issue", "Status", "Family", "LPO", "SouperD", "SouperE", "Minotaur")
+	fmt.Fprintf(w, "%-8s %-12s %-20s %-10s %-8s %-10s %-10s %s\n",
+		"Issue", "Status", "Family", "LPO", "SouperD", "SouperE", "Minotaur", "Rule(s)")
 	for _, row := range r.Rows {
 		mark := func(b bool) string {
 			if b {
@@ -195,9 +202,9 @@ func (r *RQ2Report) Print(w io.Writer) {
 		if row.MinotaurCrash {
 			mino = "crash"
 		}
-		fmt.Fprintf(w, "%-8s %-12s %-20s %-10s %-8s %-10s %-10s\n",
+		fmt.Fprintf(w, "%-8s %-12s %-20s %-10s %-8s %-10s %-10s %s\n",
 			row.IssueID, row.Status, row.Family, mark(row.Discovered),
-			mark(row.SouperDefault), enum, mino)
+			mark(row.SouperDefault), enum, mino, strings.Join(row.Rules, ","))
 	}
 	total, confirmed, fixed, dup, wontfix, sd, sdcf, se, secf, mn, mncf := r.Counts()
 	fmt.Fprintf(w, "Measured: total %d, confirmed %d, fixed %d, duplicates %d, wontfix %d, discovered %d\n",

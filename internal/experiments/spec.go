@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -96,7 +98,8 @@ func specPrograms() []specProgram {
 // SpecRow is one patch's measured geometric-mean speedup.
 type SpecRow struct {
 	PatchID string
-	Speedup float64 // >1 means the patch makes the programs faster
+	Speedup float64  // >1 means the patch makes the programs faster
+	Rules   []string // registry rules (sorted IDs) that fired across the suite
 }
 
 // SpecReport is the measured Figure 5.
@@ -147,31 +150,45 @@ func RunFigure5(iters int) (*SpecReport, error) {
 		baseVals[i] = v
 	}
 	rep := &SpecReport{Iters: iters}
-	measure := func(patches []string) (float64, error) {
+	// measure optimizes the suite with the given rule selection, returning
+	// the geometric-mean dynamic-instruction speedup and which non-baseline
+	// registry rules fired (sorted IDs) — the rule-level attribution of the
+	// speedup.
+	measure := func(patches []string) (float64, []string, error) {
+		rs := opt.NewRuleSet(opt.Options{Patches: patches})
+		fired := make(map[string]bool)
 		logSum := 0.0
 		for i, f := range parsed {
-			g := opt.Run(f, opt.Options{Patches: patches})
+			g, stats := opt.RunWithStats(f, opt.Options{Rules: rs})
+			for id := range opt.OptionalRuleHits(stats.RuleHits) {
+				fired[id] = true
+			}
 			n, v, err := run(g)
 			if err != nil {
-				return 0, fmt.Errorf("%s patched: %w", progs[i].Name, err)
+				return 0, nil, fmt.Errorf("%s patched: %w", progs[i].Name, err)
 			}
 			if v != baseVals[i] {
-				return 0, fmt.Errorf("%s: patched program computes %d, baseline %d",
+				return 0, nil, fmt.Errorf("%s: patched program computes %d, baseline %d",
 					progs[i].Name, v, baseVals[i])
 			}
 			logSum += math.Log(float64(baseInstrs[i]) / float64(n))
 		}
-		return math.Exp(logSum / float64(len(progs))), nil
+		ids := make([]string, 0, len(fired))
+		for id := range fired {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		return math.Exp(logSum / float64(len(progs))), ids, nil
 	}
 	for _, id := range []string{"128134", "142674", "143211", "143636",
 		"157315", "157370", "157524", "163108", "166973"} {
-		s, err := measure([]string{id})
+		s, rules, err := measure([]string{id})
 		if err != nil {
 			return nil, err
 		}
-		rep.Rows = append(rep.Rows, SpecRow{PatchID: id, Speedup: s})
+		rep.Rows = append(rep.Rows, SpecRow{PatchID: id, Speedup: s, Rules: rules})
 	}
-	yearly, err := measure(opt.PatchIDs())
+	yearly, _, err := measure(opt.PatchIDs())
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +207,11 @@ func (r *SpecReport) Print(w io.Writer) {
 		if bar > 40 {
 			bar = 40
 		}
-		fmt.Fprintf(w, "  %-8s %6.3fx %s\n", row.PatchID, row.Speedup, bars(bar))
+		rules := ""
+		if len(row.Rules) > 0 {
+			rules = "  [" + strings.Join(row.Rules, ", ") + "]"
+		}
+		fmt.Fprintf(w, "  %-8s %6.3fx %s%s\n", row.PatchID, row.Speedup, bars(bar), rules)
 	}
 	fmt.Fprintf(w, "  %-8s %6.3fx (all patches vs none — the paper's year-over-year compare)\n",
 		"yearly", r.Yearly)

@@ -30,7 +30,10 @@ type Sim struct {
 	prof Profile
 	seed uint64
 	cal  map[uint64]Calibration // keyed by ir.Hash of the prompted function
-	kb   []string
+	// kb is the full rule registry (patches + knowledge base) as an ordered
+	// RuleSet: rule order is deterministic and the opcode-indexed dispatch
+	// table is built once and shared across every Complete call.
+	kb *opt.RuleSet
 }
 
 // NewSim builds a simulated client for the named model.
@@ -39,7 +42,7 @@ func NewSim(model string, seed uint64) *Sim {
 		prof: ProfileByName(model),
 		seed: seed,
 		cal:  make(map[uint64]Calibration),
-		kb:   opt.AllRuleNames(),
+		kb:   opt.FullRuleSet(),
 	}
 }
 
@@ -104,7 +107,7 @@ func (s *Sim) respond(prompt string, attempt, round int) string {
 	rng := s.rng(h, round)
 	uChannel := rng.Float64()
 
-	ideal := opt.Run(src, opt.Options{Patches: s.kb})
+	ideal := opt.Run(src, opt.Options{Rules: s.kb})
 	known := ir.Hash(ideal) != h
 
 	s1, s2 := s.successFor(h, round, rng)

@@ -1,17 +1,34 @@
-// Package opt models LLVM's `opt -O3` on peephole-sized IR: an
-// InstCombine-style pattern rewriter plus constant folding, operand
-// canonicalization and dead code elimination, run to a fixpoint.
+// Package opt models LLVM's `opt -O3` on peephole-sized IR: constant
+// folding, operand canonicalization and dead code elimination around a
+// registry of first-class rewrite rules, run to a fixpoint.
 //
-// The rule base intentionally reproduces only the *baseline* optimizer: the
-// paper's benchmark suites are missed optimizations, i.e. rewrites the
-// baseline must NOT perform. Fixes that later landed in LLVM are modelled as
-// patch rules that can be switched on individually (Options.Patches), which
-// is how the Table 5 / Figure 5 experiments compare compiler versions.
+// Every rewrite the optimizer can perform is a *Rule (rules.go) with an ID,
+// a provenance, the root opcodes it fires on, a pattern doc string and a
+// synthetic example. Three rule packs register themselves:
+//
+//   - baseline: the InstSimplify identities (simplify.go) and the
+//     InstCombine-style rewrites (rewrite.go) that reproduce the paper's
+//     *baseline* optimizer — always enabled;
+//   - patch: the fixes that later landed in LLVM (patches.go, paper
+//     Table 5 / Figure 5), switched on individually via Options.Patches to
+//     model the compiler after the corresponding fix;
+//   - kb: the simulated LLM's knowledge base (kb.go) — rewrites no compiler
+//     version performs, which is what makes them discoverable "missed
+//     optimizations".
+//
+// Run resolves Options into a RuleSet once per call: an opcode-indexed
+// dispatch table in deterministic rule order, so the per-instruction hot
+// path walks only the few rules rooted at that instruction's opcode (the
+// seed implementation re-sorted the enabled rule names for every
+// instruction of every fixpoint iteration). Callers that optimize many
+// functions with one configuration prebuild the table with NewRuleSet and
+// pass it via Options.Rules. RunWithStats additionally reports per-rule hit
+// counts, which back rule-level attribution end to end: engine.Stats
+// aggregates them and the experiment harness prints which rule closed each
+// benchmark.
 package opt
 
 import (
-	"sort"
-
 	"repro/internal/ir"
 )
 
@@ -19,12 +36,24 @@ import (
 type Options struct {
 	// MaxIters bounds the number of fixpoint iterations (default 25).
 	MaxIters int
-	// Patches enables the named patch rules (issue IDs from the paper's
-	// Table 5), modelling LLVM after the corresponding fix landed.
+	// Patches enables the named optional rules: issue IDs from the paper's
+	// Table 5 (modelling LLVM after the corresponding fix landed) and "kb:"
+	// knowledge-base rules. Unknown names are ignored.
 	Patches []string
 	// DisableIntrinsicCanon turns off the select->min/max canonicalization
 	// family; used by ablation benchmarks.
 	DisableIntrinsicCanon bool
+	// Rules, when non-nil, is a prebuilt rule selection that overrides
+	// Patches and DisableIntrinsicCanon. Build one with NewRuleSet to reuse
+	// the opcode-indexed dispatch table across many Run calls.
+	Rules *RuleSet
+}
+
+// RunStats reports per-run observability: how many fixpoint iterations ran
+// and how often each rule fired, keyed by rule ID.
+type RunStats struct {
+	Iters    int
+	RuleHits map[string]int
 }
 
 // RunO3 optimizes a clone of f with the default baseline pipeline.
@@ -33,32 +62,40 @@ func RunO3(f *ir.Func) *ir.Func { return Run(f, Options{}) }
 // Run optimizes a clone of f according to opts and returns the result.
 // The input function is never mutated.
 func Run(f *ir.Func, opts Options) *ir.Func {
+	g, _ := RunWithStats(f, opts)
+	return g
+}
+
+// RunWithStats is Run plus per-rule attribution for the run.
+func RunWithStats(f *ir.Func, opts Options) (*ir.Func, RunStats) {
 	maxIters := opts.MaxIters
 	if maxIters == 0 {
 		maxIters = 25
 	}
-	g := ir.CloneFunc(f)
-	patches := make(map[string]bool, len(opts.Patches))
-	for _, p := range opts.Patches {
-		patches[p] = true
+	rs := opts.Rules
+	if rs == nil {
+		rs = NewRuleSet(opts)
 	}
-	tr := &transform{fn: g, patches: patches, noIntrinsicCanon: opts.DisableIntrinsicCanon}
+	g := ir.CloneFunc(f)
+	tr := &transform{fn: g, rs: rs, hits: make(map[string]int)}
 	tr.seedNames()
+	stats := RunStats{RuleHits: tr.hits}
 	for iter := 0; iter < maxIters; iter++ {
+		stats.Iters++
 		changed := tr.iterate()
 		changed = tr.dce() || changed
 		if !changed {
 			break
 		}
 	}
-	return g
+	return g, stats
 }
 
 // transform holds the per-run rewriting state.
 type transform struct {
-	fn               *ir.Func
-	patches          map[string]bool
-	noIntrinsicCanon bool
+	fn   *ir.Func
+	rs   *RuleSet
+	hits map[string]int
 
 	repl  map[ir.Value]ir.Value
 	used  map[string]bool
@@ -138,16 +175,12 @@ func (t *transform) iterate() bool {
 			if t.canonicalize(in) {
 				changed = true
 			}
-			// 3. Value simplification: replace with an existing value or
-			//    constant.
-			if v, ok := t.simplify(in); ok {
-				t.repl[in] = v
-				changed = true
-				continue
-			}
-			// 4. Rewrites that emit replacement instructions. A rule may
-			//    also delete a void instruction outright (nil value).
-			if news, v, ok := t.rewrite(in, out); ok {
+			// 3. Registry dispatch, indexed by the (possibly canonicalized)
+			//    opcode: the simplify identities come first in each dispatch
+			//    list, then the rewrites that emit replacement instructions.
+			//    A rule may also delete a void instruction outright (nil
+			//    value).
+			if news, v, ok := t.applyRules(in, out); ok {
 				out = append(out, news...)
 				if v != nil {
 					t.repl[in] = v
@@ -210,15 +243,4 @@ func (t *transform) dce() bool {
 		b.Instrs = out
 	}
 	return changed
-}
-
-// EnabledPatches lists the patch rule names compiled into the optimizer, in
-// sorted order. Used by documentation and the experiment harness.
-func EnabledPatches() []string {
-	names := make([]string, 0, len(patchRules))
-	for n := range patchRules {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -4,51 +4,144 @@ import (
 	"repro/internal/ir"
 )
 
-// kbRules are rewrite rules known to the *simulated LLM* but deliberately
-// absent from both the baseline optimizer and the patch set: together with
-// patchRules they form the knowledge base that internal/llm consults when
-// proposing candidates. Keeping them inside this package reuses the tested
-// rewrite engine and guarantees every knowledge-base proposal is expressible
-// as a (sound) rewrite.
+// kbRuleDefs lists rewrite rules known to the *simulated LLM* but
+// deliberately absent from both the baseline optimizer and the patch set:
+// together with the patch rules they form the knowledge base that
+// internal/llm consults when proposing candidates. Keeping them inside this
+// package reuses the tested rewrite engine and guarantees every
+// knowledge-base proposal is expressible as a (sound) rewrite.
 //
 // Rule names carry a "kb:" prefix so they can never be confused with the
 // modelled LLVM patches.
-var kbRules = map[string][]patchFn{
-	"kb:rotate":          {kbRotate},        // or (shl X, C), (lshr X, w-C) -> fshl
-	"kb:sat-umax":        {kbSatUmax},       // uadd.sat(usub.sat(V,C),C)    -> umax(V,C)
-	"kb:minmax-const":    {kbMinMaxConst},   // umin(umax(V,hi),lo), lo<hi   -> lo
-	"kb:umin-umax-leaf":  {kbUminUmaxLeaf},  // umin(V, umax(V,U))           -> V
-	"kb:dead-store":      {kbDeadStore},     // store (load P), P            -> (removed)
-	"kb:ctpop-bit":       {kbCtpopBit},      // ctpop (and X, 1)             -> and X, 1
-	"kb:xor-and-or":      {kbXorAndOr},      // xor (and X,Y), (or X,Y)      -> xor X, Y
-	"kb:sub-or-and":      {kbSubOrAnd},      // sub (or X,Y), (and X,Y)      -> xor X, Y
-	"kb:add-and-or":      {kbAddAndOr},      // add (and X,Y), (or X,Y)      -> add X, Y
-	"kb:select-eq-zero":  {kbSelectEqZero},  // select (icmp eq X,0), 0, X   -> X
-	"kb:and-not-self":    {kbAndNotSelf},    // and (xor X,-1), X            -> 0
-	"kb:or-not-self":     {kbOrNotSelf},     // or (xor X,-1), X             -> -1
-	"kb:icmp-known-bits": {kbICmpKnownBits}, // icmp ult (and X,L), H, L<H   -> true
-	"kb:mul-udiv-cancel": {kbMulUdivCancel}, // udiv (mul nuw X,C), C        -> X
-	"kb:fneg-fneg":       {kbFnegFneg},      // fneg (fneg X)                -> X
-	"kb:and-lshr-bit":    {kbAndLshrBit},    // and (lshr X,w-1), 1          -> lshr X, w-1
-	"kb:sub-add-cancel":  {kbSubAddCancel},  // sub (add X,Y), Y             -> X
-	"kb:add-sub-cancel":  {kbAddSubCancel},  // add (sub X,Y), Y             -> X
-	"kb:compl-mask-self": {kbComplMaskSelf}, // or (and X,Y), (and X, ~Y)    -> X
-}
-
-// KBNames returns the knowledge-base rule names (without the patch rules).
-func KBNames() []string {
-	names := make([]string, 0, len(kbRules))
-	for n := range kbRules {
-		names = append(names, n)
+func kbRuleDefs() []*Rule {
+	mk := func(id, doc, example string, fn ruleFn, roots ...ir.Opcode) *Rule {
+		return &Rule{
+			ID: id, Name: id, Provenance: ProvKB,
+			Roots: roots, Doc: doc, Example: example, apply: fn,
+		}
 	}
-	return names
-}
-
-// AllRuleNames returns every optional rule: modelled patches plus the LLM
-// knowledge base. Enabling all of them yields the "ideal optimizer" the
-// simulated LLM aspires to.
-func AllRuleNames() []string {
-	return append(PatchIDs(), KBNames()...)
+	return []*Rule{
+		mk("kb:rotate", "or (shl X, C), (lshr X, w-C) -> fshl",
+			`define i32 @f(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = lshr i32 %x, 24
+  %r = or i32 %a, %b
+  ret i32 %r
+}`, kbRotate, ir.OpOr),
+		mk("kb:sat-umax", "uadd.sat(usub.sat(V, C), C) -> umax(V, C)",
+			`define i8 @f(i8 %x) {
+  %s = call i8 @llvm.usub.sat.i8(i8 %x, i8 10)
+  %r = call i8 @llvm.uadd.sat.i8(i8 %s, i8 10)
+  ret i8 %r
+}`, kbSatUmax, ir.OpCall),
+		mk("kb:minmax-const", "umin(umax(V, hi), lo), lo < hi -> lo",
+			`define i8 @f(i8 %x) {
+  %a = call i8 @llvm.umax.i8(i8 %x, i8 100)
+  %r = call i8 @llvm.umin.i8(i8 %a, i8 10)
+  ret i8 %r
+}`, kbMinMaxConst, ir.OpCall),
+		mk("kb:umin-umax-leaf", "umin(V, umax(V, U)) -> V",
+			`define i8 @f(i8 %x, i8 %y) {
+  %a = call i8 @llvm.umax.i8(i8 %x, i8 %y)
+  %r = call i8 @llvm.umin.i8(i8 %x, i8 %a)
+  ret i8 %r
+}`, kbUminUmaxLeaf, ir.OpCall),
+		mk("kb:dead-store", "store (load P), P -> (removed)",
+			`define void @f(ptr %p) {
+  %v = load i32, ptr %p, align 4
+  store i32 %v, ptr %p, align 4
+  ret void
+}`, kbDeadStore, ir.OpStore),
+		mk("kb:ctpop-bit", "ctpop (and X, 1) -> and X, 1",
+			`define i8 @f(i8 %x) {
+  %a = and i8 %x, 1
+  %r = call i8 @llvm.ctpop.i8(i8 %a)
+  ret i8 %r
+}`, kbCtpopBit, ir.OpCall),
+		mk("kb:xor-and-or", "xor (and X, Y), (or X, Y) -> xor X, Y",
+			`define i8 @f(i8 %x, i8 %y) {
+  %a = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = xor i8 %a, %o
+  ret i8 %r
+}`, kbXorAndOr, ir.OpXor),
+		mk("kb:sub-or-and", "sub (or X, Y), (and X, Y) -> xor X, Y",
+			`define i8 @f(i8 %x, i8 %y) {
+  %o = or i8 %x, %y
+  %a = and i8 %x, %y
+  %r = sub i8 %o, %a
+  ret i8 %r
+}`, kbSubOrAnd, ir.OpSub),
+		mk("kb:add-and-or", "add (and X, Y), (or X, Y) -> add X, Y",
+			`define i8 @f(i8 %x, i8 %y) {
+  %a = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = add i8 %a, %o
+  ret i8 %r
+}`, kbAddAndOr, ir.OpAdd),
+		mk("kb:select-eq-zero", "select (icmp eq X, 0), 0, X -> X",
+			`define i8 @f(i8 %x) {
+  %c = icmp eq i8 %x, 0
+  %r = select i1 %c, i8 0, i8 %x
+  ret i8 %r
+}`, kbSelectEqZero, ir.OpSelect),
+		mk("kb:and-not-self", "and (xor X, -1), X -> 0",
+			`define i8 @f(i8 %x) {
+  %n = xor i8 %x, -1
+  %r = and i8 %n, %x
+  ret i8 %r
+}`, kbAndNotSelf, ir.OpAnd),
+		mk("kb:or-not-self", "or (xor X, -1), X -> -1",
+			`define i8 @f(i8 %x) {
+  %n = xor i8 %x, -1
+  %r = or i8 %n, %x
+  ret i8 %r
+}`, kbOrNotSelf, ir.OpOr),
+		mk("kb:icmp-known-bits", "icmp ult (and X, L), H, L < H -> true",
+			`define i1 @f(i8 %x) {
+  %a = and i8 %x, 15
+  %r = icmp ult i8 %a, 16
+  ret i1 %r
+}`, kbICmpKnownBits, ir.OpICmp),
+		mk("kb:mul-udiv-cancel", "udiv (mul nuw X, C), C -> X",
+			`define i8 @f(i8 %x) {
+  %m = mul nuw i8 %x, 3
+  %r = udiv i8 %m, 3
+  ret i8 %r
+}`, kbMulUdivCancel, ir.OpUDiv),
+		mk("kb:fneg-fneg", "fneg (fneg X) -> X",
+			`define double @f(double %x) {
+  %a = fneg double %x
+  %r = fneg double %a
+  ret double %r
+}`, kbFnegFneg, ir.OpFNeg),
+		mk("kb:and-lshr-bit", "and (lshr X, w-1), 1 -> lshr X, w-1",
+			`define i8 @f(i8 %x) {
+  %s = lshr i8 %x, 7
+  %r = and i8 %s, 1
+  ret i8 %r
+}`, kbAndLshrBit, ir.OpAnd),
+		mk("kb:sub-add-cancel", "sub (add X, Y), Y -> X",
+			`define i8 @f(i8 %x, i8 %y) {
+  %a = add i8 %x, %y
+  %r = sub i8 %a, %y
+  ret i8 %r
+}`, kbSubAddCancel, ir.OpSub),
+		mk("kb:add-sub-cancel", "add (sub X, Y), Y -> X",
+			`define i8 @f(i8 %x, i8 %y) {
+  %s = sub i8 %x, %y
+  %r = add i8 %s, %y
+  ret i8 %r
+}`, kbAddSubCancel, ir.OpAdd),
+		mk("kb:compl-mask-self", "or (and X, Y), (and X, ~Y) -> X",
+			`define i8 @f(i8 %x, i8 %y) {
+  %n = xor i8 %y, -1
+  %a = and i8 %x, %y
+  %b = and i8 %x, %n
+  %r = or i8 %a, %b
+  ret i8 %r
+}`, kbComplMaskSelf, ir.OpOr),
+	}
 }
 
 func kbRotate(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {

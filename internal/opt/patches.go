@@ -6,35 +6,137 @@ import (
 	"repro/internal/ir"
 )
 
-// patchFn is a rewrite rule that models one LLVM fix. It follows the same
-// contract as transform.rewrite.
-type patchFn func(t *transform, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool)
-
-// patchRules maps the paper's fixed-issue IDs (Table 5) to the rewrites each
-// fix introduced; issues 157371 and 163108 landed as two patches each, so
-// they enable two rules. The pattern families are synthetic reconstructions
-// aligned with the paper's case studies (§4.3): 128134 is the consecutive
-// load merge (Figure 4a/4d), 142711 is the umax-shl chain (Figure 4b/4e),
-// and 133367 is the fcmp-ord-select elimination (Figure 4c/4f). Each family
-// is a genuine refinement the baseline optimizer misses.
-var patchRules = map[string][]patchFn{
-	"128134": {patchLoadMerge},                    // or(shl(zext(load hi)), zext(load lo)) -> wide load
-	"133367": {patchFcmpOrdSelect},                // fcmp oeq (select (fcmp ord X, _), X, 0), C -> fcmp oeq X, C
-	"142674": {patchComplMaskOr},                  // or (and X, C), (and X, ~C)       -> X
-	"142711": {patchUmaxShlChain},                 // umax(shl nuw (umax(X,C1)), C2)   -> umax(shl nuw X, C2)
-	"143211": {patchLshrShlMask},                  // lshr (shl X, C), C               -> and X, mask
-	"143636": {patchClampSmax},                    // select(X<0, 0, umin(X,C))        -> umin(smax(X,0),C)
-	"154238": {patchSelectZeroOne},                // select C, 1, 0                   -> zext C
-	"157315": {patchUminZextCover},                // umin(zext X, C>=xmax)            -> zext X
-	"157370": {patchAshrShlSext},                  // ashr (shl X, C), C               -> sext(trunc X)
-	"157371": {patchMulMinusOne, patchNegViaXor},  // mul X,-1 -> sub 0,X; add(xor X,-1),1 -> sub 0,X
-	"157524": {patchXorNegNot},                    // xor (sub 0, X), -1               -> add X, -1
-	"163108": {patchAbsorption, patchAndAshrSign}, // or(X, and(X,Y)) -> X; and(ashr X,w-1),X -> smin(X,0)
-	"166973": {patchShlLshrMask},                  // shl (lshr X, C), C               -> and X, high-mask
+// patchRuleDefs lists the modelled LLVM fixes keyed by the paper's
+// fixed-issue IDs (Table 5); issues 157371 and 163108 landed as two patches
+// each, so they contribute two rules sharing one enable name. The pattern
+// families are synthetic reconstructions aligned with the paper's case
+// studies (§4.3): 128134 is the consecutive load merge (Figure 4a/4d),
+// 142711 is the umax-shl chain (Figure 4b/4e), and 133367 is the
+// fcmp-ord-select elimination (Figure 4c/4f). Each family is a genuine
+// refinement the baseline optimizer misses.
+func patchRuleDefs() []*Rule {
+	mk := func(id, name, doc, example string, fn ruleFn, roots ...ir.Opcode) *Rule {
+		return &Rule{
+			ID: id, Name: name, Provenance: ProvPatch,
+			Roots: roots, Doc: doc, Example: example, apply: fn,
+		}
+	}
+	return []*Rule{
+		mk("128134/load-merge", "128134",
+			"or disjoint (shl (zext (load hi)), w/2), zext (load lo) -> wide load",
+			`define i32 @src(ptr %0) {
+  %2 = load i16, ptr %0, align 2
+  %3 = getelementptr i8, ptr %0, i64 2
+  %4 = load i16, ptr %3, align 1
+  %5 = zext i16 %4 to i32
+  %6 = shl nuw i32 %5, 16
+  %7 = zext i16 %2 to i32
+  %8 = or disjoint i32 %6, %7
+  ret i32 %8
+}`, patchLoadMerge, ir.OpOr),
+		mk("133367/fcmp-ord-select", "133367",
+			"fcmp oeq (select (fcmp ord X, _), X, 0), C -> fcmp oeq X, C",
+			`define i1 @src(double %0) {
+  %2 = fcmp ord double %0, 0.000000e+00
+  %3 = select i1 %2, double %0, double 0.000000e+00
+  %4 = fcmp oeq double %3, 1.000000e+00
+  ret i1 %4
+}`, patchFcmpOrdSelect, ir.OpFCmp),
+		mk("142674/compl-mask-or", "142674",
+			"or (and X, C), (and X, ~C) -> X",
+			`define i32 @f(i32 %x) {
+  %a = and i32 %x, -16
+  %b = and i32 %x, 15
+  %r = or i32 %a, %b
+  ret i32 %r
+}`, patchComplMaskOr, ir.OpOr),
+		mk("142711/umax-shl-chain", "142711",
+			"umax (shl nuw (umax(X, C1)), k), C2 -> umax (shl nuw X, k), C2 when C1<<k <= C2",
+			`define i8 @src(i8 %0) {
+  %2 = call i8 @llvm.umax.i8(i8 %0, i8 1)
+  %3 = shl nuw i8 %2, 1
+  %4 = call i8 @llvm.umax.i8(i8 %3, i8 16)
+  ret i8 %4
+}`, patchUmaxShlChain, ir.OpCall),
+		mk("143211/lshr-shl-mask", "143211",
+			"lshr (shl X, C), C -> and X, lowmask",
+			`define i32 @f(i32 %x) {
+  %a = shl i32 %x, 8
+  %b = lshr i32 %a, 8
+  ret i32 %b
+}`, patchLshrShlMask, ir.OpLShr),
+		mk("143636/clamp-smax", "143636",
+			"select (X<0), 0, umin(X, C) -> umin(smax(X, 0), C)",
+			`define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`, patchClampSmax, ir.OpSelect),
+		mk("154238/select-zero-one", "154238",
+			"select C, 1, 0 -> zext C",
+			`define i32 @f(i1 %c) {
+  %r = select i1 %c, i32 1, i32 0
+  ret i32 %r
+}`, patchSelectZeroOne, ir.OpSelect),
+		mk("157315/umin-zext-cover", "157315",
+			"umin (zext X, C>=xmax) -> zext X",
+			`define i32 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = call i32 @llvm.umin.i32(i32 %z, i32 255)
+  ret i32 %r
+}`, patchUminZextCover, ir.OpCall),
+		mk("157370/ashr-shl-sext", "157370",
+			"ashr (shl X, C), C -> sext (trunc X)",
+			`define i32 @f(i32 %x) {
+  %a = shl i32 %x, 24
+  %b = ashr i32 %a, 24
+  ret i32 %b
+}`, patchAshrShlSext, ir.OpAShr),
+		mk("157371/mul-minus-one", "157371",
+			"mul X, -1 -> sub 0, X",
+			`define i32 @f(i32 %x) {
+  %r = mul i32 %x, -1
+  ret i32 %r
+}`, patchMulMinusOne, ir.OpMul),
+		mk("157371/neg-via-xor", "157371",
+			"add (xor X, -1), 1 -> sub 0, X",
+			`define i32 @f(i32 %x) {
+  %n = xor i32 %x, -1
+  %r = add i32 %n, 1
+  ret i32 %r
+}`, patchNegViaXor, ir.OpAdd),
+		mk("157524/xor-neg-not", "157524",
+			"xor (sub 0, X), -1 -> add X, -1",
+			`define i32 @f(i32 %x) {
+  %n = sub i32 0, %x
+  %r = xor i32 %n, -1
+  ret i32 %r
+}`, patchXorNegNot, ir.OpXor),
+		mk("163108/absorption", "163108",
+			"or (X, and(X, Y)) -> X; and (X, or(X, Y)) -> X",
+			`define i32 @f(i32 %x, i32 %y) {
+  %a = and i32 %x, %y
+  %r = or i32 %a, %x
+  ret i32 %r
+}`, patchAbsorption, ir.OpOr, ir.OpAnd),
+		mk("163108/and-ashr-sign", "163108",
+			"and (ashr X, w-1), X -> smin(X, 0)",
+			`define i32 @f(i32 %x) {
+  %s = ashr i32 %x, 31
+  %r = and i32 %s, %x
+  ret i32 %r
+}`, patchAndAshrSign, ir.OpAnd),
+		mk("166973/shl-lshr-mask", "166973",
+			"shl (lshr X, C), C -> and X, highmask",
+			`define i32 @f(i32 %x) {
+  %a = lshr i32 %x, 8
+  %b = shl i32 %a, 8
+  ret i32 %b
+}`, patchShlLshrMask, ir.OpShl),
+	}
 }
-
-// PatchIDs returns the issue IDs with modelled fixes, unordered.
-func PatchIDs() []string { return EnabledPatches() }
 
 func patchClampSmax(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpSelect {

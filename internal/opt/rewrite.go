@@ -1,59 +1,81 @@
 package opt
 
 import (
-	"sort"
-
 	"repro/internal/ir"
 )
 
-// rewrite applies rules that replace an instruction with one or more new
-// instructions (or an existing value). It returns the instructions to
-// insert, the value that replaces the original result, and success.
-func (t *transform) rewrite(in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
-	if !t.noIntrinsicCanon {
-		if news, v, ok := t.selectToMinMax(in); ok {
-			return news, v, ok
-		}
+// This file holds the baseline InstCombine-style rewrites: rules that replace
+// an instruction with one or more new instructions (or an existing value).
+// They register themselves in the rule registry (rules.go) with baseline
+// provenance, so they are always enabled; dispatch happens through the
+// RuleSet's opcode-indexed table, never by scanning unrelated rules.
+
+// ruleIDSelectMinMax is the intrinsic-canonicalization family gated by
+// Options.DisableIntrinsicCanon.
+const ruleIDSelectMinMax = "baseline:select-minmax"
+
+func baselineRewriteRules() []*Rule {
+	return []*Rule{
+		{
+			ID: ruleIDSelectMinMax, Name: ruleIDSelectMinMax, Provenance: ProvBaseline,
+			Roots: []ir.Opcode{ir.OpSelect},
+			Doc:   "select (icmp pred A, B), A, B -> smin/smax/umin/umax(A, B)",
+			Example: `define i32 @f(i32 %a, i32 %b) {
+  %c = icmp slt i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}`,
+			apply: rewriteSelectToMinMax,
+		},
+		{
+			ID: "baseline:select-not", Name: "baseline:select-not", Provenance: ProvBaseline,
+			Roots: []ir.Opcode{ir.OpSelect},
+			Doc:   "select C, false, true -> xor C, true",
+			Example: `define i1 @f(i1 %c) {
+  %r = select i1 %c, i1 false, i1 true
+  ret i1 %r
+}`,
+			apply: rewriteSelectBoolInvert,
+		},
+		{
+			ID: "baseline:zext-trunc", Name: "baseline:zext-trunc", Provenance: ProvBaseline,
+			Roots: []ir.Opcode{ir.OpZExt},
+			Doc:   "zext (trunc X) -> and X, lowmask (or X itself for trunc nuw)",
+			Example: `define i32 @f(i32 %x) {
+  %t = trunc i32 %x to i8
+  %r = zext i8 %t to i32
+  ret i32 %r
+}`,
+			apply: rewriteZextOfTrunc,
+		},
+		{
+			ID: "baseline:and-zext-cover", Name: "baseline:and-zext-cover", Provenance: ProvBaseline,
+			Roots: []ir.Opcode{ir.OpAnd},
+			Doc:   "and (zext X), C -> zext X when C covers every bit X can set",
+			Example: `define i32 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = and i32 %z, 255
+  ret i32 %r
+}`,
+			apply: rewriteAndOfZextCover,
+		},
+		{
+			ID: "baseline:divrem-pow2", Name: "baseline:divrem-pow2", Provenance: ProvBaseline,
+			Roots: []ir.Opcode{ir.OpUDiv, ir.OpURem},
+			Doc:   "udiv/urem X, 2^k -> lshr X, k / and X, 2^k-1",
+			Example: `define i32 @f(i32 %x) {
+  %r = udiv i32 %x, 8
+  ret i32 %r
+}`,
+			apply: rewriteUdivUremPow2,
+		},
 	}
-	if news, v, ok := t.selectBoolInvert(in); ok {
-		return news, v, ok
-	}
-	if news, v, ok := t.zextOfTrunc(in); ok {
-		return news, v, ok
-	}
-	if news, v, ok := t.andOfZextCover(in); ok {
-		return news, v, ok
-	}
-	if news, v, ok := t.udivUremPow2(in); ok {
-		return news, v, ok
-	}
-	// Optional rules: the modelled LLVM fixes (Table 5 / Figure 5) and the
-	// LLM knowledge base, applied in deterministic name order.
-	if len(t.patches) > 0 {
-		names := make([]string, 0, len(t.patches))
-		for n := range t.patches {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			rules := patchRules[n]
-			if kb, ok := kbRules[n]; ok {
-				rules = kb
-			}
-			for _, fn := range rules {
-				if news, v, applied := fn(t, in, prior); applied {
-					return news, v, true
-				}
-			}
-		}
-	}
-	return nil, nil, false
 }
 
-// selectToMinMax canonicalizes select(icmp pred A, B), A, B (and the
+// rewriteSelectToMinMax canonicalizes select(icmp pred A, B), A, B (and the
 // swapped-arm form) into the matching min/max intrinsic, as InstCombine does
 // for directly-matching operand shapes.
-func (t *transform) selectToMinMax(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+func rewriteSelectToMinMax(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpSelect || !ir.IsInt(in.Ty) {
 		return nil, nil, false
 	}
@@ -92,8 +114,8 @@ func (t *transform) selectToMinMax(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	return []*ir.Instr{call}, call, true
 }
 
-// selectBoolInvert rewrites select C, false, true -> xor C, true.
-func (t *transform) selectBoolInvert(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+// rewriteSelectBoolInvert rewrites select C, false, true -> xor C, true.
+func rewriteSelectBoolInvert(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpSelect || !ir.Equal(in.Ty, ir.I1) || ir.IsVector(in.Args[0].Type()) {
 		return nil, nil, false
 	}
@@ -106,9 +128,9 @@ func (t *transform) selectBoolInvert(in *ir.Instr) ([]*ir.Instr, ir.Value, bool)
 	return []*ir.Instr{x}, x, true
 }
 
-// zextOfTrunc rewrites zext (trunc X) back to X's type as a mask:
+// rewriteZextOfTrunc rewrites zext (trunc X) back to X's type as a mask:
 // plain trunc -> and X, lowmask; trunc nuw -> X itself.
-func (t *transform) zextOfTrunc(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+func rewriteZextOfTrunc(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpZExt {
 		return nil, nil, false
 	}
@@ -125,9 +147,9 @@ func (t *transform) zextOfTrunc(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	return []*ir.Instr{and}, and, true
 }
 
-// andOfZextCover simplifies and (zext X), C -> zext X when C covers every
-// bit X can set.
-func (t *transform) andOfZextCover(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+// rewriteAndOfZextCover simplifies and (zext X), C -> zext X when C covers
+// every bit X can set.
+func rewriteAndOfZextCover(_ *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpAnd {
 		return nil, nil, false
 	}
@@ -146,9 +168,9 @@ func (t *transform) andOfZextCover(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	return nil, nil, false
 }
 
-// udivUremPow2 rewrites unsigned division and remainder by powers of two
-// into shifts and masks.
-func (t *transform) udivUremPow2(in *ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+// rewriteUdivUremPow2 rewrites unsigned division and remainder by powers of
+// two into shifts and masks.
+func rewriteUdivUremPow2(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
 	if in.Op != ir.OpUDiv && in.Op != ir.OpURem {
 		return nil, nil, false
 	}

@@ -1,0 +1,264 @@
+package opt
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Provenance records where a rule comes from: the baseline optimizer, a
+// modelled LLVM fix (paper Table 5), or the simulated LLM's knowledge base.
+type Provenance string
+
+// Provenance values.
+const (
+	ProvBaseline Provenance = "baseline"
+	ProvPatch    Provenance = "patch"
+	ProvKB       Provenance = "kb"
+)
+
+// ruleFn is the rewrite contract every registered rule implements: given an
+// instruction (and the instructions already emitted before it in the current
+// sweep), return the instructions to insert, the value replacing the original
+// result (nil deletes a void instruction), and whether the rule fired.
+type ruleFn func(t *transform, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool)
+
+// Rule is one first-class rewrite rule in the registry. Rules are enumerable
+// (Rules, cmd/lpo-opt -rules), attributable (RunStats.RuleHits, Attribute)
+// and selectable by enable name (Options.Patches); the apply function itself
+// stays private to the package.
+type Rule struct {
+	// ID uniquely identifies the rule, e.g. "baseline:zext-trunc",
+	// "157371/neg-via-xor" or "kb:rotate". Hit counters are keyed by ID.
+	ID string
+	// Name is the enable name used in Options.Patches. Patch rules share
+	// their issue ID (157371 landed as two patches, so two rules share the
+	// name "157371"); baseline and knowledge-base rules have Name == ID.
+	// Baseline rules are always enabled regardless of Options.Patches.
+	Name string
+	// Provenance classifies the rule (baseline / patch / kb).
+	Provenance Provenance
+	// Roots are the opcodes the rule can fire on; dispatch tables are indexed
+	// by them. A rule is only ever invoked on instructions whose opcode is in
+	// Roots.
+	Roots []ir.Opcode
+	// Doc is the one-line pattern the rule implements.
+	Doc string
+	// Example is a synthetic .ll function the rule fires on. The registry
+	// self-test proves every rule fires on its Example and that the rewrite
+	// is a refinement per internal/alive.
+	Example string
+
+	apply ruleFn
+}
+
+// registry holds every rule in deterministic order: baseline rules in
+// pipeline order (simplify identities before emitting rewrites), then the
+// optional patch and knowledge-base rules sorted by enable name.
+var (
+	registry       []*Rule
+	ruleByID       map[string]*Rule
+	optionalByName map[string][]*Rule
+)
+
+func init() {
+	registry = append(registry, baselineSimplifyRules()...)
+	registry = append(registry, baselineRewriteRules()...)
+	optional := append(patchRuleDefs(), kbRuleDefs()...)
+	// Sorting by enable name (stable, so multi-rule patches keep their
+	// intra-patch order) reproduces the seed dispatcher's sorted-name scan
+	// and makes every accessor below deterministic.
+	sort.SliceStable(optional, func(i, j int) bool { return optional[i].Name < optional[j].Name })
+	registry = append(registry, optional...)
+
+	ruleByID = make(map[string]*Rule, len(registry))
+	optionalByName = make(map[string][]*Rule)
+	for _, r := range registry {
+		if r.ID == "" || r.Name == "" || len(r.Roots) == 0 || r.apply == nil {
+			panic("opt: incomplete rule registration: " + r.ID)
+		}
+		if _, dup := ruleByID[r.ID]; dup {
+			panic("opt: duplicate rule ID " + r.ID)
+		}
+		ruleByID[r.ID] = r
+		if r.Provenance != ProvBaseline {
+			optionalByName[r.Name] = append(optionalByName[r.Name], r)
+		}
+	}
+	// Prebuild the common selections: the two baseline-only sets cover every
+	// Run with no optional rules enabled (the dominant case — extraction
+	// canonicalizes each window with the plain baseline), which the seed
+	// dispatcher served with zero setup cost, and the full set backs the
+	// knowledge-base consumers (llm.Sim, engine attribution).
+	baselineSet = buildRuleSet(Options{})
+	baselineNoCanonSet = buildRuleSet(Options{DisableIntrinsicCanon: true})
+	fullSet = buildRuleSet(Options{Patches: AllRuleNames()})
+}
+
+// Shared selections (immutable after init, safe for concurrent use).
+var baselineSet, baselineNoCanonSet, fullSet *RuleSet
+
+// FullRuleSet returns the shared selection with every patch and
+// knowledge-base rule enabled — the "ideal optimizer" the simulated LLM
+// proposes from and the registry view attribution runs against.
+func FullRuleSet() *RuleSet { return fullSet }
+
+// Rules returns every registered rule in deterministic order (baseline rules
+// first, then patches and knowledge base sorted by enable name). Callers must
+// treat the returned rules as read-only.
+func Rules() []*Rule { return append([]*Rule(nil), registry...) }
+
+// RuleByID returns the registered rule with the given ID, or nil.
+func RuleByID(id string) *Rule { return ruleByID[id] }
+
+// PatchIDs returns the issue IDs with modelled fixes (paper Table 5), sorted.
+func PatchIDs() []string { return namesWithProvenance(ProvPatch) }
+
+// KBNames returns the knowledge-base rule names (without the patch rules),
+// sorted.
+func KBNames() []string { return namesWithProvenance(ProvKB) }
+
+// AllRuleNames returns every optional enable name — modelled patches plus the
+// LLM knowledge base — in sorted order. Enabling all of them yields the
+// "ideal optimizer" the simulated LLM aspires to.
+func AllRuleNames() []string {
+	return append(PatchIDs(), KBNames()...)
+}
+
+func namesWithProvenance(p Provenance) []string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, r := range registry {
+		if r.Provenance == p && !seen[r.Name] {
+			seen[r.Name] = true
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// opcodeLimit sizes the dispatch tables; opcodes are small contiguous ints.
+const opcodeLimit = int(ir.OpUnreachable) + 1
+
+// RuleSet is an immutable selection of rules with a precomputed dispatch
+// table indexed by root opcode. Run builds one per call from Options; callers
+// that optimize many functions with the same configuration (the simulated
+// LLM, the engine's attribution pass) build one with NewRuleSet and reuse it
+// via Options.Rules.
+type RuleSet struct {
+	rules []*Rule
+	names []string // enabled optional names, sorted
+	index [opcodeLimit][]*Rule
+}
+
+// NewRuleSet resolves opts.Patches against the registry: baseline rules are
+// always included (minus the select->min/max family when
+// opts.DisableIntrinsicCanon is set), optional rules are included when their
+// enable name is listed. Unknown names are ignored, duplicates are deduped,
+// and the resulting rule order is deterministic regardless of the order of
+// opts.Patches. opts.Rules and opts.MaxIters are ignored here. Baseline-only
+// selections are shared, so the common no-patches Run pays no setup cost.
+func NewRuleSet(opts Options) *RuleSet {
+	if len(opts.Patches) == 0 {
+		if opts.DisableIntrinsicCanon {
+			return baselineNoCanonSet
+		}
+		return baselineSet
+	}
+	return buildRuleSet(opts)
+}
+
+func buildRuleSet(opts Options) *RuleSet {
+	enabled := make(map[string]bool, len(opts.Patches))
+	for _, n := range opts.Patches {
+		enabled[n] = true
+	}
+	rs := &RuleSet{}
+	seenName := make(map[string]bool)
+	for _, r := range registry {
+		switch {
+		case r.Provenance == ProvBaseline:
+			if opts.DisableIntrinsicCanon && r.ID == ruleIDSelectMinMax {
+				continue
+			}
+		default:
+			if !enabled[r.Name] {
+				continue
+			}
+			if !seenName[r.Name] {
+				seenName[r.Name] = true
+				rs.names = append(rs.names, r.Name)
+			}
+		}
+		rs.rules = append(rs.rules, r)
+		for _, op := range r.Roots {
+			rs.index[op] = append(rs.index[op], r)
+		}
+	}
+	sort.Strings(rs.names)
+	return rs
+}
+
+// Rules returns the selected rules in dispatch order (read-only).
+func (rs *RuleSet) Rules() []*Rule { return append([]*Rule(nil), rs.rules...) }
+
+// Names returns the enabled optional enable names, sorted.
+func (rs *RuleSet) Names() []string { return append([]string(nil), rs.names...) }
+
+// Len is the number of selected rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// rulesFor returns the dispatch list for one root opcode.
+func (rs *RuleSet) rulesFor(op ir.Opcode) []*Rule {
+	if int(op) < 0 || int(op) >= opcodeLimit {
+		return nil
+	}
+	return rs.index[op]
+}
+
+// applyRules dispatches the instruction through the opcode-indexed table and
+// applies the first rule that fires, recording a hit against its ID.
+func (t *transform) applyRules(in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+	for _, r := range t.rs.rulesFor(in.Op) {
+		if news, v, ok := r.apply(t, in, prior); ok {
+			t.hits[r.ID]++
+			return news, v, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Attribute reports which optional (patch / knowledge-base) rules fire when
+// optimizing f with rs, keyed by rule ID. Baseline rules are filtered out:
+// the result names the missed optimizations that close the window, not the
+// canonicalization cleanup around them. An empty map means the rule set does
+// not improve f beyond the baseline rules.
+func Attribute(f *ir.Func, rs *RuleSet) map[string]int {
+	_, stats := RunWithStats(f, Options{Rules: rs})
+	return OptionalRuleHits(stats.RuleHits)
+}
+
+// OptionalRuleHits filters a RunStats.RuleHits map down to the optional
+// (patch / knowledge-base) rules, dropping the baseline cleanup around them.
+// It is the one place the attribution provenance filter lives.
+func OptionalRuleHits(hits map[string]int) map[string]int {
+	out := make(map[string]int)
+	for id, n := range hits {
+		if r := ruleByID[id]; r != nil && r.Provenance != ProvBaseline {
+			out[id] = n
+		}
+	}
+	return out
+}
+
+// AttributedIDs is Attribute flattened to sorted rule IDs, for reports.
+func AttributedIDs(f *ir.Func, rs *RuleSet) []string {
+	hits := Attribute(f, rs)
+	ids := make([]string, 0, len(hits))
+	for id := range hits {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -4,144 +4,275 @@ import (
 	"repro/internal/ir"
 )
 
-// simplify tries to replace an instruction with an existing value or a
-// constant (InstSimplify-style identities). Every rule here is a refinement:
-// the replacement's behaviours are a subset of the original's on all inputs.
-func (t *transform) simplify(in *ir.Instr) (ir.Value, bool) {
-	switch in.Op {
-	case ir.OpAdd:
-		if isZeroConst(in.Args[1]) {
-			return in.Args[0], true
+// This file holds the InstSimplify-style identities: rules that replace an
+// instruction with an existing value or a constant, never emitting new
+// instructions. Every rule here is a refinement — the replacement's
+// behaviours are a subset of the original's on all inputs. Each opcode family
+// registers one rule with baseline provenance, so the identities are
+// enumerable and attributable like every other rewrite; they are registered
+// before the emitting rewrites, preserving the pipeline order
+// fold -> canonicalize -> simplify -> rewrite within each dispatch list.
+
+// simp adapts a value-producing simplification to the ruleFn contract.
+func simp(fn func(t *transform, in *ir.Instr) (ir.Value, bool)) ruleFn {
+	return func(t *transform, in *ir.Instr, _ []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+		v, ok := fn(t, in)
+		return nil, v, ok
+	}
+}
+
+func baselineSimplifyRules() []*Rule {
+	mk := func(id, doc, example string, fn func(*transform, *ir.Instr) (ir.Value, bool), roots ...ir.Opcode) *Rule {
+		return &Rule{
+			ID: id, Name: id, Provenance: ProvBaseline,
+			Roots: roots, Doc: doc, Example: example, apply: simp(fn),
 		}
-	case ir.OpSub:
-		if isZeroConst(in.Args[1]) {
-			return in.Args[0], true
-		}
-		if sameValue(in.Args[0], in.Args[1]) {
+	}
+	return []*Rule{
+		mk("baseline:simplify-add", "add X, 0 -> X",
+			`define i32 @f(i32 %x) {
+  %r = add i32 %x, 0
+  ret i32 %r
+}`, simplifyAdd, ir.OpAdd),
+		mk("baseline:simplify-sub", "sub X, X -> 0",
+			`define i32 @f(i32 %x) {
+  %r = sub i32 %x, %x
+  ret i32 %r
+}`, simplifySub, ir.OpSub),
+		mk("baseline:simplify-mul", "mul X, 0 -> 0; mul X, 1 -> X",
+			`define i32 @f(i32 %x) {
+  %r = mul i32 %x, 0
+  ret i32 %r
+}`, simplifyMul, ir.OpMul),
+		mk("baseline:simplify-div", "udiv/sdiv X, 1 -> X; 0/X -> 0",
+			`define i32 @f(i32 %x) {
+  %r = udiv i32 %x, 1
+  ret i32 %r
+}`, simplifyDiv, ir.OpUDiv, ir.OpSDiv),
+		mk("baseline:simplify-urem", "urem X, 1 -> 0; urem 0, X -> 0",
+			`define i32 @f(i32 %x) {
+  %r = urem i32 %x, 1
+  ret i32 %r
+}`, simplifyURem, ir.OpURem),
+		mk("baseline:simplify-srem", "srem X, 1/-1 -> 0; srem 0, X -> 0",
+			`define i8 @f(i8 %x) {
+  %r = srem i8 %x, -1
+  ret i8 %r
+}`, simplifySRem, ir.OpSRem),
+		mk("baseline:simplify-shift", "shift X, 0 -> X; shift 0, C -> 0; oversized shift -> poison",
+			`define i32 @f(i32 %x) {
+  %r = shl i32 %x, 0
+  ret i32 %r
+}`, simplifyShift, ir.OpShl, ir.OpLShr, ir.OpAShr),
+		mk("baseline:simplify-and", "and X, 0 -> 0; and X, -1 -> X; and X, X -> X",
+			`define i32 @f(i32 %x) {
+  %r = and i32 %x, 0
+  ret i32 %r
+}`, simplifyAnd, ir.OpAnd),
+		mk("baseline:simplify-or", "or X, 0 -> X; or X, -1 -> -1; or X, X -> X",
+			`define i32 @f(i32 %x) {
+  %r = or i32 %x, 0
+  ret i32 %r
+}`, simplifyOr, ir.OpOr),
+		mk("baseline:simplify-xor", "xor X, 0 -> X; xor X, X -> 0; xor (xor X, C), C -> X",
+			`define i32 @f(i32 %x) {
+  %r = xor i32 %x, %x
+  ret i32 %r
+}`, simplifyXor, ir.OpXor),
+		mk("baseline:simplify-icmp", "icmp X, X -> const; range-impossible icmp X, C -> const",
+			`define i1 @f(i32 %x) {
+  %r = icmp ult i32 %x, 0
+  ret i1 %r
+}`, simplifyICmpRule, ir.OpICmp),
+		mk("baseline:simplify-select", "select const/equal-arm folds; select C, true, false -> C",
+			`define i32 @f(i1 %c, i32 %x) {
+  %r = select i1 %c, i32 %x, i32 %x
+  ret i32 %r
+}`, simplifySelect, ir.OpSelect),
+		mk("baseline:simplify-trunc", "trunc (zext/sext X) back to X's type -> X",
+			`define i8 @f(i8 %x) {
+  %z = zext i8 %x to i32
+  %r = trunc i32 %z to i8
+  ret i8 %r
+}`, simplifyTrunc, ir.OpTrunc),
+		mk("baseline:simplify-freeze", "freeze const -> const; freeze (freeze X) -> freeze X",
+			`define i8 @f(i8 %x) {
+  %a = freeze i8 %x
+  %b = freeze i8 %a
+  ret i8 %b
+}`, simplifyFreeze, ir.OpFreeze),
+		mk("baseline:simplify-minmax", "min/max identities: equal args, dominating constants",
+			`define i8 @f(i8 %x) {
+  %r = call i8 @llvm.umin.i8(i8 %x, i8 0)
+  ret i8 %r
+}`, simplifyIntrinsic, ir.OpCall),
+	}
+}
+
+func simplifyAdd(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	return nil, false
+}
+
+func simplifySub(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	if sameValue(in.Args[0], in.Args[1]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	return nil, false
+}
+
+func simplifyMul(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+		return in.Args[0], true
+	}
+	return nil, false
+}
+
+func simplifyDiv(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+		return in.Args[0], true
+	}
+	if isZeroConst(in.Args[0]) {
+		// 0/X is 0 (if X is 0 the original is UB, so 0 refines it).
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	return nil, false
+}
+
+func simplifyURem(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	if isZeroConst(in.Args[0]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	return nil, false
+}
+
+func simplifySRem(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if c, ok := constIntOf(in.Args[1]); ok {
+		w := scalarWidth(in)
+		if c == 1 || ir.SignExt(c, w) == -1 {
 			return ir.SplatInt(in.Ty, 0), true
 		}
-	case ir.OpMul:
-		if isZeroConst(in.Args[1]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
-			return in.Args[0], true
-		}
-	case ir.OpUDiv, ir.OpSDiv:
-		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
-			return in.Args[0], true
-		}
-		if isZeroConst(in.Args[0]) {
-			// 0/X is 0 (if X is 0 the original is UB, so 0 refines it).
-			return ir.SplatInt(in.Ty, 0), true
-		}
-	case ir.OpURem:
-		if c, ok := constIntOf(in.Args[1]); ok && c == 1 {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-		if isZeroConst(in.Args[0]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-	case ir.OpSRem:
-		if c, ok := constIntOf(in.Args[1]); ok {
-			w := scalarWidth(in)
-			if c == 1 || ir.SignExt(c, w) == -1 {
-				return ir.SplatInt(in.Ty, 0), true
-			}
-		}
-		if isZeroConst(in.Args[0]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-	case ir.OpShl, ir.OpLShr, ir.OpAShr:
-		if isZeroConst(in.Args[1]) {
-			return in.Args[0], true
-		}
-		if isZeroConst(in.Args[0]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-		if c, ok := constIntOf(in.Args[1]); ok && c >= uint64(scalarWidth(in)) {
-			return &ir.PoisonVal{Ty: in.Ty}, true
-		}
-	case ir.OpAnd:
-		if isZeroConst(in.Args[1]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-		if isAllOnesConst(in.Args[1]) {
-			return in.Args[0], true
-		}
-		if sameValue(in.Args[0], in.Args[1]) {
-			return in.Args[0], true
-		}
-	case ir.OpOr:
-		if isZeroConst(in.Args[1]) {
-			return in.Args[0], true
-		}
-		if isAllOnesConst(in.Args[1]) {
-			return ir.SplatInt(in.Ty, -1), true
-		}
-		if sameValue(in.Args[0], in.Args[1]) {
-			return in.Args[0], true
-		}
-	case ir.OpXor:
-		if isZeroConst(in.Args[1]) {
-			return in.Args[0], true
-		}
-		if sameValue(in.Args[0], in.Args[1]) {
-			return ir.SplatInt(in.Ty, 0), true
-		}
-		// xor (xor X, C), C -> X (same constant cancels; the reassociation
-		// in canonicalize handles differing constants).
-		if inner, ok := asInstr(in.Args[0], ir.OpXor); ok && sameValue(inner.Args[1], in.Args[1]) {
-			return inner.Args[0], true
-		}
-	case ir.OpICmp:
-		if v, ok := t.simplifyICmp(in); ok {
-			return v, true
-		}
-	case ir.OpSelect:
-		if c, ok := constIntOf(in.Args[0]); ok && !ir.IsVector(in.Args[0].Type()) {
-			if c&1 == 1 {
-				return in.Args[1], true
-			}
-			return in.Args[2], true
-		}
-		if sameValue(in.Args[1], in.Args[2]) {
+	}
+	if isZeroConst(in.Args[0]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	return nil, false
+}
+
+func simplifyShift(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	if isZeroConst(in.Args[0]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	if c, ok := constIntOf(in.Args[1]); ok && c >= uint64(scalarWidth(in)) {
+		return &ir.PoisonVal{Ty: in.Ty}, true
+	}
+	return nil, false
+}
+
+func simplifyAnd(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	if isAllOnesConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	if sameValue(in.Args[0], in.Args[1]) {
+		return in.Args[0], true
+	}
+	return nil, false
+}
+
+func simplifyOr(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	if isAllOnesConst(in.Args[1]) {
+		return ir.SplatInt(in.Ty, -1), true
+	}
+	if sameValue(in.Args[0], in.Args[1]) {
+		return in.Args[0], true
+	}
+	return nil, false
+}
+
+func simplifyXor(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if isZeroConst(in.Args[1]) {
+		return in.Args[0], true
+	}
+	if sameValue(in.Args[0], in.Args[1]) {
+		return ir.SplatInt(in.Ty, 0), true
+	}
+	// xor (xor X, C), C -> X (same constant cancels; the reassociation
+	// in canonicalize handles differing constants).
+	if inner, ok := asInstr(in.Args[0], ir.OpXor); ok && sameValue(inner.Args[1], in.Args[1]) {
+		return inner.Args[0], true
+	}
+	return nil, false
+}
+
+func simplifySelect(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if c, ok := constIntOf(in.Args[0]); ok && !ir.IsVector(in.Args[0].Type()) {
+		if c&1 == 1 {
 			return in.Args[1], true
 		}
-		// select C, true, false -> C (i1 only).
-		if ir.Equal(in.Ty, ir.I1) {
-			tc, okT := constIntOf(in.Args[1])
-			fc, okF := constIntOf(in.Args[2])
-			if okT && okF && tc&1 == 1 && fc&1 == 0 {
-				return in.Args[0], true
-			}
-		}
-	case ir.OpTrunc:
-		// trunc (zext/sext X) back to the original type -> X.
-		if inner, ok := in.Args[0].(*ir.Instr); ok && (inner.Op == ir.OpZExt || inner.Op == ir.OpSExt) {
-			if ir.Equal(inner.Args[0].Type(), in.Ty) {
-				return inner.Args[0], true
-			}
-		}
-	case ir.OpFreeze:
-		if ir.IsConst(in.Args[0]) {
-			switch in.Args[0].(type) {
-			case *ir.PoisonVal, *ir.Undef:
-				return ir.ZeroValue(in.Ty), true
-			default:
-				return in.Args[0], true
-			}
-		}
-		// freeze (freeze X) -> freeze X.
-		if inner, ok := asInstr(in.Args[0], ir.OpFreeze); ok {
-			return inner, true
-		}
-	case ir.OpCall:
-		if v, ok := t.simplifyIntrinsic(in); ok {
-			return v, true
+		return in.Args[2], true
+	}
+	if sameValue(in.Args[1], in.Args[2]) {
+		return in.Args[1], true
+	}
+	// select C, true, false -> C (i1 only).
+	if ir.Equal(in.Ty, ir.I1) {
+		tc, okT := constIntOf(in.Args[1])
+		fc, okF := constIntOf(in.Args[2])
+		if okT && okF && tc&1 == 1 && fc&1 == 0 {
+			return in.Args[0], true
 		}
 	}
 	return nil, false
+}
+
+func simplifyTrunc(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	// trunc (zext/sext X) back to the original type -> X.
+	if inner, ok := in.Args[0].(*ir.Instr); ok && (inner.Op == ir.OpZExt || inner.Op == ir.OpSExt) {
+		if ir.Equal(inner.Args[0].Type(), in.Ty) {
+			return inner.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+func simplifyFreeze(_ *transform, in *ir.Instr) (ir.Value, bool) {
+	if ir.IsConst(in.Args[0]) {
+		switch in.Args[0].(type) {
+		case *ir.PoisonVal, *ir.Undef:
+			return ir.ZeroValue(in.Ty), true
+		default:
+			return in.Args[0], true
+		}
+	}
+	// freeze (freeze X) -> freeze X.
+	if inner, ok := asInstr(in.Args[0], ir.OpFreeze); ok {
+		return inner, true
+	}
+	return nil, false
+}
+
+func simplifyICmpRule(t *transform, in *ir.Instr) (ir.Value, bool) {
+	return t.simplifyICmp(in)
 }
 
 func (t *transform) simplifyICmp(in *ir.Instr) (ir.Value, bool) {
@@ -207,7 +338,7 @@ func (t *transform) simplifyICmp(in *ir.Instr) (ir.Value, bool) {
 	return nil, false
 }
 
-func (t *transform) simplifyIntrinsic(in *ir.Instr) (ir.Value, bool) {
+func simplifyIntrinsic(_ *transform, in *ir.Instr) (ir.Value, bool) {
 	base := ir.IntrinsicBase(in.Callee)
 	if len(in.Args) != 2 {
 		return nil, false
