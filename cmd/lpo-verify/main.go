@@ -2,9 +2,15 @@
 // two functions (source first, target second — or @src/@tgt by name), it
 // checks refinement and prints either the verdict or a counterexample.
 //
+// The -widths flag re-checks the rewrite at alternate bit widths: both
+// functions are re-instantiated at each width under the literal constant
+// policy (internal/generalize.Rewidth) and re-verified with the multi-width
+// alive helper — a quick probe for whether a concrete finding is
+// width-generic before learning it properly with `lpo -learn`.
+//
 // Usage:
 //
-//	lpo-verify [-samples N] [-gain] pair.ll
+//	lpo-verify [-samples N] [-gain] [-widths 8,16,32,64] pair.ll
 package main
 
 import (
@@ -12,9 +18,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/alive"
 	"repro/internal/engine"
+	"repro/internal/generalize"
+	"repro/internal/ir"
 	"repro/internal/mca"
 	"repro/internal/parser"
 )
@@ -23,6 +33,7 @@ func main() {
 	samples := flag.Int("samples", 4096, "random samples when not exhaustive")
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	gain := flag.Bool("gain", false, "also report the engine's filter-stage verdict (instrs/cycles gain)")
+	widthsFlag := flag.String("widths", "", "comma-separated bit widths to re-check the rewrite at (e.g. 8,16,32,64)")
 	flag.Parse()
 
 	var src []byte
@@ -62,7 +73,9 @@ func main() {
 		fmt.Printf("filter stage: %s (%d->%d instrs, %d->%d cycles)\n",
 			verdict, sr.Instructions, tr.Instructions, sr.TotalCycles, tr.TotalCycles)
 	}
-	res := alive.Verify(sf, tf, alive.Options{Samples: *samples, Seed: *seed})
+	opts := alive.Options{Samples: *samples, Seed: *seed}
+	res := alive.Verify(sf, tf, opts)
+	exit := 0
 	switch res.Verdict {
 	case alive.Correct:
 		mode := "sampled"
@@ -72,9 +85,56 @@ func main() {
 		fmt.Printf("Transformation seems to be correct! (%d inputs, %s)\n", res.Checked, mode)
 	case alive.Incorrect:
 		fmt.Print(res.CE.Format())
-		os.Exit(1)
+		exit = 1
 	case alive.Unsupported:
 		fmt.Println(res.Err)
-		os.Exit(2)
+		exit = 2
 	}
+	if *widthsFlag != "" {
+		widths, err := parseWidths(*widthsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, wr := range alive.VerifyWidths(widths, opts, func(w int) (*ir.Func, *ir.Func, error) {
+			s, err := generalize.Rewidth(sf, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			t, err := generalize.Rewidth(tf, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, t, nil
+		}) {
+			switch wr.Verdict {
+			case alive.Correct:
+				mode := "sampled"
+				if wr.Exhaustive {
+					mode = "exhaustive"
+				}
+				fmt.Printf("width i%-2d: correct (%d inputs, %s)\n", wr.Width, wr.Checked, mode)
+			case alive.Incorrect:
+				fmt.Printf("width i%-2d: counterexample\n%s", wr.Width, wr.CE.Format())
+				if exit == 0 {
+					exit = 1
+				}
+			case alive.Unsupported:
+				fmt.Printf("width i%-2d: not checkable (%s)\n", wr.Width, wr.Err)
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func parseWidths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 2 || w > 64 {
+			return nil, fmt.Errorf("bad width %q (want integers in 2..64)", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }

@@ -17,6 +17,15 @@
 //	             deterministic for a fixed -seed regardless of N
 //	-queue N     bounded work/result queue size (default 2*workers),
 //	             the backpressure window between extraction and the pool
+//
+// Learning flags (the discovery→learn→re-optimize loop):
+//
+//	-learn FILE     lift every verified finding into a width-generalized
+//	                rule (internal/generalize) and write the surviving
+//	                rules to FILE as a JSON rulebook
+//	-rulebook FILE  load a previously learned rulebook: its rules join the
+//	                optimizer used for extraction filtering and candidate
+//	                preprocessing, so past campaigns strengthen this run
 package main
 
 import (
@@ -30,7 +39,9 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/engine"
 	"repro/internal/extract"
+	"repro/internal/generalize"
 	"repro/internal/llm"
+	"repro/internal/opt"
 )
 
 func main() {
@@ -41,12 +52,28 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	queue := flag.Int("queue", 0, "bounded queue size (0 = 2*workers)")
 	stats := flag.Bool("stats", true, "print per-stage engine statistics")
+	learnPath := flag.String("learn", "", "generalize verified findings and write the rulebook to this file")
+	rulebookPath := flag.String("rulebook", "", "load a learned rulebook into the optimizer before running")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	ex := extract.New(extract.Options{})
+	// A loaded rulebook strengthens the whole substrate: the extraction
+	// filter ("can the compiler already optimize this?") and the engine's
+	// candidate preprocessing both run with the learned rules attached.
+	optOptions := opt.Options{}
+	if *rulebookPath != "" {
+		rules, err := generalize.LoadOptRules(*rulebookPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		optOptions.Rules = opt.NewRuleSet(opt.Options{}).WithRules(rules...)
+		fmt.Printf("loaded %d learned rules from %s\n", len(rules), *rulebookPath)
+	}
+
+	ex := extract.New(extract.Options{Opt: optOptions})
 	var src engine.Source
 	switch {
 	case *useCorpus:
@@ -63,6 +90,8 @@ func main() {
 		Workers:   *workers,
 		QueueSize: *queue,
 		Rounds:    *rounds,
+		Learn:     *learnPath != "",
+		Opt:       optOptions,
 		Verify:    alive.Options{Samples: 1024, Seed: *seed},
 	})
 
@@ -85,6 +114,19 @@ func main() {
 		st.Kept, st.Sequences, st.Duplicates, st.Optimizable)
 	if *stats {
 		engStats.Print(os.Stdout)
+	}
+	if *learnPath != "" {
+		book := eng.Rulebook()
+		data, err := book.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*learnPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("learned %d generalized rules -> %s\n", len(book.Rules), *learnPath)
 	}
 	if ctx.Err() != nil {
 		fmt.Println("(interrupted — partial results)")

@@ -55,6 +55,37 @@
 // experiments print which rule closed each benchmark. cmd/lpo-opt -rules
 // lists the registry.
 //
+// # The Generalize Subsystem and Rulebooks
+//
+// Discovery used to stop at verified concrete rewrites; internal/generalize
+// closes the loop back into the compiler. With engine.Config.Learn set, every
+// Found result's (source, candidate) pair runs through the post-verify
+// generalize hook: concrete constants are abstracted into symbolic
+// expressions of the bit width (signed/unsigned literals, width-derived
+// shift amounts like w-1, low/high masks like mask(w)>>3, the sign bit),
+// the abstraction is re-instantiated across a width sweep (i8/i16/i32/i64
+// by default) and re-verified per width with internal/alive
+// (alive.VerifyWidths), and over-generalizations are rejected by
+// counterexample — a rule must survive at two or more widths or it is not
+// learned. Survivors compile into dynamic opt.Rules (provenance "learned",
+// opt.NewDynamicRule) that attach to any selection via RuleSet.WithRules and
+// are dispatched, attributed and hit-counted exactly like registry rules.
+//
+// Learned rules persist in a rulebook (generalize.Rulebook, JSON): the
+// witness pair, the slot abstractions, the verified widths and rendered
+// side conditions, with a content-derived ID that doubles as an integrity
+// check on load. The workflow:
+//
+//	lpo -corpus -learn book.json          discovery campaign, rulebook out
+//	lpo-opt -rulebook book.json f.ll      optimize with the learned rules
+//	lpo -corpus -rulebook book.json ...   later campaign, stronger substrate
+//	lpo-verify -widths 8,16,32,64 pair.ll probe a pair's width-genericity
+//
+// so each discovery run makes the next optimizer measurably stronger. The
+// experiments package quantifies that with the learned-rule closure table
+// (experiments.RunLearnedClosure, cmd/lpo-bench -learned): how many corpus
+// windows the learned rulebook closes that baseline+patches miss.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure. The root-level

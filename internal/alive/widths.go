@@ -1,0 +1,30 @@
+package alive
+
+import "repro/internal/ir"
+
+// WidthResult pairs a verification Result with the bit width it ran at.
+type WidthResult struct {
+	Width int
+	Result
+}
+
+// VerifyWidths re-checks a width-parameterized transformation across a
+// width sweep: inst instantiates the (source, target) pair at each width and
+// each instantiation is verified independently. An instantiation error
+// (e.g. a constant that does not survive the move to that width) yields an
+// Unsupported result carrying the error, mirroring the fixable-error channel
+// of single-pair verification. internal/generalize drives its
+// over-generalization rejection through this helper, and cmd/lpo-verify
+// -widths exposes it directly.
+func VerifyWidths(widths []int, opts Options, inst func(w int) (src, tgt *ir.Func, err error)) []WidthResult {
+	out := make([]WidthResult, 0, len(widths))
+	for _, w := range widths {
+		src, tgt, err := inst(w)
+		if err != nil {
+			out = append(out, WidthResult{Width: w, Result: Result{Verdict: Unsupported, Err: err.Error()}})
+			continue
+		}
+		out = append(out, WidthResult{Width: w, Result: Verify(src, tgt, opts)})
+	}
+	return out
+}

@@ -16,11 +16,15 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/alive"
 	"repro/internal/extract"
+	"repro/internal/generalize"
 	"repro/internal/ir"
 	"repro/internal/llm"
 	"repro/internal/mca"
@@ -47,6 +51,16 @@ type Config struct {
 	// has already processed (Outcome Duplicate). Useful when combining
 	// sources that were not already deduplicated by one shared Extractor.
 	DedupSequences bool
+
+	// Learn lifts every verified Found rewrite into a candidate generalized
+	// rule via internal/generalize: constants become symbolic expressions of
+	// the bit width, the abstraction is re-verified across a width sweep,
+	// and survivors are collected on the engine (Learned, Rulebook) and
+	// attached to their Result. Generalization work is deduplicated across
+	// workers by witness-pair hash.
+	Learn bool
+	// Generalize bounds the learn stage (zero value = generalize defaults).
+	Generalize generalize.Options
 
 	AttemptLimit int         // max LLM attempts per sequence (paper: 2)
 	Opt          opt.Options // optimizer used for candidate preprocessing
@@ -126,6 +140,12 @@ type Result struct {
 	// the source window (optional patch/KB rules only, keyed by rule ID).
 	// Nil for every other outcome.
 	RuleHits map[string]int
+
+	// Learned is the width-generalized rule lifted from this Found rewrite
+	// when Config.Learn is set. Duplicate witnesses across sequences share
+	// one rule instance; nil when learning is off or the rewrite does not
+	// generalize.
+	Learned *generalize.Rule
 }
 
 // String renders a result for logs.
@@ -153,6 +173,20 @@ type Engine struct {
 
 	dmu  sync.Mutex
 	seen map[uint64]bool
+
+	// Learned-rule state (Config.Learn): lcache singleflights generalization
+	// by witness-pair hash, learned collects distinct rules by ID.
+	lmu     sync.Mutex
+	lcache  map[uint64]*learnEntry
+	learned map[string]*generalize.Rule
+}
+
+// learnEntry is a singleflight slot for one witness pair: the first worker
+// to claim the key runs the width sweep inside once; later workers block on
+// it and share the (possibly nil) outcome.
+type learnEntry struct {
+	once sync.Once
+	rule *generalize.Rule
 }
 
 type verifyKey struct{ src, cand uint64 }
@@ -172,14 +206,35 @@ func New(client llm.Client, cfg Config) *Engine {
 		optSet = opt.NewRuleSet(cfg.Opt)
 	}
 	return &Engine{
-		client: client,
-		cfg:    cfg,
-		stats:  newStats(),
-		kb:     opt.FullRuleSet(),
-		optSet: optSet,
-		vcache: make(map[verifyKey]*verifyEntry),
-		seen:   make(map[uint64]bool),
+		client:  client,
+		cfg:     cfg,
+		stats:   newStats(),
+		kb:      opt.FullRuleSet(),
+		optSet:  optSet,
+		vcache:  make(map[verifyKey]*verifyEntry),
+		seen:    make(map[uint64]bool),
+		lcache:  make(map[uint64]*learnEntry),
+		learned: make(map[string]*generalize.Rule),
 	}
+}
+
+// Learned returns the distinct rules learned so far (Config.Learn), sorted
+// by ID. Like Stats it may be read while a run is in flight and accumulates
+// across runs of a reused engine.
+func (e *Engine) Learned() []*generalize.Rule {
+	e.lmu.Lock()
+	defer e.lmu.Unlock()
+	out := make([]*generalize.Rule, 0, len(e.learned))
+	for _, r := range e.learned {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Rulebook serializes the learned rules for later runs (cmd/lpo -learn).
+func (e *Engine) Rulebook() *generalize.Rulebook {
+	return generalize.NewRulebook(e.Learned())
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -348,5 +403,43 @@ func (e *Engine) runSeq(ctx context.Context, it item) Result {
 	agg.Seq = it.seq
 	agg.Usage = usage
 	agg.RoundOutcomes = roundOutcomes
+	if e.cfg.Learn && agg.Outcome == Found && agg.Cand != nil {
+		agg.Learned = e.learn(agg.Src, agg.Cand, it.seq)
+	}
 	return agg
+}
+
+// learn runs the post-verify generalize hook on one Found witness pair,
+// singleflighted across workers and rounds by the pair's structural hash:
+// only the first sighting pays for the width sweep, and rules that hash to
+// an already-learned ID collapse onto the existing instance.
+func (e *Engine) learn(src, cand *ir.Func, seq *extract.Sequence) *generalize.Rule {
+	key := ir.Hash(src) ^ bits.RotateLeft64(ir.Hash(cand), 1)
+	e.lmu.Lock()
+	ent, hit := e.lcache[key]
+	if !hit {
+		ent = &learnEntry{}
+		e.lcache[key] = ent
+	}
+	e.lmu.Unlock()
+	ent.once.Do(func() {
+		start := time.Now()
+		res := generalize.Generalize(src, cand, e.cfg.Generalize)
+		e.stats.recordStage(StageGeneralize, time.Since(start).Seconds())
+		if res.Rule == nil {
+			return
+		}
+		e.lmu.Lock()
+		defer e.lmu.Unlock()
+		if prev, dup := e.learned[res.Rule.ID]; dup {
+			ent.rule = prev
+			return
+		}
+		if seq != nil && seq.Module != "" {
+			res.Rule.Origin = seq.Module + ":" + seq.Func
+		}
+		e.learned[res.Rule.ID] = res.Rule
+		ent.rule = res.Rule
+	})
+	return ent.rule
 }

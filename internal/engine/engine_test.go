@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/alive"
 	"repro/internal/benchdata"
+	"repro/internal/generalize"
 	"repro/internal/ir"
 	"repro/internal/llm"
 	"repro/internal/opt"
@@ -329,4 +330,81 @@ func TestFigure3SyntaxErrorLoop(t *testing.T) {
 		}
 	}
 	t.Fatal("syntax-error channel never fired in 64 rounds")
+}
+
+// TestEngineLearnsRules pins the post-verify generalize hook: a calibrated
+// run over a knowledge-base window must emit a Found result carrying a
+// learned rule, dedupe repeat witnesses onto one instance, and produce a
+// rulebook whose compiled rules close the same window at other widths under
+// a baseline-only selection.
+func TestEngineLearnsRules(t *testing.T) {
+	src := parser.MustParseFunc(`define i16 @src(i16 %x, i16 %y) {
+  %a = and i16 %x, %y
+  %o = or i16 %x, %y
+  %r = xor i16 %a, %o
+  ret i16 %r
+}`)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	e := New(sim, Config{
+		Learn:   true,
+		Verify:  alive.Options{Samples: 512, Seed: 3},
+		Workers: 2,
+	})
+	// The same window twice: the second Found must reuse the cached rule.
+	results, stats := e.RunAll(context.Background(), Funcs(src, ir.CloneFunc(src)))
+	if len(results) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(results))
+	}
+	for i, res := range results {
+		if res.Outcome != Found {
+			t.Fatalf("result %d: expected Found, got %v", i, res.Outcome)
+		}
+		if res.Learned == nil {
+			t.Fatalf("result %d carries no learned rule", i)
+		}
+	}
+	if results[0].Learned != results[1].Learned {
+		t.Fatal("duplicate witnesses must share one learned rule instance")
+	}
+	rules := e.Learned()
+	if len(rules) != 1 {
+		t.Fatalf("expected 1 distinct learned rule, got %d", len(rules))
+	}
+	if len(rules[0].Widths) < 2 {
+		t.Fatalf("learned rule verified at %v, want at least 2 widths", rules[0].Widths)
+	}
+	if stats.LearnedFindings() != 2 {
+		t.Fatalf("LearnedFindings = %d, want 2", stats.LearnedFindings())
+	}
+	if g := stats.Stage(StageGeneralize); g.Invocations != 1 {
+		t.Fatalf("generalize stage ran %d times, want 1 (dedup)", g.Invocations)
+	}
+	// Round-trip the rulebook and close the window at a different width
+	// with baseline-only rules plus the learned rule.
+	data, err := e.Rulebook().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	book, err := generalize.DecodeRulebook(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned, err := book.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ors, err := generalize.OptRules(learned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := opt.NewRuleSet(opt.Options{}).WithRules(ors...)
+	win := parser.MustParseFunc(`define i32 @f(i32 %p, i32 %q) {
+  %a = and i32 %p, %q
+  %o = or i32 %p, %q
+  %r = xor i32 %a, %o
+  ret i32 %r
+}`)
+	if got := opt.Run(win, opt.Options{Rules: rs}); got.NumInstrs(true) != 1 {
+		t.Fatalf("rulebook rule did not close the i32 window:\n%s", got)
+	}
 }

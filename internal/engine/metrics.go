@@ -29,6 +29,7 @@ type Stats struct {
 	stages    map[string]*StageMetrics
 	cacheHits int
 	ruleHits  map[string]int
+	learned   int
 }
 
 func newStats() *Stats {
@@ -47,6 +48,9 @@ func (s *Stats) recordResult(r Result) {
 	s.usage.Add(r.Usage)
 	for id, n := range r.RuleHits {
 		s.ruleHits[id] += n
+	}
+	if r.Learned != nil {
+		s.learned++
 	}
 }
 
@@ -129,6 +133,14 @@ func (s *Stats) VerifyCacheHits() int {
 	return s.cacheHits
 }
 
+// LearnedFindings is the number of Found results backed by a learned rule
+// (Config.Learn). Distinct rules are on Engine.Learned; this counts results.
+func (s *Stats) LearnedFindings() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.learned
+}
+
 // Reset clears every counter (typically between runs of a reused Engine).
 func (s *Stats) Reset() {
 	s.mu.Lock()
@@ -139,6 +151,7 @@ func (s *Stats) Reset() {
 	s.stages = make(map[string]*StageMetrics)
 	s.cacheHits = 0
 	s.ruleHits = make(map[string]int)
+	s.learned = 0
 }
 
 // Print renders a human-readable summary of the run.
@@ -163,6 +176,9 @@ func (s *Stats) Print(w io.Writer) {
 	}
 	if s.cacheHits > 0 {
 		fmt.Fprintf(w, "verify cache hits: %d\n", s.cacheHits)
+	}
+	if s.learned > 0 {
+		fmt.Fprintf(w, "findings backing learned rules: %d\n", s.learned)
 	}
 	if len(s.ruleHits) > 0 {
 		fmt.Fprintln(w, "rule attribution (verified findings):")

@@ -17,17 +17,20 @@ import (
 	"repro/internal/parser"
 )
 
-// Stage names, in pipeline order. Stats.Stage accepts these.
+// Stage names, in pipeline order. Stats.Stage accepts these. The generalize
+// stage only runs when Config.Learn is set (the post-verify hook that lifts
+// Found rewrites into learned rules).
 const (
 	StagePropose    = "propose"
 	StagePreprocess = "preprocess"
 	StageFilter     = "filter"
 	StageVerify     = "verify"
+	StageGeneralize = "generalize"
 )
 
 // StageNames lists the pipeline stages in execution order.
 func StageNames() []string {
-	return []string{StagePropose, StagePreprocess, StageFilter, StageVerify}
+	return []string{StagePropose, StagePreprocess, StageFilter, StageVerify, StageGeneralize}
 }
 
 // prompt renders the initial user message for a sequence.

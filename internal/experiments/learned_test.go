@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/opt"
+)
+
+// The end-to-end discovery→learn→re-optimize loop: a deterministic run over
+// (a slice of) the synthetic corpus must learn at least one rule that, once
+// loaded from the serialized rulebook, closes corpus windows the
+// baseline+patch rule set misses — and every learned rule must be
+// alive-verified at two or more bit widths.
+func TestLearnedRulebookClosesWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full closure run is not short")
+	}
+	rep, err := RunLearnedClosure(LearnedClosureOptions{
+		Seed:       11,
+		Rounds:     8,
+		CorpusOpts: corpus.Options{Seed: 11, ModulesPerProject: 2, FuncsPerModule: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Learned == 0 {
+		t.Fatalf("discovery learned no rules (%d findings over %d windows)", rep.Found, rep.Windows)
+	}
+	if rep.ExtraClosed == 0 {
+		t.Fatal("the rulebook closes no window the baseline+patch rule set misses")
+	}
+	for _, row := range rep.Rows {
+		if len(row.Widths) < 2 {
+			t.Errorf("rule %s verified at %v, want at least 2 widths", row.RuleID, row.Widths)
+		}
+		if !strings.HasPrefix(row.RuleID, "learned:") {
+			t.Errorf("rule ID %q is not in the learned namespace", row.RuleID)
+		}
+		if r := opt.RuleByID(row.RuleID); r != nil {
+			t.Errorf("learned rule %s leaked into the static registry", row.RuleID)
+		}
+	}
+	// At least one learned rule must actually be the closer somewhere.
+	closers := 0
+	for _, row := range rep.Rows {
+		closers += row.Windows
+	}
+	if closers == 0 {
+		t.Fatalf("no learned rule is attributed any closed window: %+v", rep.Rows)
+	}
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	if !strings.Contains(buf.String(), "Learned-rule closure") {
+		t.Error("report rendering broken")
+	}
+}

@@ -1,0 +1,153 @@
+// Package generalize closes the discovery→rule loop: it lifts verified
+// concrete rewrites (engine findings) into parameterized peephole rules.
+//
+// A finding is one concrete (source, candidate) pair at one bit width. This
+// package abstracts the concrete constants into symbolic expressions of the
+// bit width (literals, width-derived shift amounts, low/high masks, the sign
+// bit), re-instantiates the pair across a width sweep, re-verifies every
+// instantiation with internal/alive, and rejects over-generalizations by
+// counterexample. Surviving candidates compile into dynamic opt.Rule
+// matcher/rewriter closures (provenance "learned") and serialize into a
+// Rulebook, so rules learned in one discovery campaign strengthen the
+// optimizer in the next.
+package generalize
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CExpr kinds: how one constant slot is derived from the bit width w.
+const (
+	// KindLit is a non-negative literal, identical at every width it fits.
+	KindLit = "lit"
+	// KindSLit is a signed literal, sign-extended into each width (covers
+	// -1 -> all-ones and negative masks like -16 -> ~15).
+	KindSLit = "slit"
+	// KindWidthMinus is w - K (shift amounts tied to the width, e.g. w-1).
+	KindWidthMinus = "width-minus"
+	// KindMaskShr is mask(w) >> K: the low mask keeping w-K bits.
+	KindMaskShr = "mask-shr"
+	// KindMaskShl is (mask(w) << K) & mask(w): the high mask clearing K bits.
+	KindMaskShl = "mask-shl"
+	// KindSignBit is 1 << (w-1).
+	KindSignBit = "signbit"
+	// KindSignMax is mask(w) >> 1: the largest signed value.
+	KindSignMax = "signmax"
+)
+
+// CExpr is one constant-abstraction expression: a closed form deriving a
+// constant slot's bit pattern from the bit width. It is the serializable unit
+// of a learned rule's side conditions.
+type CExpr struct {
+	Kind string `json:"kind"`
+	K    int64  `json:"k,omitempty"`
+}
+
+// Eval returns the slot's bit pattern at width w, and whether the expression
+// is meaningful there (a literal that no longer fits, or a width-derived
+// value that goes negative, invalidates the width).
+func (e CExpr) Eval(w int) (uint64, bool) {
+	switch e.Kind {
+	case KindLit:
+		v := uint64(e.K)
+		return v, e.K >= 0 && v <= ir.MaskW(w)
+	case KindSLit:
+		return uint64(e.K) & ir.MaskW(w), true
+	case KindWidthMinus:
+		if e.K < 0 || int(e.K) > w {
+			return 0, false
+		}
+		return uint64(w - int(e.K)), true
+	case KindMaskShr:
+		if e.K < 0 || int(e.K) >= w {
+			return 0, false
+		}
+		return ir.MaskW(w) >> uint(e.K), true
+	case KindMaskShl:
+		if e.K < 0 || int(e.K) >= w {
+			return 0, false
+		}
+		return (ir.MaskW(w) << uint(e.K)) & ir.MaskW(w), true
+	case KindSignBit:
+		return uint64(1) << uint(w-1), true
+	case KindSignMax:
+		return ir.MaskW(w) >> 1, true
+	}
+	return 0, false
+}
+
+// Parametric reports whether the expression depends on the width (literals
+// do not; everything else does).
+func (e CExpr) Parametric() bool { return e.Kind != KindLit && e.Kind != KindSLit }
+
+// Render prints the expression as a side condition over the symbolic width w.
+func (e CExpr) Render() string {
+	switch e.Kind {
+	case KindLit, KindSLit:
+		return fmt.Sprintf("%d", e.K)
+	case KindWidthMinus:
+		if e.K == 0 {
+			return "w"
+		}
+		return fmt.Sprintf("w-%d", e.K)
+	case KindMaskShr:
+		return fmt.Sprintf("mask(w)>>%d", e.K)
+	case KindMaskShl:
+		return fmt.Sprintf("mask(w)<<%d", e.K)
+	case KindSignBit:
+		return "1<<(w-1)"
+	case KindSignMax:
+		return "mask(w)>>1"
+	}
+	return "?"
+}
+
+// abstractions enumerates the candidate expressions for a constant with bit
+// pattern v at witness width w, most structural first: mask/sign-bit shapes,
+// then the literal reading, then the width relation. Every candidate
+// reproduces v at the witness width; the sweep decides which survives.
+// Constants with the sign bit set are read as signed literals only (LLVM
+// prints them signed), never as wide unsigned literals.
+func abstractions(v uint64, w int) []CExpr {
+	var out []CExpr
+	if w > 1 && v == uint64(1)<<uint(w-1) {
+		out = append(out, CExpr{Kind: KindSignBit})
+	}
+	if w > 1 && v == ir.MaskW(w)>>1 {
+		out = append(out, CExpr{Kind: KindSignMax})
+	}
+	if v != 0 && v != ir.MaskW(w) && v&(v+1) == 0 {
+		// v = 2^m - 1: the low mask keeping m bits, i.e. mask(w) >> (w-m).
+		m := 0
+		for x := v; x != 0; x >>= 1 {
+			m++
+		}
+		out = append(out, CExpr{Kind: KindMaskShr, K: int64(w - m)})
+	}
+	if k := trailingZeros(v); v != 0 && v != ir.MaskW(w) && k > 0 && v == (ir.MaskW(w)<<uint(k))&ir.MaskW(w) {
+		out = append(out, CExpr{Kind: KindMaskShl, K: int64(k)})
+	}
+	if v <= ir.MaskW(w)>>1 {
+		out = append(out, CExpr{Kind: KindLit, K: int64(v)})
+	} else {
+		out = append(out, CExpr{Kind: KindSLit, K: ir.SignExt(v, w)})
+	}
+	if v >= 1 && v <= uint64(w) {
+		out = append(out, CExpr{Kind: KindWidthMinus, K: int64(w) - int64(v)})
+	}
+	return out
+}
+
+func trailingZeros(v uint64) int {
+	if v == 0 {
+		return 64
+	}
+	n := 0
+	for v&1 == 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

@@ -1,0 +1,281 @@
+package generalize
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// constOcc is one occurrence of a primary-width integer constant in a
+// witness function, in block traversal order. Occurrence order is the
+// serialization contract: rulebook slots pair with occurrences positionally.
+type constOcc struct {
+	in    *ir.Instr
+	arg   int
+	val   uint64
+	shift bool // shift-amount operand: the instantiated value must stay < w
+	div   bool // divisor operand: the instantiated value must stay non-zero
+}
+
+// shape is the analyzed form of a witness function that the generalizer can
+// re-instantiate at other widths: a single straight-line block of pure
+// scalar-integer instructions over exactly one primary width (plus i1), with
+// every instruction feeding the returned value.
+type shape struct {
+	fn     *ir.Func
+	width  int       // the unique integer width > 1
+	root   *ir.Instr // defining instruction of the returned value (nil when the body is empty)
+	ret    ir.Value
+	occs   []constOcc
+	ninstr int // instructions excluding the terminator
+}
+
+// analyze validates that f is generalizable and extracts its shape. The
+// restrictions are deliberate: width-parametric re-instantiation is only
+// meaningful for single-width scalar integer windows, which is also where
+// the interesting peephole families live (vector and memory windows keep
+// their concrete form and are simply not learned).
+func analyze(f *ir.Func) (*shape, error) {
+	if len(f.Blocks) != 1 {
+		return nil, fmt.Errorf("multi-block function")
+	}
+	b := f.Blocks[0]
+	if len(b.Instrs) == 0 {
+		return nil, fmt.Errorf("empty function body")
+	}
+	term := b.Instrs[len(b.Instrs)-1]
+	if term.Op != ir.OpRet || len(term.Args) != 1 {
+		return nil, fmt.Errorf("need a single-value return")
+	}
+	sh := &shape{fn: f, ret: term.Args[0], ninstr: len(b.Instrs) - 1}
+
+	noteTy := func(t ir.Type) error {
+		it, ok := t.(ir.IntType)
+		if !ok {
+			return fmt.Errorf("non-scalar-integer type %s", t)
+		}
+		if it.W == 1 {
+			return nil
+		}
+		if sh.width == 0 {
+			sh.width = it.W
+		} else if sh.width != it.W {
+			return fmt.Errorf("mixed integer widths i%d and i%d", sh.width, it.W)
+		}
+		return nil
+	}
+	for _, p := range f.Params {
+		if err := noteTy(p.Ty); err != nil {
+			return nil, err
+		}
+	}
+	if err := noteTy(f.Ret); err != nil {
+		return nil, err
+	}
+	for _, in := range b.Instrs[:sh.ninstr] {
+		switch {
+		case in.Op.IsIntBinary():
+		case in.Op == ir.OpICmp, in.Op == ir.OpSelect, in.Op == ir.OpFreeze:
+		case in.Op == ir.OpCall:
+			if ir.IntrinsicBase(in.Callee) == "" {
+				return nil, fmt.Errorf("non-intrinsic call %s", in.Callee)
+			}
+		default:
+			return nil, fmt.Errorf("unsupported opcode %s", in.Op.Name())
+		}
+		if err := noteTy(in.Ty); err != nil {
+			return nil, err
+		}
+	}
+	for _, in := range b.Instrs {
+		for _, a := range in.Args {
+			switch c := a.(type) {
+			case *ir.ConstInt:
+				if err := noteTy(c.Ty); err != nil {
+					return nil, err
+				}
+			case *ir.Param, *ir.Instr:
+			default:
+				return nil, fmt.Errorf("unsupported constant operand %s", a.Ident())
+			}
+		}
+	}
+	if sh.width == 0 {
+		return nil, fmt.Errorf("no primary integer width (i1-only window)")
+	}
+	// Intrinsic overloads must ride the primary width, so re-instantiation
+	// can rebuild the callee name from the new width.
+	for _, in := range b.Instrs[:sh.ninstr] {
+		if in.Op != ir.OpCall {
+			continue
+		}
+		it, ok := in.Ty.(ir.IntType)
+		if !ok || it.W != sh.width {
+			return nil, fmt.Errorf("intrinsic %s does not return the primary width", in.Callee)
+		}
+		if want := ir.IntrinsicName(ir.IntrinsicBase(in.Callee), in.Ty); in.Callee != want {
+			return nil, fmt.Errorf("intrinsic overload %s is not at the primary width", in.Callee)
+		}
+	}
+	// Root and reachability: every instruction must feed the returned value,
+	// so a structural match rooted at the final instruction covers the whole
+	// window.
+	if root, ok := sh.ret.(*ir.Instr); ok {
+		sh.root = root
+		live := map[*ir.Instr]bool{}
+		var mark func(v ir.Value)
+		mark = func(v ir.Value) {
+			in, ok := v.(*ir.Instr)
+			if !ok || live[in] {
+				return
+			}
+			live[in] = true
+			for _, a := range in.Args {
+				mark(a)
+			}
+		}
+		mark(root)
+		for _, in := range b.Instrs[:sh.ninstr] {
+			if !live[in] {
+				return nil, fmt.Errorf("instruction %%%s does not feed the returned value", in.Nm)
+			}
+		}
+	} else if sh.ninstr > 0 {
+		return nil, fmt.Errorf("returned value bypasses the instruction body")
+	}
+	// Constant occurrences, in traversal order (the slot order contract).
+	for _, in := range b.Instrs {
+		for ai, a := range in.Args {
+			c, ok := a.(*ir.ConstInt)
+			if !ok || c.Ty.W != sh.width {
+				continue
+			}
+			sh.occs = append(sh.occs, constOcc{
+				in: in, arg: ai, val: c.V,
+				shift: isShiftAmount(in, ai),
+				div:   isDivisor(in, ai),
+			})
+		}
+	}
+	return sh, nil
+}
+
+func isShiftAmount(in *ir.Instr, arg int) bool {
+	switch in.Op {
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		return arg == 1
+	}
+	return false
+}
+
+func isDivisor(in *ir.Instr, arg int) bool {
+	switch in.Op {
+	case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
+		return arg == 1
+	}
+	return false
+}
+
+// slotValue evaluates one slot at width w and applies the occurrence's
+// structural validity conditions.
+func slotValue(e CExpr, occ constOcc, w int) (uint64, bool) {
+	v, ok := e.Eval(w)
+	if !ok {
+		return 0, false
+	}
+	if occ.shift && v >= uint64(w) {
+		return 0, false
+	}
+	if occ.div && v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// instantiate rebuilds the shaped function at width w: primary-width types
+// are re-widthed, intrinsic overloads follow, and each constant occurrence
+// takes the value of its assigned expression. assign runs parallel to
+// sh.occs.
+func instantiate(sh *shape, assign []CExpr, w int) (*ir.Func, error) {
+	if w < 2 || w > 64 {
+		return nil, fmt.Errorf("width i%d out of range", w)
+	}
+	if len(assign) != len(sh.occs) {
+		return nil, fmt.Errorf("slot count mismatch: %d assignments for %d occurrences", len(assign), len(sh.occs))
+	}
+	mapTy := func(t ir.Type) ir.Type {
+		if it, ok := t.(ir.IntType); ok && it.W == sh.width {
+			return ir.IntT(w)
+		}
+		return t
+	}
+	slotAt := make(map[occKey]int, len(sh.occs))
+	for i, o := range sh.occs {
+		slotAt[occKey{o.in, o.arg}] = i
+	}
+	nf := &ir.Func{Name: sh.fn.Name, Ret: mapTy(sh.fn.Ret)}
+	vmap := make(map[ir.Value]ir.Value)
+	for _, p := range sh.fn.Params {
+		np := &ir.Param{Nm: p.Nm, Ty: mapTy(p.Ty)}
+		vmap[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	nb := &ir.Block{Name: sh.fn.Blocks[0].Name}
+	for _, in := range sh.fn.Blocks[0].Instrs {
+		ni := &ir.Instr{
+			Op: in.Op, Nm: in.Nm, Ty: mapTy(in.Ty), IPredV: in.IPredV,
+			FPredV: in.FPredV, Flags: in.Flags, Align: in.Align,
+		}
+		if in.Op == ir.OpCall {
+			ni.Callee = ir.IntrinsicName(ir.IntrinsicBase(in.Callee), ni.Ty)
+		}
+		for ai, a := range in.Args {
+			if si, ok := slotAt[occKey{in, ai}]; ok {
+				v, valid := slotValue(assign[si], sh.occs[si], w)
+				if !valid {
+					return nil, fmt.Errorf("slot %d (%s) is invalid at width i%d", si, assign[si].Render(), w)
+				}
+				ni.Args = append(ni.Args, &ir.ConstInt{Ty: ir.IntT(w), V: v & ir.MaskW(w)})
+				continue
+			}
+			if m, ok := vmap[a]; ok {
+				ni.Args = append(ni.Args, m)
+			} else {
+				ni.Args = append(ni.Args, a) // shared non-slot constant (i1)
+			}
+		}
+		vmap[in] = ni
+		nb.Instrs = append(nb.Instrs, ni)
+	}
+	nf.Blocks = []*ir.Block{nb}
+	return nf, nil
+}
+
+// literalAssign abstracts every occurrence as its literal reading: the naive
+// policy Rewidth uses (non-negative constants stay, sign-bit-set constants
+// sign-extend).
+func literalAssign(sh *shape) []CExpr {
+	out := make([]CExpr, len(sh.occs))
+	for i, o := range sh.occs {
+		if o.val <= ir.MaskW(sh.width)>>1 {
+			out[i] = CExpr{Kind: KindLit, K: int64(o.val)}
+		} else {
+			out[i] = CExpr{Kind: KindSLit, K: ir.SignExt(o.val, sh.width)}
+		}
+	}
+	return out
+}
+
+// Rewidth re-instantiates a generalizable single-width function at another
+// bit width under the literal constant policy (signed literals sign-extend,
+// non-negative literals keep their value). It errors when the function is
+// not generalizable or a constant does not survive the move (e.g. a shift
+// amount at least as large as the new width). cmd/lpo-verify -widths uses it
+// to re-check concrete rewrites at alternate widths.
+func Rewidth(f *ir.Func, w int) (*ir.Func, error) {
+	sh, err := analyze(f)
+	if err != nil {
+		return nil, err
+	}
+	return instantiate(sh, literalAssign(sh), w)
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/ir"
@@ -15,6 +16,10 @@ const (
 	ProvBaseline Provenance = "baseline"
 	ProvPatch    Provenance = "patch"
 	ProvKB       Provenance = "kb"
+	// ProvLearned marks rules synthesized at runtime by internal/generalize
+	// from verified discovery findings. Learned rules never enter the init
+	// registry; they are attached to selections with RuleSet.WithRules.
+	ProvLearned Provenance = "learned"
 )
 
 // ruleFn is the rewrite contract every registered rule implements: given an
@@ -138,6 +143,48 @@ func namesWithProvenance(p Provenance) []string {
 	return names
 }
 
+// DynamicApply is the rewrite contract for rules constructed at runtime
+// (learned rules). It mirrors ruleFn but exposes only the fresh-name
+// generator instead of the whole transform, keeping the package's rewriting
+// state private.
+type DynamicApply func(fresh func() string, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool)
+
+// DynamicSpec describes a runtime-constructed rule.
+type DynamicSpec struct {
+	ID      string // must not collide with a registry rule ID
+	Name    string // enable name (defaults to ID)
+	Doc     string
+	Example string
+	Roots   []ir.Opcode
+	Apply   DynamicApply
+}
+
+// NewDynamicRule builds a first-class rule (provenance ProvLearned) from an
+// externally-compiled matcher/rewriter. The rule does not join the init
+// registry — attach it to a selection with RuleSet.WithRules — but once
+// attached it is dispatched, attributed and counted exactly like a
+// registered rule.
+func NewDynamicRule(s DynamicSpec) (*Rule, error) {
+	if s.ID == "" || len(s.Roots) == 0 || s.Apply == nil {
+		return nil, fmt.Errorf("opt: dynamic rule needs an ID, root opcodes and an apply function")
+	}
+	if _, taken := ruleByID[s.ID]; taken {
+		return nil, fmt.Errorf("opt: dynamic rule ID %q collides with a registry rule", s.ID)
+	}
+	name := s.Name
+	if name == "" {
+		name = s.ID
+	}
+	apply := s.Apply
+	return &Rule{
+		ID: s.ID, Name: name, Provenance: ProvLearned,
+		Roots: append([]ir.Opcode(nil), s.Roots...), Doc: s.Doc, Example: s.Example,
+		apply: func(t *transform, in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir.Value, bool) {
+			return apply(t.freshName, in, prior)
+		},
+	}, nil
+}
+
 // opcodeLimit sizes the dispatch tables; opcodes are small contiguous ints.
 const opcodeLimit = int(ir.OpUnreachable) + 1
 
@@ -149,6 +196,7 @@ const opcodeLimit = int(ir.OpUnreachable) + 1
 type RuleSet struct {
 	rules []*Rule
 	names []string // enabled optional names, sorted
+	byID  map[string]*Rule
 	index [opcodeLimit][]*Rule
 }
 
@@ -174,7 +222,7 @@ func buildRuleSet(opts Options) *RuleSet {
 	for _, n := range opts.Patches {
 		enabled[n] = true
 	}
-	rs := &RuleSet{}
+	rs := &RuleSet{byID: make(map[string]*Rule)}
 	seenName := make(map[string]bool)
 	for _, r := range registry {
 		switch {
@@ -192,12 +240,72 @@ func buildRuleSet(opts Options) *RuleSet {
 			}
 		}
 		rs.rules = append(rs.rules, r)
+		rs.byID[r.ID] = r
 		for _, op := range r.Roots {
 			rs.index[op] = append(rs.index[op], r)
 		}
 	}
 	sort.Strings(rs.names)
 	return rs
+}
+
+// WithRules returns a new selection extending rs with the given rules
+// (typically learned rules from a rulebook): the extra rules are
+// deduplicated by ID, sorted by ID for determinism, and appended after the
+// registry rules in every dispatch list. rs itself is never mutated, so the
+// shared baseline selections stay immutable.
+func (rs *RuleSet) WithRules(extra ...*Rule) *RuleSet {
+	var add []*Rule
+	for _, r := range extra {
+		if r == nil || rs.byID[r.ID] != nil {
+			continue
+		}
+		dup := false
+		for _, a := range add {
+			if a.ID == r.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			add = append(add, r)
+		}
+	}
+	if len(add) == 0 {
+		return rs
+	}
+	sort.Slice(add, func(i, j int) bool { return add[i].ID < add[j].ID })
+	n := &RuleSet{
+		rules: append([]*Rule(nil), rs.rules...),
+		names: append([]string(nil), rs.names...),
+		byID:  make(map[string]*Rule, len(rs.byID)+len(add)),
+		index: rs.index,
+	}
+	for id, r := range rs.byID {
+		n.byID[id] = r
+	}
+	seenName := make(map[string]bool, len(n.names))
+	for _, nm := range n.names {
+		seenName[nm] = true
+	}
+	for _, r := range add {
+		if r.ID == "" || len(r.Roots) == 0 || r.apply == nil {
+			panic("opt: incomplete rule in WithRules: " + r.ID)
+		}
+		n.rules = append(n.rules, r)
+		n.byID[r.ID] = r
+		if r.Provenance != ProvBaseline && !seenName[r.Name] {
+			seenName[r.Name] = true
+			n.names = append(n.names, r.Name)
+		}
+		for _, op := range r.Roots {
+			// Copy-on-extend: the array assignment above shares the backing
+			// slices with rs, so never append in place.
+			n.index[op] = append(append([]*Rule(nil), n.index[op]...), r)
+		}
+	}
+	sort.Strings(n.names)
+	return n
 }
 
 // Rules returns the selected rules in dispatch order (read-only).
@@ -208,6 +316,11 @@ func (rs *RuleSet) Names() []string { return append([]string(nil), rs.names...) 
 
 // Len is the number of selected rules.
 func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// RuleByID returns the selected rule with the given ID, or nil. Unlike the
+// package-level RuleByID it also resolves dynamic (learned) rules attached
+// with WithRules.
+func (rs *RuleSet) RuleByID(id string) *Rule { return rs.byID[id] }
 
 // rulesFor returns the dispatch list for one root opcode.
 func (rs *RuleSet) rulesFor(op ir.Opcode) []*Rule {
@@ -229,14 +342,23 @@ func (t *transform) applyRules(in *ir.Instr, prior []*ir.Instr) ([]*ir.Instr, ir
 	return nil, nil, false
 }
 
-// Attribute reports which optional (patch / knowledge-base) rules fire when
-// optimizing f with rs, keyed by rule ID. Baseline rules are filtered out:
-// the result names the missed optimizations that close the window, not the
-// canonicalization cleanup around them. An empty map means the rule set does
-// not improve f beyond the baseline rules.
+// Attribute reports which optional (patch / knowledge-base / learned) rules
+// fire when optimizing f with rs, keyed by rule ID. Baseline rules are
+// filtered out: the result names the missed optimizations that close the
+// window, not the canonicalization cleanup around them. An empty map means
+// the rule set does not improve f beyond the baseline rules.
 func Attribute(f *ir.Func, rs *RuleSet) map[string]int {
+	if rs == nil {
+		rs = baselineSet
+	}
 	_, stats := RunWithStats(f, Options{Rules: rs})
-	return OptionalRuleHits(stats.RuleHits)
+	out := make(map[string]int)
+	for id, n := range stats.RuleHits {
+		if r := rs.RuleByID(id); r != nil && r.Provenance != ProvBaseline {
+			out[id] = n
+		}
+	}
+	return out
 }
 
 // OptionalRuleHits filters a RunStats.RuleHits map down to the optional

@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/ir"
+)
+
+// The golden round-trip sweep: for every benchdata finding pair (the RQ1
+// benchmark suite and the RQ2 registry), parse→print→parse must be the
+// identity — the printed text re-parses to a structurally identical
+// function and re-prints byte-for-byte. This pins the parser and printer
+// against each other across every IR shape the reproduction exercises
+// (scalars, vectors, FP, intrinsics, memory, flags, predicates).
+func TestBenchdataRoundTrip(t *testing.T) {
+	type namedPair struct {
+		name string
+		pair benchdata.Pair
+	}
+	var pairs []namedPair
+	for _, c := range benchdata.RQ1Cases() {
+		pairs = append(pairs, namedPair{name: "rq1-" + c.IssueID, pair: c.Pair})
+	}
+	for _, f := range benchdata.RQ2Findings() {
+		pairs = append(pairs, namedPair{name: "rq2-" + f.IssueID, pair: f.Pair})
+	}
+	if len(pairs) < 80 {
+		t.Fatalf("sweep lost coverage: only %d pairs", len(pairs))
+	}
+	for _, np := range pairs {
+		np := np
+		t.Run(np.name, func(t *testing.T) {
+			for side, text := range map[string]string{"src": np.pair.Src, "tgt": np.pair.Tgt} {
+				f1, err := ParseFunc(text)
+				if err != nil {
+					t.Fatalf("%s does not parse: %v\n%s", side, err, text)
+				}
+				if err := ir.VerifyFunc(f1); err != nil {
+					t.Fatalf("%s is not well-formed: %v", side, err)
+				}
+				printed := f1.String()
+				f2, err := ParseFunc(printed)
+				if err != nil {
+					t.Fatalf("%s printed form does not re-parse: %v\n%s", side, err, printed)
+				}
+				if !ir.StructurallyEqual(f1, f2) {
+					t.Fatalf("%s round trip changed the function:\n%s\nvs\n%s", side, f1, f2)
+				}
+				if reprinted := f2.String(); reprinted != printed {
+					t.Fatalf("%s print is not a fixpoint:\n%q\nvs\n%q", side, printed, reprinted)
+				}
+			}
+		})
+	}
+}
+
+// The printer must also be stable through the error path: a diagnostic for
+// every truncated prefix, never a panic (the fuzz-shaped guard the golden
+// sweep implies).
+func TestRoundTripTruncationsDiagnose(t *testing.T) {
+	text := benchdata.RQ2Findings()[0].Pair.Src
+	for i := 1; i < len(text)-1; i += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on truncation at %d: %v", i, r)
+				}
+			}()
+			if _, err := ParseFunc(text[:i]); err == nil {
+				// Some prefixes are legitimately complete functions; they
+				// must round-trip like everything else.
+				f, _ := ParseFunc(text[:i])
+				if f == nil {
+					t.Fatalf("nil function without error at %d", i)
+				}
+			} else if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("truncation at %d produced a non-positioned error: %v (%T)", i, err, err)
+			}
+		}()
+	}
+}
