@@ -7,6 +7,9 @@
 //	lpo-bench -learned              learned-rule closure table (beyond the
 //	                                paper: discovery learns a rulebook, then
 //	                                the corpus is re-optimized with it)
+//	lpo-bench -json FILE            write the machine-readable perf snapshot
+//	                                (verify/interp/dispatch hot paths; see
+//	                                doc.go "Performance" for the schema)
 //	lpo-bench -all                  everything (default)
 //	lpo-bench -rounds N -n N -seed N  sizing knobs
 //	lpo-bench -workers N            engine worker pool for the RQ runs
@@ -28,6 +31,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table N (1-5)")
 	figure := flag.Int("figure", 0, "regenerate figure N (4 or 5)")
 	learned := flag.Bool("learned", false, "run the learned-rule closure experiment")
+	jsonOut := flag.String("json", "", "write the perf snapshot (ns/op + allocs/op of the verify/interp/dispatch hot paths) to this file")
 	all := flag.Bool("all", false, "regenerate everything")
 	rounds := flag.Int("rounds", 5, "discovery rounds (RQ1: per model; -learned: per sequence)")
 	n := flag.Int("n", 250, "RQ3 sampled sequences (paper: 5000)")
@@ -35,6 +39,28 @@ func main() {
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	flag.Parse()
 
+	if *jsonOut != "" {
+		snap := experiments.RunPerfSnapshot()
+		data, err := snap.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, b := range snap.Benches {
+			fmt.Printf("%-24s %14.1f ns/op %8d allocs/op %10d B/op\n",
+				b.Name, b.NsPerOp, b.AllocsPerOp, b.BytesPerOp)
+		}
+		return
+	}
 	if *learned {
 		rep, err := experiments.RunLearnedClosure(experiments.LearnedClosureOptions{
 			Seed:       *seed,

@@ -24,6 +24,7 @@ import (
 	"repro/internal/alive"
 	"repro/internal/engine"
 	"repro/internal/generalize"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/mca"
 	"repro/internal/parser"
@@ -73,8 +74,10 @@ func main() {
 		fmt.Printf("filter stage: %s (%d->%d instrs, %d->%d cycles)\n",
 			verdict, sr.Instructions, tr.Instructions, sr.TotalCycles, tr.TotalCycles)
 	}
-	opts := alive.Options{Samples: *samples, Seed: *seed}
-	res := alive.Verify(sf, tf, opts)
+	// One compiled-program cache backs the main check and the width sweep:
+	// each (re-)instantiated function compiles once.
+	opts := alive.Options{Samples: *samples, Seed: *seed, Programs: interp.NewCache()}
+	res := alive.NewChecker(sf, tf, opts).Verify()
 	exit := 0
 	switch res.Verdict {
 	case alive.Correct:

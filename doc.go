@@ -86,6 +86,56 @@
 // (experiments.RunLearnedClosure, cmd/lpo-bench -learned): how many corpus
 // windows the learned rulebook closes that baseline+patches miss.
 //
+// # Performance
+//
+// Verification is the pipeline's inner loop — every candidate pays for
+// thousands of concrete executions, and generalization multiplies that by a
+// width sweep — so execution is split into a compile phase and an execute
+// phase. interp.Compile lowers a function once into a Program: every SSA
+// value is numbered into a dense register slot, constants are materialized
+// into an immutable pool, and block successors and phi edges are resolved to
+// indices. An interp.Evaluator executes the Program over any number of
+// input vectors with reusable scratch storage (register arena, operand
+// views, store/bitcast buffers), so a steady-state run performs zero
+// allocations per execution. Both the evaluator and the reference
+// tree-walker (interp.Exec, kept for one-shot callers and as the semantic
+// baseline) call the same per-opcode kernels, and differential tests pin
+// them bit-identical — values, poison lanes, UB reasons, step counts and
+// final memory.
+//
+// The fast path covers the dominant window shape: a single straight-line
+// block whose operands are parameters, constants, or earlier results —
+// scalar or vector, with or without memory, with full poison semantics —
+// and skips per-run defined-register bookkeeping and block dispatch.
+// Multi-block functions (phis, loops) run on the same register machine with
+// those guards enabled; the one construct the register machine does not
+// model (vector constants with runtime elements) falls back to interp.Exec
+// wholesale. interp.Cache memoizes Programs by structural hash: the engine
+// installs one cache per campaign shared by its verify stage and the
+// generalize width sweeps, and the Souper/Minotaur CEGIS loops reuse
+// compiled candidates across their filtering vectors and final checks.
+//
+// internal/alive builds on this with alive.NewChecker: both sides compile
+// once, input vectors stream lazily from the phase counters and seeded rng
+// (the exhaustive queue is never materialized), pointer-argument regions
+// are preallocated and reset per vector, and a CounterExample is
+// materialized — with cloned inputs — only on an actual violation.
+// alive.Verify wraps a one-shot Checker; alive.ReferenceVerify keeps the
+// historic Exec-per-input path. On the clamp window (1024 samples) the
+// checker runs ~6x faster with ~190x fewer allocations than the seed path
+// (see BENCH_4.json).
+//
+// `lpo-bench -json FILE` records the hot-path numbers as a machine-readable
+// snapshot so later PRs have a trajectory to compare against. The format
+// (schema "lpo-bench-perf/1") is one JSON object: "schema", "go_max_procs",
+// "go_version", and "benchmarks" — an array of {name, ns_per_op,
+// allocs_per_op, bytes_per_op, iterations} for the workloads
+// verify_checker, verify_reference, verify_widths, interp_exec,
+// interp_compiled, opt_dispatch_all_rules and opt_run_o3 (mirrored by the
+// root-level BenchmarkVerify/BenchmarkVerifyWidths benchmarks). CI uploads
+// the snapshot as an artifact on every run; BENCH_4.json in the repository
+// root is the PR-4 reference point.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure. The root-level

@@ -14,6 +14,14 @@
 //     defined source lane requires an equal, non-poison target lane;
 //   - bytes written by the source constrain the target's final memory the
 //     same way.
+//
+// Verification is the discovery loop's inner loop, so it is built around a
+// compile-once Checker: both functions are compiled to interp Programs
+// (optionally via a shared Options.Programs cache), input vectors stream
+// lazily through two reusable Evaluators, and a CounterExample is
+// materialized only on an actual violation — a steady-state Verify performs
+// O(1) amortized allocations per input vector. ReferenceVerify keeps the
+// historic Exec-per-input path as the semantic baseline.
 package alive
 
 import (
@@ -55,6 +63,13 @@ type Options struct {
 	// MemFills is how many distinct initial memories are tried per input
 	// vector when pointers are present (default 4).
 	MemFills int
+	// Programs optionally caches compiled programs across Verify calls,
+	// keyed by structural hash. Callers that verify the same functions
+	// repeatedly (the engine verify stage, generalize width sweeps, CEGIS
+	// loops) share one cache so each distinct function compiles once. Nil
+	// compiles per call. The cache never changes a verdict: programs are a
+	// pure function of the IR.
+	Programs *interp.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -136,8 +151,230 @@ type Result struct {
 	Exhaustive bool   // true if the whole input space was covered
 }
 
-// Verify checks whether tgt refines src within the given bounds.
+// Checker is a compiled (source, target) refinement obligation: both
+// functions are lowered once into interp Programs and every Verify call
+// streams input vectors through two reusable evaluators. Build one with
+// NewChecker and reuse it when the same pair is re-verified (CEGIS rounds);
+// the one-shot Verify wrapper covers everything else. A Checker is not safe
+// for concurrent use (the evaluators share scratch); compile one per
+// goroutine — the underlying Programs may be shared via Options.Programs.
+type Checker struct {
+	src, tgt *ir.Func
+	opts     Options
+	sigErr   string
+
+	se, te           *interp.Evaluator
+	srcMem, tgtMem   *interp.Memory
+	srcRegs, tgtRegs []*interp.Region // pointer-param regions, in param order
+	ptrParams        []int            // param indices of pointer type
+	args             []interp.RVal    // per-vector argument buffer
+	baseArgs         []interp.RVal    // prebuilt region-base pointers per param
+}
+
+// NewChecker compiles src and tgt (through opts.Programs when set) and
+// prepares the reusable execution state.
+func NewChecker(src, tgt *ir.Func, opts Options) *Checker {
+	opts = opts.withDefaults()
+	c := &Checker{src: src, tgt: tgt, opts: opts}
+	if err := signatureError(src, tgt); err != "" {
+		c.sigErr = err
+		return c
+	}
+	c.se = interp.NewEvaluator(opts.Programs.Program(src))
+	c.te = interp.NewEvaluator(opts.Programs.Program(tgt))
+	c.args = make([]interp.RVal, len(src.Params))
+	c.baseArgs = make([]interp.RVal, len(src.Params))
+	for i, p := range src.Params {
+		if !ir.IsPtr(p.Ty) {
+			continue
+		}
+		c.ptrParams = append(c.ptrParams, i)
+		c.baseArgs[i] = interp.Scalar(ir.Ptr, regionBase(i))
+	}
+	if len(c.ptrParams) > 0 {
+		c.srcMem, c.tgtMem = interp.NewMemory(), interp.NewMemory()
+		for _, i := range c.ptrParams {
+			p := src.Params[i]
+			c.srcRegs = append(c.srcRegs, c.srcMem.AddRegion(p.Nm, regionBase(i), opts.MemSize))
+			c.tgtRegs = append(c.tgtRegs, c.tgtMem.AddRegion(p.Nm, regionBase(i), opts.MemSize))
+		}
+	}
+	return c
+}
+
+// regionBase is the fixed base address of the region behind pointer
+// parameter i; distinct parameters never alias.
+func regionBase(i int) uint64 { return uint64(0x10000 + i*0x1000) }
+
+// Verify streams the full input sequence for the checker's options through
+// both compiled functions and reports the verdict. It may be called
+// repeatedly (e.g. with the checker reused across CEGIS rounds); each call
+// replays the same deterministic sequence for the configured seed.
+func (c *Checker) Verify() Result {
+	if c.sigErr != "" {
+		return Result{Verdict: Unsupported, Err: c.sigErr}
+	}
+	gen := newInputGen(c.src, c.opts)
+	res := Result{Exhaustive: gen.exhaustive}
+	for gen.next() {
+		res.Checked++
+		if ce := c.checkVector(gen.inputs, gen.memBytes); ce != nil {
+			res.Verdict = Incorrect
+			res.CE = ce
+			return res
+		}
+	}
+	res.Verdict = Correct
+	return res
+}
+
+// checkVector runs both compiled functions on one concrete input vector and
+// checks the refinement obligation, materializing a counterexample only on
+// violation. inputs and memBytes are borrowed from the generator and cloned
+// if retained.
+func (c *Checker) checkVector(inputs []interp.RVal, memBytes [][]byte) *CounterExample {
+	for _, i := range c.ptrParams {
+		if inputs[i].AnyPoison() {
+			// A poison pointer base changes the region layout; defer to the
+			// reference path for exactness (the generator never emits this).
+			return checkOne(c.src, c.tgt, c.src.Params, inputs, memBytes, c.opts)
+		}
+	}
+	copy(c.args, inputs)
+	for _, i := range c.ptrParams {
+		c.args[i] = c.baseArgs[i]
+	}
+	resetRegions(c.srcRegs, memBytes)
+	rs := c.se.Run(interp.Env{Args: c.args, Mem: c.srcMem})
+	if !rs.Completed {
+		return nil // out of budget: inconclusive, skip this input
+	}
+	if rs.UB {
+		return nil // source UB: target unconstrained
+	}
+	resetRegions(c.tgtRegs, memBytes)
+	rt := c.te.Run(interp.Env{Args: c.args, Mem: c.tgtMem})
+	if !rt.Completed {
+		return nil
+	}
+	violation := func() *CounterExample {
+		return &CounterExample{Params: c.src.Params,
+			Inputs: cloneRVals(inputs), Memory: cloneByteSlices(memBytes),
+			SrcRet: rs.Ret.Clone(), TgtRet: rt.Ret.Clone(),
+			SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+	}
+	if rt.UB {
+		return violation()
+	}
+	if !retRefines(c.src.Ret, rs.Ret, rt.Ret) {
+		return violation()
+	}
+	if c.srcMem != nil {
+		if diff := memDiff(c.srcMem, c.tgtMem); diff != "" {
+			ce := violation()
+			ce.MemDiff = diff
+			return ce
+		}
+	}
+	return nil
+}
+
+// resetRegions restores the prebuilt regions to the given initial contents
+// and clears their poison shadows.
+func resetRegions(regs []*interp.Region, memBytes [][]byte) {
+	for j, r := range regs {
+		copy(r.Data, memBytes[j])
+		for i := range r.Poison {
+			r.Poison[i] = false
+		}
+	}
+}
+
+func cloneRVals(vals []interp.RVal) []interp.RVal {
+	out := make([]interp.RVal, len(vals))
+	for i, v := range vals {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+func cloneByteSlices(bs [][]byte) [][]byte {
+	if bs == nil {
+		return nil
+	}
+	out := make([][]byte, len(bs))
+	for i, b := range bs {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// retRefines checks the return value refinement obligation. For floating
+// point lanes, any NaN refines any NaN: LLVM's FP arithmetic produces a
+// nondeterministic quiet NaN, which Alive2 models as a free choice on both
+// sides.
+func retRefines(retTy ir.Type, srcRet, tgtRet interp.RVal) bool {
+	if ir.IsVoid(retTy) {
+		return true
+	}
+	fpBits := 0
+	if ir.IsFloat(retTy) {
+		fpBits = ir.ScalarBits(ir.Elem(retTy))
+	}
+	for i := range srcRet.Lanes {
+		sl := srcRet.Lanes[i]
+		if sl.Poison {
+			continue
+		}
+		tl := tgtRet.Lanes[i]
+		if tl.Poison {
+			return false
+		}
+		if tl.V == sl.V {
+			continue
+		}
+		if fpBits > 0 && isNaNBits(fpBits, sl.V) && isNaNBits(fpBits, tl.V) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// memDiff checks the memory refinement obligation: bytes the source leaves
+// defined must match in the target's final memory. It returns a description
+// of the first violation, or "".
+func memDiff(srcMem, tgtMem *interp.Memory) string {
+	for ri := range srcMem.Regions {
+		sr, tr := srcMem.Regions[ri], tgtMem.Regions[ri]
+		for bi := range sr.Data {
+			if sr.Poison[bi] {
+				continue
+			}
+			if tr.Poison[bi] || tr.Data[bi] != sr.Data[bi] {
+				return fmt.Sprintf(
+					"Mismatch in %s at byte %d: source has 0x%02x, target has 0x%02x (poison=%v)",
+					sr.Name, bi, sr.Data[bi], tr.Data[bi], tr.Poison[bi])
+			}
+		}
+	}
+	return ""
+}
+
+// Verify checks whether tgt refines src within the given bounds, compiling
+// both sides once and streaming input vectors through the compiled
+// evaluators. Callers that re-verify the same pair should build a Checker
+// (or share an Options.Programs cache) instead of paying NewChecker per call.
 func Verify(src, tgt *ir.Func, opts Options) Result {
+	return NewChecker(src, tgt, opts).Verify()
+}
+
+// ReferenceVerify is the historic verification path: it re-walks both
+// functions with the reference interpreter (interp.Exec) on every input
+// vector. It checks the exact same sequence and obligation as Verify — the
+// two must agree bit for bit (guarded by differential tests) — and is kept
+// as the semantic baseline and the perf trajectory's "before" point.
+func ReferenceVerify(src, tgt *ir.Func, opts Options) Result {
 	opts = opts.withDefaults()
 	if err := signatureError(src, tgt); err != "" {
 		return Result{Verdict: Unsupported, Err: err}
@@ -185,8 +422,11 @@ func signatureError(src, tgt *ir.Func) string {
 	return ""
 }
 
-// checkOne runs both functions on one concrete environment and checks the
-// refinement obligation. It returns a counterexample or nil.
+// checkOne runs both functions through the reference interpreter on one
+// concrete environment and checks the refinement obligation. It returns a
+// counterexample or nil; the counterexample is only materialized on an
+// actual violation (inputs are cloned because the generator reuses its
+// buffers).
 func checkOne(src, tgt *ir.Func, params []*ir.Param, inputs []interp.RVal,
 	memBytes [][]byte, opts Options) *CounterExample {
 	buildEnv := func() (interp.Env, *interp.Memory) {
@@ -196,11 +436,10 @@ func checkOne(src, tgt *ir.Func, params []*ir.Param, inputs []interp.RVal,
 		mi := 0
 		for i, p := range params {
 			if ir.IsPtr(p.Ty) && !args[i].AnyPoison() {
-				base := uint64(0x10000 + i*0x1000)
-				r := mem.AddRegion(p.Nm, base, opts.MemSize)
+				r := mem.AddRegion(p.Nm, regionBase(i), opts.MemSize)
 				copy(r.Data, memBytes[mi])
 				mi++
-				args[i] = interp.Scalar(ir.Ptr, base)
+				args[i] = interp.Scalar(ir.Ptr, regionBase(i))
 			}
 		}
 		return interp.Env{Args: args, Mem: mem}, mem
@@ -218,52 +457,22 @@ func checkOne(src, tgt *ir.Func, params []*ir.Param, inputs []interp.RVal,
 	if !rt.Completed {
 		return nil
 	}
-	ce := &CounterExample{Params: params, Inputs: inputs, Memory: memBytes,
-		SrcRet: rs.Ret, TgtRet: rt.Ret, SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+	violation := func() *CounterExample {
+		return &CounterExample{Params: params,
+			Inputs: cloneRVals(inputs), Memory: cloneByteSlices(memBytes),
+			SrcRet: rs.Ret, TgtRet: rt.Ret,
+			SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+	}
 	if rt.UB {
+		return violation()
+	}
+	if !retRefines(src.Ret, rs.Ret, rt.Ret) {
+		return violation()
+	}
+	if diff := memDiff(srcMem, tgtMem); diff != "" {
+		ce := violation()
+		ce.MemDiff = diff
 		return ce
-	}
-	// Return value refinement. For floating point lanes, any NaN refines any
-	// NaN: LLVM's FP arithmetic produces a nondeterministic quiet NaN, which
-	// Alive2 models as a free choice on both sides.
-	if !ir.IsVoid(src.Ret) {
-		elem := ir.Elem(src.Ret)
-		fpBits := 0
-		if ir.IsFloat(src.Ret) {
-			fpBits = ir.ScalarBits(elem)
-		}
-		for i := range rs.Ret.Lanes {
-			sl := rs.Ret.Lanes[i]
-			if sl.Poison {
-				continue
-			}
-			tl := rt.Ret.Lanes[i]
-			if tl.Poison {
-				return ce
-			}
-			if tl.V == sl.V {
-				continue
-			}
-			if fpBits > 0 && isNaNBits(fpBits, sl.V) && isNaNBits(fpBits, tl.V) {
-				continue
-			}
-			return ce
-		}
-	}
-	// Memory refinement: bytes the source leaves defined must match.
-	for ri := range srcMem.Regions {
-		sr, tr := srcMem.Regions[ri], tgtMem.Regions[ri]
-		for bi := range sr.Data {
-			if sr.Poison[bi] {
-				continue
-			}
-			if tr.Poison[bi] || tr.Data[bi] != sr.Data[bi] {
-				ce.MemDiff = fmt.Sprintf(
-					"Mismatch in %s at byte %d: source has 0x%02x, target has 0x%02x (poison=%v)",
-					sr.Name, bi, sr.Data[bi], tr.Data[bi], tr.Poison[bi])
-				return ce
-			}
-		}
 	}
 	return nil
 }

@@ -12,26 +12,49 @@ import (
 // exhaustive enumeration when the non-pointer input bit budget fits the
 // bound, otherwise structured corner values followed by seeded random
 // samples; either way a poison trial per argument is appended.
+//
+// Vectors are generated lazily from the phase counters and the seeded rng —
+// the exhaustive space (up to 2^MaxExhaustiveBits counter values times
+// MemFills memories) is never materialized — and the argument buffers are
+// reused between next calls: callers that retain inputs (counterexamples)
+// must clone them. The emitted sequence is identical, value for value, to
+// the historic eager queue (guarded by a fixed-seed equivalence test).
 type inputGen struct {
 	params     []*ir.Param
 	opts       Options
+	rng        *rand.Rand
 	exhaustive bool
 
-	queue []vecInput
-	pos   int
+	fills    [][][]byte // initial memories, one entry per pointer param
+	tables   [][]uint64 // per-param corner value tables
+	specials int        // max table length across params (sampled phases)
+
+	phase int
+	c     uint64 // exhaustive counter
+	cmax  uint64
+	fi    int // fill index within the current counter value
+	k     int // per-phase item counter
+	pi    int // poison phase: param being poisoned
+	trial int // poison phase: trial within the param
 
 	inputs   []interp.RVal
 	memBytes [][]byte
 }
 
-type vecInput struct {
-	args []interp.RVal
-	mem  [][]byte
-}
+// Generation phases, in emission order. Exhaustive runs skip the three
+// sampled phases; both run the poison trials last.
+const (
+	phExhaust = iota
+	phCorner
+	phMixed
+	phRandom
+	phPoison
+	phDone
+)
 
 func newInputGen(f *ir.Func, opts Options) *inputGen {
 	g := &inputGen{params: f.Params, opts: opts}
-	rng := rand.New(rand.NewSource(int64(opts.Seed) ^ 0x5eed))
+	g.rng = rand.New(rand.NewSource(int64(opts.Seed) ^ 0x5eed))
 
 	totalBits := 0
 	numPtrs := 0
@@ -43,100 +66,163 @@ func newInputGen(f *ir.Func, opts Options) *inputGen {
 		totalBits += ir.ScalarBits(ir.Elem(p.Ty)) * ir.Lanes(p.Ty)
 	}
 	g.exhaustive = totalBits <= opts.MaxExhaustiveBits
+	g.fills = g.memoryFills(numPtrs, g.rng)
 
-	fills := g.memoryFills(numPtrs, rng)
-	if g.exhaustive {
-		for c := uint64(0); c < uint64(1)<<uint(totalBits); c++ {
-			args := g.argsFromCounter(c)
-			for _, m := range fills {
-				g.queue = append(g.queue, vecInput{args: args, mem: m})
-			}
-		}
-	} else {
-		// Corner phase: uniform specials plus rotated mixes.
-		specials := 0
-		for _, p := range f.Params {
-			if n := len(specialLanes(p.Ty)); n > specials {
-				specials = n
-			}
-		}
-		for k := 0; k < specials; k++ {
-			args := make([]interp.RVal, len(f.Params))
-			for i, p := range f.Params {
-				args[i] = specialArg(p.Ty, k)
-			}
-			g.queue = append(g.queue, vecInput{args: args, mem: fills[k%len(fills)]})
-		}
-		// Mixed-corner phase: random picks from the specials table.
-		for k := 0; k < opts.Samples/8; k++ {
-			args := make([]interp.RVal, len(f.Params))
-			for i, p := range f.Params {
-				args[i] = specialArg(p.Ty, rng.Intn(specials+1))
-			}
-			g.queue = append(g.queue, vecInput{args: args, mem: fills[rng.Intn(len(fills))]})
-		}
-		// Random phase.
-		for k := 0; k < opts.Samples; k++ {
-			args := make([]interp.RVal, len(f.Params))
-			for i, p := range f.Params {
-				args[i] = randomArg(p.Ty, rng)
-			}
-			g.queue = append(g.queue, vecInput{args: args, mem: fills[rng.Intn(len(fills))]})
+	g.tables = make([][]uint64, len(f.Params))
+	for i, p := range f.Params {
+		g.tables[i] = specialLanes(p.Ty)
+		if n := len(g.tables[i]); n > g.specials {
+			g.specials = n
 		}
 	}
-	// Poison trials: each argument poisoned once against two bases.
+
+	g.inputs = make([]interp.RVal, len(f.Params))
 	for i, p := range f.Params {
-		if ir.IsPtr(p.Ty) {
-			continue // a poison pointer base would only exercise load-of-poison
-		}
-		for trial := 0; trial < 2; trial++ {
-			args := make([]interp.RVal, len(f.Params))
-			for j, q := range f.Params {
-				if j == i {
-					args[j] = interp.PoisonRV(q.Ty)
-				} else if trial == 0 {
-					args[j] = specialArg(q.Ty, 0)
-				} else {
-					args[j] = randomArg(q.Ty, rng)
-				}
-			}
-			g.queue = append(g.queue, vecInput{args: args, mem: fills[trial%len(fills)]})
-		}
+		g.inputs[i] = interp.RVal{Ty: p.Ty, Lanes: make([]interp.Word, ir.Lanes(p.Ty))}
+	}
+
+	if g.exhaustive {
+		g.phase = phExhaust
+		g.cmax = uint64(1) << uint(totalBits)
+	} else {
+		g.phase = phCorner
 	}
 	return g
 }
 
+// next advances to the following input vector, refreshing g.inputs and
+// g.memBytes in place. It reports false when the sequence is exhausted.
 func (g *inputGen) next() bool {
-	if g.pos >= len(g.queue) {
-		return false
+	for {
+		switch g.phase {
+		case phExhaust:
+			if g.c >= g.cmax {
+				g.phase = phPoison
+				continue
+			}
+			if g.fi == 0 {
+				g.setFromCounter(g.c)
+			}
+			g.memBytes = g.fills[g.fi]
+			g.fi++
+			if g.fi >= len(g.fills) {
+				g.fi = 0
+				g.c++
+			}
+			return true
+		case phCorner:
+			// Corner phase: uniform specials plus rotated mixes.
+			if g.k >= g.specials {
+				g.phase = phMixed
+				g.k = 0
+				continue
+			}
+			for i := range g.params {
+				g.setSpecial(i, g.k)
+			}
+			g.memBytes = g.fills[g.k%len(g.fills)]
+			g.k++
+			return true
+		case phMixed:
+			// Mixed-corner phase: random picks from the specials table.
+			if g.k >= g.opts.Samples/8 {
+				g.phase = phRandom
+				g.k = 0
+				continue
+			}
+			for i := range g.params {
+				g.setSpecial(i, g.rng.Intn(g.specials+1))
+			}
+			g.memBytes = g.fills[g.rng.Intn(len(g.fills))]
+			g.k++
+			return true
+		case phRandom:
+			if g.k >= g.opts.Samples {
+				g.phase = phPoison
+				continue
+			}
+			for i := range g.params {
+				g.setRandom(i)
+			}
+			g.memBytes = g.fills[g.rng.Intn(len(g.fills))]
+			g.k++
+			return true
+		case phPoison:
+			// Poison trials: each argument poisoned once against two bases.
+			// A poison pointer base would only exercise load-of-poison, so
+			// pointer params are skipped as poison targets.
+			for g.pi < len(g.params) && ir.IsPtr(g.params[g.pi].Ty) {
+				g.pi++
+			}
+			if g.pi >= len(g.params) {
+				g.phase = phDone
+				continue
+			}
+			for j := range g.params {
+				switch {
+				case j == g.pi:
+					g.setPoison(j)
+				case g.trial == 0:
+					g.setSpecial(j, 0)
+				default:
+					g.setRandom(j)
+				}
+			}
+			g.memBytes = g.fills[g.trial%len(g.fills)]
+			g.trial++
+			if g.trial == 2 {
+				g.trial = 0
+				g.pi++
+			}
+			return true
+		default:
+			return false
+		}
 	}
-	v := g.queue[g.pos]
-	g.pos++
-	g.inputs = v.args
-	g.memBytes = v.mem
-	return true
 }
 
-// argsFromCounter maps the bits of c onto the non-pointer arguments.
-func (g *inputGen) argsFromCounter(c uint64) []interp.RVal {
-	args := make([]interp.RVal, len(g.params))
+// setFromCounter maps the bits of c onto the non-pointer arguments.
+func (g *inputGen) setFromCounter(c uint64) {
 	bit := uint(0)
 	for i, p := range g.params {
+		lanes := g.inputs[i].Lanes
 		if ir.IsPtr(p.Ty) {
-			args[i] = interp.Scalar(ir.Ptr, 0) // replaced by the region base
+			lanes[0] = interp.Word{} // replaced by the region base
 			continue
 		}
 		w := ir.ScalarBits(ir.Elem(p.Ty))
-		lanes := ir.Lanes(p.Ty)
-		rv := interp.RVal{Ty: p.Ty, Lanes: make([]interp.Word, lanes)}
-		for l := 0; l < lanes; l++ {
-			v := (c >> bit) & ir.MaskW(w)
+		for l := range lanes {
+			lanes[l] = interp.Word{V: (c >> bit) & ir.MaskW(w)}
 			bit += uint(w)
-			rv.Lanes[l] = interp.Word{V: v}
 		}
-		args[i] = rv
 	}
-	return args
+}
+
+// setSpecial writes the k-th corner argument of param i; lanes are rotated
+// so vector corner cases are not all-uniform.
+func (g *inputGen) setSpecial(i, k int) {
+	table := g.tables[i]
+	lanes := g.inputs[i].Lanes
+	for l := range lanes {
+		lanes[l] = interp.Word{V: table[(k+l)%len(table)]}
+	}
+}
+
+// setRandom writes a uniformly random argument for param i.
+func (g *inputGen) setRandom(i int) {
+	w := ir.ScalarBits(ir.Elem(g.params[i].Ty))
+	lanes := g.inputs[i].Lanes
+	for l := range lanes {
+		lanes[l] = interp.Word{V: g.rng.Uint64() & ir.MaskW(w)}
+	}
+}
+
+// setPoison writes an all-poison argument for param i.
+func (g *inputGen) setPoison(i int) {
+	lanes := g.inputs[i].Lanes
+	for l := range lanes {
+		lanes[l] = interp.Word{Poison: true}
+	}
 }
 
 // memoryFills builds the initial memories tried per input vector: an
@@ -211,7 +297,8 @@ func dedup(vals []uint64) []uint64 {
 }
 
 // specialArg builds the k-th corner argument of the given type; lanes are
-// rotated so vector corner cases are not all-uniform.
+// rotated so vector corner cases are not all-uniform. Retained for the
+// reference path and the streaming-equivalence test.
 func specialArg(ty ir.Type, k int) interp.RVal {
 	table := specialLanes(ty)
 	lanes := ir.Lanes(ty)

@@ -1,0 +1,8 @@
+//go:build race
+
+package alive
+
+// raceEnabled reports that the race detector is active; allocation-count
+// assertions are skipped because the race runtime's instrumentation
+// allocates on its own.
+func init() { raceEnabled = true }

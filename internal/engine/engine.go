@@ -25,6 +25,7 @@ import (
 	"repro/internal/alive"
 	"repro/internal/extract"
 	"repro/internal/generalize"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/llm"
 	"repro/internal/mca"
@@ -204,6 +205,15 @@ func New(client llm.Client, cfg Config) *Engine {
 	optSet := cfg.Opt.Rules
 	if optSet == nil {
 		optSet = opt.NewRuleSet(cfg.Opt)
+	}
+	// One compiled-program cache backs the verify stage and the generalize
+	// width sweeps: every distinct window and candidate compiles once per
+	// engine, across workers and rounds.
+	if cfg.Verify.Programs == nil {
+		cfg.Verify.Programs = interp.NewCache()
+	}
+	if cfg.Generalize.Verify.Programs == nil {
+		cfg.Generalize.Verify.Programs = cfg.Verify.Programs
 	}
 	return &Engine{
 		client:  client,

@@ -408,3 +408,36 @@ func TestEngineLearnsRules(t *testing.T) {
 		t.Fatalf("rulebook rule did not close the i32 window:\n%s", got)
 	}
 }
+
+// TestProgramCacheSharedByVerifyAndGeneralize pins the compile-once wiring:
+// one interp.Cache backs both the verify stage and the learn stage's width
+// sweeps, and a campaign populates it.
+func TestProgramCacheSharedByVerifyAndGeneralize(t *testing.T) {
+	src := parser.MustParseFunc(`define i16 @src(i16 %x, i16 %y) {
+  %a = and i16 %x, %y
+  %o = or i16 %x, %y
+  %r = xor i16 %a, %o
+  ret i16 %r
+}`)
+	sim := calibratedSim(t, "Gemini2.0T", src, llm.Calibration{Minus: 5, Plus: 5})
+	e := New(sim, Config{Learn: true, Verify: alive.Options{Samples: 128, Seed: 3}})
+	cfg := e.Config()
+	if cfg.Verify.Programs == nil {
+		t.Fatal("engine did not install a program cache")
+	}
+	if cfg.Generalize.Verify.Programs != cfg.Verify.Programs {
+		t.Fatal("generalize width sweeps must share the verify stage's program cache")
+	}
+	results, _ := e.RunAll(context.Background(), Funcs(src))
+	if results[0].Outcome != Found {
+		t.Fatalf("expected Found, got %v", results[0].Outcome)
+	}
+	if results[0].Learned == nil {
+		t.Fatal("expected a learned rule")
+	}
+	// At minimum the window, its candidate, and the width-sweep
+	// instantiations were compiled through the shared cache.
+	if n := cfg.Verify.Programs.Len(); n < 4 {
+		t.Fatalf("program cache holds %d entries, want the campaign's windows, candidates and width sweeps (>= 4)", n)
+	}
+}

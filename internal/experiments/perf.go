@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/alive"
+	"repro/internal/generalize"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/parser"
+)
+
+// PerfSchema names the snapshot format; bump on breaking changes.
+const PerfSchema = "lpo-bench-perf/1"
+
+// PerfBench is one measured workload of the perf snapshot (see doc.go,
+// "Performance", for the schema).
+type PerfBench struct {
+	// Name identifies the workload (stable across PRs).
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Iterations is how many operations the measurement averaged over.
+	Iterations int `json:"iterations"`
+}
+
+// PerfSnapshot is the machine-readable performance record emitted by
+// `lpo-bench -json` so successive PRs have a trajectory to compare against.
+type PerfSnapshot struct {
+	Schema     string      `json:"schema"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	GoVersion  string      `json:"go_version"`
+	Benches    []PerfBench `json:"benchmarks"`
+}
+
+// Encode renders the snapshot as indented JSON.
+func (s *PerfSnapshot) Encode() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// The perf workloads below are the single source of truth for both the
+// root-level benchmarks (bench_test.go delegates to the Bench* functions)
+// and the `lpo-bench -json` snapshot, so `go test -bench` output and the
+// JSON artifact always measure the same work.
+
+const perfClampSrc = `define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`
+
+const perfClampTgt = `define i8 @tgt(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}`
+
+const perfSweepSrc = `define i16 @src(i16 %x, i16 %y) {
+  %a = and i16 %x, %y
+  %o = or i16 %x, %y
+  %r = xor i16 %a, %o
+  ret i16 %r
+}`
+
+const perfSweepTgt = `define i16 @tgt(i16 %x, i16 %y) {
+  %r = xor i16 %x, %y
+  ret i16 %r
+}`
+
+var (
+	perfOnce                     sync.Once
+	perfClampSrcF, perfClampTgtF *ir.Func
+	perfSweepSrcF, perfSweepTgtF *ir.Func
+)
+
+func perfFuncs() {
+	perfOnce.Do(func() {
+		perfClampSrcF = parser.MustParseFunc(perfClampSrc)
+		perfClampTgtF = parser.MustParseFunc(perfClampTgt)
+		perfSweepSrcF = parser.MustParseFunc(perfSweepSrc)
+		perfSweepTgtF = parser.MustParseFunc(perfSweepTgt)
+	})
+}
+
+// BenchVerify measures the compile-once checker on a representative
+// benchdata-style window (the paper's clamp case, 1024 samples) with a
+// shared program cache — the engine verify stage's steady-state
+// configuration.
+func BenchVerify(b *testing.B) {
+	perfFuncs()
+	opts := alive.Options{Samples: 1024, Seed: 1, Programs: interp.NewCache()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := alive.Verify(perfClampSrcF, perfClampTgtF, opts); r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
+// BenchVerifyReference is the same workload through the pre-compile-once
+// verification path, kept as the perf trajectory's baseline.
+func BenchVerifyReference(b *testing.B) {
+	perfFuncs()
+	opts := alive.Options{Samples: 1024, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := alive.ReferenceVerify(perfClampSrcF, perfClampTgtF, opts); r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
+// BenchVerifyWidths measures a generalize-style width sweep (the same pair
+// re-instantiated and re-verified at i8/i16/i32/i64) with the shared
+// program cache.
+func BenchVerifyWidths(b *testing.B) {
+	perfFuncs()
+	widths := []int{8, 16, 32, 64}
+	opts := alive.Options{Samples: 256, Seed: 1, Programs: interp.NewCache()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wrs := alive.VerifyWidths(widths, opts, func(w int) (*ir.Func, *ir.Func, error) {
+			s, err := generalize.Rewidth(perfSweepSrcF, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			t, err := generalize.Rewidth(perfSweepTgtF, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, t, nil
+		})
+		for _, wr := range wrs {
+			if wr.Verdict != alive.Correct {
+				b.Fatal("width sweep regressed")
+			}
+		}
+	}
+}
+
+// BenchInterpExec measures one execution of the clamp window through the
+// reference tree-walker.
+func BenchInterpExec(b *testing.B) {
+	perfFuncs()
+	env := interp.Env{Args: []interp.RVal{interp.Scalar(ir.I32, 1234)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		interp.Exec(perfClampSrcF, env)
+	}
+}
+
+// BenchInterpCompiled is BenchInterpExec through a warm compiled evaluator:
+// the per-execution cost once the window is compiled.
+func BenchInterpCompiled(b *testing.B) {
+	perfFuncs()
+	ev := interp.NewEvaluator(interp.Compile(perfClampSrcF))
+	env := interp.Env{Args: []interp.RVal{interp.Scalar(ir.I32, 1234)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Run(env)
+	}
+}
+
+// BenchOptDispatchAllRules measures the opcode-indexed rewrite dispatch with
+// every registry rule enabled over a prebuilt RuleSet.
+func BenchOptDispatchAllRules(b *testing.B) {
+	perfFuncs()
+	rs := opt.NewRuleSet(opt.Options{Patches: opt.AllRuleNames()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Run(perfClampSrcF, opt.Options{Rules: rs})
+	}
+}
+
+// BenchOptRunO3 measures the baseline optimizer pipeline.
+func BenchOptRunO3(b *testing.B) {
+	perfFuncs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.RunO3(perfClampSrcF)
+	}
+}
+
+// perfWorkloads lists the snapshot entries in emission order.
+var perfWorkloads = []struct {
+	Name string
+	Fn   func(*testing.B)
+}{
+	{"verify_checker", BenchVerify},
+	{"verify_reference", BenchVerifyReference},
+	{"verify_widths", BenchVerifyWidths},
+	{"interp_exec", BenchInterpExec},
+	{"interp_compiled", BenchInterpCompiled},
+	{"opt_dispatch_all_rules", BenchOptDispatchAllRules},
+	{"opt_run_o3", BenchOptRunO3},
+}
+
+// RunPerfSnapshot measures every perf workload with testing.Benchmark and
+// returns the snapshot. Workload names map 1:1 onto the root-level
+// benchmarks (BenchmarkVerify, BenchmarkVerifyReference,
+// BenchmarkVerifyWidths, BenchmarkInterpExec, BenchmarkInterpCompiled and
+// the opt dispatch pair), which delegate to the same Bench* functions.
+func RunPerfSnapshot() *PerfSnapshot {
+	snap := &PerfSnapshot{Schema: PerfSchema, GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	for _, w := range perfWorkloads {
+		r := testing.Benchmark(w.Fn)
+		snap.Benches = append(snap.Benches, PerfBench{
+			Name:        w.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return snap
+}

@@ -127,12 +127,15 @@ func RunFigure5(iters int) (*SpecReport, error) {
 		}
 		parsed[i] = f
 	}
+	// The loop bodies execute tens of thousands of dynamic instructions per
+	// program; run them through the compile-once evaluator instead of
+	// re-walking the tree per instruction.
 	run := func(f *ir.Func) (int, uint64, error) {
 		env := interp.Env{
 			Args:     []interp.RVal{interp.Scalar(ir.I64, uint64(iters))},
 			MaxSteps: 1 << 24,
 		}
-		r := interp.Exec(f, env)
+		r := interp.NewEvaluator(interp.Compile(f)).Run(env)
 		if r.UB || !r.Completed {
 			return 0, 0, fmt.Errorf("program failed: ub=%v reason=%s", r.UB, r.UBReason)
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/alive"
+	"repro/internal/interp"
 	"repro/internal/ir"
 )
 
@@ -43,6 +44,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Verify.Seed == 0 {
 		o.Verify.Seed = 1
+	}
+	if o.Verify.Programs == nil {
+		// Slot assignments re-instantiate the same functions across the
+		// width sweep; a per-run program cache compiles each once. The
+		// engine overrides this with its campaign-wide cache.
+		o.Verify.Programs = interp.NewCache()
 	}
 	return o
 }

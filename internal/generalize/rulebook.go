@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/alive"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/parser"
@@ -169,6 +170,9 @@ func (b *Rulebook) Verify(opts alive.Options) error {
 	rules, err := b.Compile()
 	if err != nil {
 		return err
+	}
+	if opts.Programs == nil {
+		opts.Programs = interp.NewCache()
 	}
 	for _, r := range rules {
 		wrs := alive.VerifyWidths(r.Widths, opts, func(w int) (*ir.Func, *ir.Func, error) {

@@ -1,0 +1,35 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+var raceEnabled bool
+
+// TestEvaluatorSteadyStateAllocs pins the compile-once contract: running a
+// compiled straight-line window allocates nothing once the evaluator is
+// warm.
+func TestEvaluatorSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by the race runtime")
+	}
+	f := parser.MustParseFunc(`define i8 @f(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}`)
+	ev := NewEvaluator(Compile(f))
+	env := Env{Args: []RVal{Scalar(ir.I32, 1234)}}
+	ev.Run(env)
+	allocs := testing.AllocsPerRun(200, func() {
+		ev.Run(env)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocates %.1f times per execution, want 0", allocs)
+	}
+}

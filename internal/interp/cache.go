@@ -1,0 +1,61 @@
+package interp
+
+import (
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Cache memoizes compiled Programs by structural function hash (ir.Hash),
+// so repeated verifications of the same window — engine verify stages across
+// rounds and workers, generalize width sweeps re-instantiating the same
+// abstraction, CEGIS loops revisiting a candidate — compile each function
+// once. It is safe for concurrent use. Like the engine's verification cache
+// it treats ir.Hash as identity.
+//
+// A nil *Cache is valid and simply compiles on every call, so callers can
+// thread an optional cache without nil checks.
+type Cache struct {
+	mu sync.Mutex
+	m  map[uint64]*Program
+}
+
+// NewCache returns an empty program cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[uint64]*Program)}
+}
+
+// Program returns the compiled program for fn, compiling it on first use.
+func (c *Cache) Program(fn *ir.Func) *Program {
+	if c == nil {
+		return Compile(fn)
+	}
+	h := ir.Hash(fn)
+	c.mu.Lock()
+	p, ok := c.m[h]
+	c.mu.Unlock()
+	if ok {
+		return p
+	}
+	// Compile outside the lock: compilation is pure, so a racing duplicate
+	// is wasted work at worst, and slow compiles never serialize readers.
+	p = Compile(fn)
+	c.mu.Lock()
+	if prev, ok := c.m[h]; ok {
+		p = prev
+	} else {
+		c.m[h] = p
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Len reports how many programs the cache holds.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

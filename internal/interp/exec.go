@@ -2,8 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 
 	"repro/internal/ir"
 )
@@ -26,7 +24,12 @@ type Env struct {
 
 const defaultMaxSteps = 1 << 20
 
-// Exec runs fn on the given environment.
+// Exec runs fn on the given environment with the reference tree-walking
+// interpreter. It is the semantic baseline: Compile/Evaluator run the same
+// per-opcode kernels over a preallocated register file and are checked
+// against Exec by differential tests. Use Exec for one-shot executions;
+// batch executors (the alive checker, the superoptimizer baselines) compile
+// once and stream inputs through an Evaluator instead.
 func Exec(fn *ir.Func, env Env) Result {
 	maxSteps := env.MaxSteps
 	if maxSteps == 0 {
@@ -135,6 +138,7 @@ func Exec(fn *ir.Func, env Env) Result {
 type state struct {
 	vals map[ir.Value]RVal
 	mem  *Memory
+	sc   scratch
 }
 
 // operand materializes the runtime value of an operand.
@@ -184,7 +188,9 @@ func (st *state) operand(v ir.Value) (RVal, bool, string) {
 	return RVal{}, true, "use of unbound value " + v.Ident()
 }
 
-// eval executes one non-control-flow instruction.
+// eval executes one non-control-flow instruction: operands are materialized
+// in order, then the shared per-opcode kernel runs on freshly allocated
+// result lanes.
 func (st *state) eval(in *ir.Instr) (RVal, bool, string) {
 	args := make([]RVal, len(in.Args))
 	for i, a := range in.Args {
@@ -194,600 +200,9 @@ func (st *state) eval(in *ir.Instr) (RVal, bool, string) {
 		}
 		args[i] = v
 	}
-	switch {
-	case in.Op.IsIntBinary():
-		return st.intBinary(in, args[0], args[1])
-	case in.Op == ir.OpFAdd, in.Op == ir.OpFSub, in.Op == ir.OpFMul, in.Op == ir.OpFDiv:
-		return st.fpBinary(in, args[0], args[1])
-	case in.Op == ir.OpFNeg:
-		return mapLanes1(in.Ty, args[0], func(x Word) Word {
-			if x.Poison {
-				return x
-			}
-			w := ir.ScalarBits(ir.Elem(in.Ty))
-			return Word{V: storeFloat(w, -loadFloat(w, x.V))}
-		}), false, ""
-	case in.Op == ir.OpICmp:
-		return st.icmp(in, args[0], args[1]), false, ""
-	case in.Op == ir.OpFCmp:
-		return st.fcmp(in, args[0], args[1]), false, ""
-	case in.Op == ir.OpSelect:
-		return st.sel(in, args), false, ""
-	case in.Op == ir.OpFreeze:
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, len(args[0].Lanes))}
-		for i, l := range args[0].Lanes {
-			if l.Poison {
-				out.Lanes[i] = Word{V: 0}
-			} else {
-				out.Lanes[i] = l
-			}
-		}
-		return out, false, ""
-	case in.Op.IsConversion():
-		return st.convert(in, args[0])
-	case in.Op == ir.OpGEP:
-		return st.gep(in, args)
-	case in.Op == ir.OpLoad:
-		return st.load(in, args[0])
-	case in.Op == ir.OpStore:
-		return st.store(in, args[0], args[1])
-	case in.Op == ir.OpCall:
-		return st.call(in, args)
-	case in.Op == ir.OpExtractElt:
-		return st.extractElt(in, args)
-	case in.Op == ir.OpInsertElt:
-		return st.insertElt(in, args)
-	case in.Op == ir.OpShuffle:
-		return st.shuffle(in, args)
-	}
-	return RVal{}, true, "unsupported opcode " + in.Op.Name()
-}
-
-func mapLanes1(ty ir.Type, a RVal, f func(Word) Word) RVal {
-	out := RVal{Ty: ty, Lanes: make([]Word, len(a.Lanes))}
-	for i := range a.Lanes {
-		out.Lanes[i] = f(a.Lanes[i])
-	}
-	return out
-}
-
-func (st *state) intBinary(in *ir.Instr, a, b RVal) (RVal, bool, string) {
-	w := ir.ScalarBits(ir.Elem(in.Ty))
-	mask := ir.MaskW(w)
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(a.Lanes))}
-	for i := range a.Lanes {
-		x, y := a.Lanes[i], b.Lanes[i]
-		// Division by a non-poison zero is UB even with poison dividends,
-		// so check UB cases before poison short-circuiting.
-		switch in.Op {
-		case ir.OpUDiv, ir.OpSDiv, ir.OpURem, ir.OpSRem:
-			if y.Poison {
-				return RVal{}, true, "division by poison"
-			}
-			if y.V&mask == 0 {
-				return RVal{}, true, "division by zero"
-			}
-			if (in.Op == ir.OpSDiv || in.Op == ir.OpSRem) && !x.Poison {
-				if ir.SignExt(x.V, w) == minSigned(w) && ir.SignExt(y.V, w) == -1 {
-					return RVal{}, true, "signed division overflow"
-				}
-			}
-		}
-		if x.Poison || y.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		xv, yv := x.V&mask, y.V&mask
-		var r uint64
-		poison := false
-		switch in.Op {
-		case ir.OpAdd:
-			r = (xv + yv) & mask
-			if in.Flags.Has(ir.NUW) && r < xv {
-				poison = true
-			}
-			if in.Flags.Has(ir.NSW) && addNSWOverflow(xv, yv, r, w) {
-				poison = true
-			}
-		case ir.OpSub:
-			r = (xv - yv) & mask
-			if in.Flags.Has(ir.NUW) && yv > xv {
-				poison = true
-			}
-			if in.Flags.Has(ir.NSW) && subNSWOverflow(xv, yv, r, w) {
-				poison = true
-			}
-		case ir.OpMul:
-			hi, lo := bits.Mul64(xv, yv)
-			r = lo & mask
-			if in.Flags.Has(ir.NUW) {
-				if hi != 0 || lo&^mask != 0 {
-					poison = true
-				}
-			}
-			if in.Flags.Has(ir.NSW) && mulNSWOverflow(xv, yv, w) {
-				poison = true
-			}
-		case ir.OpUDiv:
-			r = xv / yv
-			if in.Flags.Has(ir.Exact) && xv%yv != 0 {
-				poison = true
-			}
-		case ir.OpSDiv:
-			sr := ir.SignExt(xv, w) / ir.SignExt(yv, w)
-			r = uint64(sr) & mask
-			if in.Flags.Has(ir.Exact) && ir.SignExt(xv, w)%ir.SignExt(yv, w) != 0 {
-				poison = true
-			}
-		case ir.OpURem:
-			r = xv % yv
-		case ir.OpSRem:
-			r = uint64(ir.SignExt(xv, w)%ir.SignExt(yv, w)) & mask
-		case ir.OpShl:
-			if yv >= uint64(w) {
-				poison = true
-				break
-			}
-			r = (xv << yv) & mask
-			if in.Flags.Has(ir.NUW) && (r>>yv) != xv {
-				poison = true
-			}
-			if in.Flags.Has(ir.NSW) {
-				back := uint64(ir.SignExt(r, w)>>yv) & mask
-				if back != xv {
-					poison = true
-				}
-			}
-		case ir.OpLShr:
-			if yv >= uint64(w) {
-				poison = true
-				break
-			}
-			r = xv >> yv
-			if in.Flags.Has(ir.Exact) && (r<<yv)&mask != xv {
-				poison = true
-			}
-		case ir.OpAShr:
-			if yv >= uint64(w) {
-				poison = true
-				break
-			}
-			r = uint64(ir.SignExt(xv, w)>>yv) & mask
-			// Exact ashr: poison if any shifted-out bit is non-zero.
-			if in.Flags.Has(ir.Exact) && xv&((uint64(1)<<yv)-1) != 0 {
-				poison = true
-			}
-		case ir.OpAnd:
-			r = xv & yv
-		case ir.OpOr:
-			r = xv | yv
-			if in.Flags.Has(ir.Disjoint) && xv&yv != 0 {
-				poison = true
-			}
-		case ir.OpXor:
-			r = xv ^ yv
-		}
-		out.Lanes[i] = Word{V: r & mask, Poison: poison}
-	}
-	return out, false, ""
-}
-
-func minSigned(w int) int64 {
-	return -(int64(1) << uint(w-1))
-}
-
-func addNSWOverflow(x, y, r uint64, w int) bool {
-	sx, sy, sr := ir.SignExt(x, w), ir.SignExt(y, w), ir.SignExt(r, w)
-	return (sx >= 0) == (sy >= 0) && (sr >= 0) != (sx >= 0)
-}
-
-func subNSWOverflow(x, y, r uint64, w int) bool {
-	sx, sy, sr := ir.SignExt(x, w), ir.SignExt(y, w), ir.SignExt(r, w)
-	return (sx >= 0) != (sy >= 0) && (sr >= 0) != (sx >= 0)
-}
-
-func mulNSWOverflow(x, y uint64, w int) bool {
-	sx, sy := ir.SignExt(x, w), ir.SignExt(y, w)
-	if sx == 0 || sy == 0 {
-		return false
-	}
-	p := sx * sy
-	if sx != 0 && p/sx != sy {
-		return true // 64-bit overflow
-	}
-	return p < minSigned(w) || p > -minSigned(w)-1
-}
-
-func (st *state) fpBinary(in *ir.Instr, a, b RVal) (RVal, bool, string) {
-	w := ir.ScalarBits(ir.Elem(in.Ty))
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(a.Lanes))}
-	for i := range a.Lanes {
-		x, y := a.Lanes[i], b.Lanes[i]
-		if x.Poison || y.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		fx, fy := loadFloat(w, x.V), loadFloat(w, y.V)
-		var r float64
-		switch in.Op {
-		case ir.OpFAdd:
-			r = fx + fy
-		case ir.OpFSub:
-			r = fx - fy
-		case ir.OpFMul:
-			r = fx * fy
-		case ir.OpFDiv:
-			r = fx / fy
-		}
-		out.Lanes[i] = Word{V: storeFloat(w, r)}
-	}
-	return out, false, ""
-}
-
-func (st *state) icmp(in *ir.Instr, a, b RVal) RVal {
-	w := ir.ScalarBits(ir.Elem(in.Args[0].Type()))
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(a.Lanes))}
-	for i := range a.Lanes {
-		x, y := a.Lanes[i], b.Lanes[i]
-		if x.Poison || y.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		var r bool
-		xv, yv := x.V&ir.MaskW(w), y.V&ir.MaskW(w)
-		sx, sy := ir.SignExt(xv, w), ir.SignExt(yv, w)
-		switch in.IPredV {
-		case ir.EQ:
-			r = xv == yv
-		case ir.NE:
-			r = xv != yv
-		case ir.UGT:
-			r = xv > yv
-		case ir.UGE:
-			r = xv >= yv
-		case ir.ULT:
-			r = xv < yv
-		case ir.ULE:
-			r = xv <= yv
-		case ir.SGT:
-			r = sx > sy
-		case ir.SGE:
-			r = sx >= sy
-		case ir.SLT:
-			r = sx < sy
-		case ir.SLE:
-			r = sx <= sy
-		}
-		if r {
-			out.Lanes[i] = Word{V: 1}
-		} else {
-			out.Lanes[i] = Word{V: 0}
-		}
-	}
-	return out
-}
-
-func (st *state) fcmp(in *ir.Instr, a, b RVal) RVal {
-	w := ir.ScalarBits(ir.Elem(in.Args[0].Type()))
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(a.Lanes))}
-	for i := range a.Lanes {
-		x, y := a.Lanes[i], b.Lanes[i]
-		if x.Poison || y.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		fx, fy := loadFloat(w, x.V), loadFloat(w, y.V)
-		nan := math.IsNaN(fx) || math.IsNaN(fy)
-		var r bool
-		switch in.FPredV {
-		case ir.FPredFalse:
-			r = false
-		case ir.FPredTrue:
-			r = true
-		case ir.ORD:
-			r = !nan
-		case ir.UNO:
-			r = nan
-		case ir.OEQ:
-			r = !nan && fx == fy
-		case ir.OGT:
-			r = !nan && fx > fy
-		case ir.OGE:
-			r = !nan && fx >= fy
-		case ir.OLT:
-			r = !nan && fx < fy
-		case ir.OLE:
-			r = !nan && fx <= fy
-		case ir.ONE:
-			r = !nan && fx != fy
-		case ir.UEQ:
-			r = nan || fx == fy
-		case ir.FUGT:
-			r = nan || fx > fy
-		case ir.FUGE:
-			r = nan || fx >= fy
-		case ir.FULT:
-			r = nan || fx < fy
-		case ir.FULE:
-			r = nan || fx <= fy
-		case ir.UNE:
-			r = nan || fx != fy
-		}
-		if r {
-			out.Lanes[i] = Word{V: 1}
-		} else {
-			out.Lanes[i] = Word{V: 0}
-		}
-	}
-	return out
-}
-
-func (st *state) sel(in *ir.Instr, args []RVal) RVal {
-	cond, tv, fv := args[0], args[1], args[2]
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(tv.Lanes))}
-	vectorCond := len(cond.Lanes) == len(tv.Lanes) && len(tv.Lanes) > 1
-	for i := range tv.Lanes {
-		c := cond.Lanes[0]
-		if vectorCond {
-			c = cond.Lanes[i]
-		}
-		if c.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		if c.V&1 == 1 {
-			out.Lanes[i] = tv.Lanes[i]
-		} else {
-			out.Lanes[i] = fv.Lanes[i]
-		}
-	}
-	return out
-}
-
-func (st *state) convert(in *ir.Instr, a RVal) (RVal, bool, string) {
-	fromTy := in.Args[0].Type()
-	toElem := ir.Elem(in.Ty)
-	fw := ir.ScalarBits(ir.Elem(fromTy))
-	tw := ir.ScalarBits(toElem)
-	switch in.Op {
-	case ir.OpBitcast:
-		return bitcast(in.Ty, fromTy, a)
-	case ir.OpPtrToInt, ir.OpIntToPtr:
-		return mapLanes1(in.Ty, a, func(x Word) Word {
-			if x.Poison {
-				return x
-			}
-			return Word{V: x.V & ir.MaskW(tw)}
-		}), false, ""
-	}
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(a.Lanes))}
-	for i, x := range a.Lanes {
-		if x.Poison {
-			out.Lanes[i] = Word{Poison: true}
-			continue
-		}
-		var r uint64
-		poison := false
-		switch in.Op {
-		case ir.OpZExt:
-			r = x.V & ir.MaskW(fw)
-			if in.Flags.Has(ir.NNeg) && ir.SignExt(x.V, fw) < 0 {
-				poison = true
-			}
-		case ir.OpSExt:
-			r = uint64(ir.SignExt(x.V, fw)) & ir.MaskW(tw)
-		case ir.OpTrunc:
-			r = x.V & ir.MaskW(tw)
-			if in.Flags.Has(ir.NUW) && x.V&ir.MaskW(fw) != r {
-				poison = true
-			}
-			if in.Flags.Has(ir.NSW) && ir.SignExt(x.V, fw) != ir.SignExt(r, tw) {
-				poison = true
-			}
-		case ir.OpFPExt:
-			r = storeFloat(tw, loadFloat(fw, x.V))
-		case ir.OpFPTrunc:
-			r = storeFloat(tw, loadFloat(fw, x.V))
-		case ir.OpSIToFP:
-			r = storeFloat(tw, float64(ir.SignExt(x.V, fw)))
-		case ir.OpUIToFP:
-			r = storeFloat(tw, float64(x.V&ir.MaskW(fw)))
-		case ir.OpFPToSI:
-			f := loadFloat(fw, x.V)
-			if math.IsNaN(f) || f < float64(minSigned(tw)) || f > float64(-minSigned(tw)-1) {
-				poison = true
-				break
-			}
-			r = uint64(int64(f)) & ir.MaskW(tw)
-		case ir.OpFPToUI:
-			f := loadFloat(fw, x.V)
-			if math.IsNaN(f) || f < 0 || f >= math.Ldexp(1, tw) {
-				poison = true
-				break
-			}
-			r = uint64(f) & ir.MaskW(tw)
-		}
-		out.Lanes[i] = Word{V: r, Poison: poison}
-	}
-	return out, false, ""
-}
-
-// bitcast reinterprets a value's bytes as another type of the same total
-// width (little-endian lane packing). Any poison source lane poisons the
-// whole result, matching LLVM's conservative semantics.
-func bitcast(to ir.Type, from ir.Type, a RVal) (RVal, bool, string) {
-	if a.AnyPoison() {
-		return PoisonRV(to), false, ""
-	}
-	fw := ir.ScalarBits(ir.Elem(from))
-	tw := ir.ScalarBits(ir.Elem(to))
-	totalFrom := fw * ir.Lanes(from)
-	totalTo := tw * ir.Lanes(to)
-	if totalFrom != totalTo {
-		return RVal{}, true, fmt.Sprintf("bitcast width mismatch: %d vs %d bits", totalFrom, totalTo)
-	}
-	// Serialize to a bit buffer lane by lane, little endian within lanes.
-	buf := make([]bool, totalFrom)
-	for i, l := range a.Lanes {
-		for b := 0; b < fw; b++ {
-			buf[i*fw+b] = (l.V>>uint(b))&1 == 1
-		}
-	}
-	out := RVal{Ty: to, Lanes: make([]Word, ir.Lanes(to))}
-	for i := range out.Lanes {
-		var v uint64
-		for b := 0; b < tw; b++ {
-			if buf[i*tw+b] {
-				v |= uint64(1) << uint(b)
-			}
-		}
-		out.Lanes[i] = Word{V: v}
-	}
-	return out, false, ""
-}
-
-func (st *state) gep(in *ir.Instr, args []RVal) (RVal, bool, string) {
-	base := args[0].Lanes[0]
-	if base.Poison {
-		return PoisonRV(ir.Ptr), false, ""
-	}
-	addr := base.V
-	elemBytes := uint64(ir.StoreBytes(in.ElemTy))
-	for k := 1; k < len(args); k++ {
-		idx := args[k].Lanes[0]
-		if idx.Poison {
-			return PoisonRV(ir.Ptr), false, ""
-		}
-		iw := ir.ScalarBits(in.Args[k].Type())
-		off := uint64(ir.SignExt(idx.V, iw)) * elemBytes
-		addr += off
-	}
-	if in.Flags.Has(ir.Inbounds) || in.Flags.Has(ir.NUW) {
-		// Approximation: inbounds requires the result to stay within the
-		// object containing the base address.
-		r := st.mem.FindRegion(base.V)
-		if r == nil || addr < r.Addr || addr > r.Addr+uint64(len(r.Data)) {
-			return PoisonRV(ir.Ptr), false, ""
-		}
-	}
-	return Scalar(ir.Ptr, addr), false, ""
-}
-
-func (st *state) load(in *ir.Instr, ptr RVal) (RVal, bool, string) {
-	p := ptr.Lanes[0]
-	if p.Poison {
-		return RVal{}, true, "load from poison pointer"
-	}
-	n := ir.StoreBytes(in.Ty)
-	data, pois, ok := st.mem.LoadBytes(p.V, n)
-	if !ok {
-		return RVal{}, true, fmt.Sprintf("out-of-bounds load of %d bytes at 0x%X", n, p.V)
-	}
-	if in.Align > 1 && p.V%uint64(in.Align) != 0 {
-		return RVal{}, true, fmt.Sprintf("misaligned load (align %d) at 0x%X", in.Align, p.V)
-	}
-	return decodeBytes(in.Ty, data, pois), false, ""
-}
-
-func (st *state) store(in *ir.Instr, v, ptr RVal) (RVal, bool, string) {
-	p := ptr.Lanes[0]
-	if p.Poison {
-		return RVal{}, true, "store to poison pointer"
-	}
-	data, pois := encodeBytes(in.Args[0].Type(), v)
-	if in.Align > 1 && p.V%uint64(in.Align) != 0 {
-		return RVal{}, true, fmt.Sprintf("misaligned store (align %d) at 0x%X", in.Align, p.V)
-	}
-	if !st.mem.StoreBytes(p.V, data, pois) {
-		return RVal{}, true, fmt.Sprintf("out-of-bounds store of %d bytes at 0x%X", len(data), p.V)
-	}
-	return RVal{}, false, ""
-}
-
-// decodeBytes assembles a value of type ty from little-endian bytes.
-func decodeBytes(ty ir.Type, data []byte, pois []bool) RVal {
-	lanes := ir.Lanes(ty)
-	elemBytes := ir.StoreBytes(ir.Elem(ty))
-	out := RVal{Ty: ty, Lanes: make([]Word, lanes)}
-	for i := 0; i < lanes; i++ {
-		var v uint64
-		poison := false
-		for b := 0; b < elemBytes; b++ {
-			idx := i*elemBytes + b
-			v |= uint64(data[idx]) << uint(8*b)
-			if pois[idx] {
-				poison = true
-			}
-		}
-		out.Lanes[i] = Word{V: v & ir.MaskW(ir.ScalarBits(ir.Elem(ty))), Poison: poison}
-	}
-	return out
-}
-
-// encodeBytes serializes a value into little-endian bytes plus poison marks.
-func encodeBytes(ty ir.Type, v RVal) ([]byte, []bool) {
-	elemBytes := ir.StoreBytes(ir.Elem(ty))
-	n := elemBytes * len(v.Lanes)
-	data := make([]byte, n)
-	pois := make([]bool, n)
-	for i, l := range v.Lanes {
-		for b := 0; b < elemBytes; b++ {
-			idx := i*elemBytes + b
-			data[idx] = byte(l.V >> uint(8*b))
-			pois[idx] = l.Poison
-		}
-	}
-	return data, pois
-}
-
-func (st *state) extractElt(in *ir.Instr, args []RVal) (RVal, bool, string) {
-	vec, idx := args[0], args[1].Lanes[0]
-	if idx.Poison || idx.V >= uint64(len(vec.Lanes)) {
-		return PoisonRV(in.Ty), false, ""
-	}
-	return RVal{Ty: in.Ty, Lanes: []Word{vec.Lanes[idx.V]}}, false, ""
-}
-
-func (st *state) insertElt(in *ir.Instr, args []RVal) (RVal, bool, string) {
-	vec, elem, idx := args[0], args[1], args[2].Lanes[0]
-	if idx.Poison || idx.V >= uint64(len(vec.Lanes)) {
-		return PoisonRV(in.Ty), false, ""
-	}
-	out := RVal{Ty: in.Ty, Lanes: append([]Word(nil), vec.Lanes...)}
-	out.Lanes[idx.V] = elem.Lanes[0]
-	return out, false, ""
-}
-
-func (st *state) shuffle(in *ir.Instr, args []RVal) (RVal, bool, string) {
-	a, b := args[0], args[1]
-	mask, ok := in.Args[2].(*ir.ConstVec)
-	if !ok {
-		if _, isZero := in.Args[2].(*ir.Zero); isZero {
-			n := ir.Lanes(in.Ty)
-			out := RVal{Ty: in.Ty, Lanes: make([]Word, n)}
-			for i := range out.Lanes {
-				out.Lanes[i] = a.Lanes[0]
-			}
-			return out, false, ""
-		}
-		return RVal{}, true, "shufflevector requires a constant mask"
-	}
-	out := RVal{Ty: in.Ty, Lanes: make([]Word, len(mask.Elems))}
-	for i, me := range mask.Elems {
-		switch c := me.(type) {
-		case *ir.ConstInt:
-			k := int(ir.SignExt(c.V, c.Ty.W))
-			switch {
-			case k < 0 || k >= 2*len(a.Lanes):
-				out.Lanes[i] = Word{Poison: true}
-			case k < len(a.Lanes):
-				out.Lanes[i] = a.Lanes[k]
-			default:
-				out.Lanes[i] = b.Lanes[k-len(a.Lanes)]
-			}
-		default:
-			out.Lanes[i] = Word{Poison: true}
-		}
+	out := RVal{Ty: in.Ty, Lanes: make([]Word, resultLanes(in, args))}
+	if ub, why := evalOp(in, out.Lanes, args, st.mem, &st.sc); ub {
+		return RVal{}, true, why
 	}
 	return out, false, ""
 }

@@ -7,38 +7,37 @@ import (
 	"repro/internal/ir"
 )
 
-// call evaluates the intrinsic subset. All supported intrinsics are pure.
-func (st *state) call(in *ir.Instr, args []RVal) (RVal, bool, string) {
+// evalCall evaluates the intrinsic subset, writing result lanes into dst.
+// All supported intrinsics are pure. Shared by Exec and the compiled
+// Evaluator like the other kernels.
+func evalCall(in *ir.Instr, dst []Word, args []RVal) (bool, string) {
 	base := ir.IntrinsicBase(in.Callee)
 	w := ir.ScalarBits(ir.Elem(in.Ty))
 	mask := ir.MaskW(w)
-	lanes := ir.Lanes(in.Ty)
 
-	bin := func(f func(x, y uint64) (uint64, bool)) (RVal, bool, string) {
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
-		for i := 0; i < lanes; i++ {
+	bin := func(f func(x, y uint64) (uint64, bool)) (bool, string) {
+		for i := range dst {
 			x, y := args[0].Lanes[i], args[1].Lanes[i]
 			if x.Poison || y.Poison {
-				out.Lanes[i] = Word{Poison: true}
+				dst[i] = Word{Poison: true}
 				continue
 			}
 			v, poison := f(x.V&mask, y.V&mask)
-			out.Lanes[i] = Word{V: v & mask, Poison: poison}
+			dst[i] = Word{V: v & mask, Poison: poison}
 		}
-		return out, false, ""
+		return false, ""
 	}
-	un := func(f func(x uint64) (uint64, bool)) (RVal, bool, string) {
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
-		for i := 0; i < lanes; i++ {
+	un := func(f func(x uint64) (uint64, bool)) (bool, string) {
+		for i := range dst {
 			x := args[0].Lanes[i]
 			if x.Poison {
-				out.Lanes[i] = Word{Poison: true}
+				dst[i] = Word{Poison: true}
 				continue
 			}
 			v, poison := f(x.V & mask)
-			out.Lanes[i] = Word{V: v & mask, Poison: poison}
+			dst[i] = Word{V: v & mask, Poison: poison}
 		}
-		return out, false, ""
+		return false, ""
 	}
 	// flagArg reads the trailing i1 immediate of abs/ctlz/cttz.
 	flagArg := func(idx int) bool {
@@ -141,11 +140,10 @@ func (st *state) call(in *ir.Instr, args []RVal) (RVal, bool, string) {
 			return clampSigned(s, w), false
 		})
 	case "fshl", "fshr":
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
-		for i := 0; i < lanes; i++ {
+		for i := range dst {
 			a, b, s := args[0].Lanes[i], args[1].Lanes[i], args[2].Lanes[i]
 			if a.Poison || b.Poison || s.Poison {
-				out.Lanes[i] = Word{Poison: true}
+				dst[i] = Word{Poison: true}
 				continue
 			}
 			sh := s.V % uint64(w)
@@ -162,26 +160,24 @@ func (st *state) call(in *ir.Instr, args []RVal) (RVal, bool, string) {
 				}
 				return ((lo >> sh) | (hi << uint(uint64(w)-sh))) & mask
 			}
-			out.Lanes[i] = Word{V: concat(a.V&mask, b.V&mask)}
+			dst[i] = Word{V: concat(a.V&mask, b.V&mask)}
 		}
-		return out, false, ""
+		return false, ""
 	case "fabs":
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
-		for i := 0; i < lanes; i++ {
+		for i := range dst {
 			x := args[0].Lanes[i]
 			if x.Poison {
-				out.Lanes[i] = Word{Poison: true}
+				dst[i] = Word{Poison: true}
 				continue
 			}
-			out.Lanes[i] = Word{V: storeFloat(w, math.Abs(loadFloat(w, x.V)))}
+			dst[i] = Word{V: storeFloat(w, math.Abs(loadFloat(w, x.V)))}
 		}
-		return out, false, ""
+		return false, ""
 	case "minnum", "maxnum":
-		out := RVal{Ty: in.Ty, Lanes: make([]Word, lanes)}
-		for i := 0; i < lanes; i++ {
+		for i := range dst {
 			x, y := args[0].Lanes[i], args[1].Lanes[i]
 			if x.Poison || y.Poison {
-				out.Lanes[i] = Word{Poison: true}
+				dst[i] = Word{Poison: true}
 				continue
 			}
 			fx, fy := loadFloat(w, x.V), loadFloat(w, y.V)
@@ -196,11 +192,11 @@ func (st *state) call(in *ir.Instr, args []RVal) (RVal, bool, string) {
 			default:
 				r = math.Max(fx, fy)
 			}
-			out.Lanes[i] = Word{V: storeFloat(w, r)}
+			dst[i] = Word{V: storeFloat(w, r)}
 		}
-		return out, false, ""
+		return false, ""
 	}
-	return RVal{}, true, "unsupported intrinsic @" + in.Callee
+	return true, "unsupported intrinsic @" + in.Callee
 }
 
 func clampSigned(s int64, w int) uint64 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package interp
+
+// raceEnabled reports that the race detector is active: its instrumentation
+// allocates, so steady-state allocation assertions carry no signal and are
+// skipped.
+func init() { raceEnabled = true }

@@ -51,6 +51,15 @@ func VecOf(ty ir.VecType, vals ...uint64) RVal {
 	return RVal{Ty: ty, Lanes: lanes}
 }
 
+// Clone returns a deep copy of v. Use it to retain values that alias an
+// Evaluator's scratch storage beyond its next Run.
+func (v RVal) Clone() RVal {
+	if v.Lanes == nil {
+		return v
+	}
+	return RVal{Ty: v.Ty, Lanes: append([]Word(nil), v.Lanes...)}
+}
+
 // AnyPoison reports whether any lane of v is poison.
 func (v RVal) AnyPoison() bool {
 	for _, l := range v.Lanes {

@@ -81,12 +81,16 @@ func Optimize(src *ir.Func, opts Options) Result {
 		}
 		vectors = append(vectors, args)
 	}
+	// Compile once per function; the cache is shared with the final
+	// refinement checks so src never recompiles.
+	progs := interp.NewCache()
 	want := make([]interp.RVal, len(vectors))
 	defined := make([]bool, len(vectors))
+	srcEval := interp.NewEvaluator(progs.Program(src))
 	for i, v := range vectors {
-		r := interp.Exec(src, interp.Env{Args: v})
+		r := srcEval.Run(interp.Env{Args: v})
 		if r.Completed && !r.UB && !r.Ret.AnyPoison() {
-			want[i] = r.Ret
+			want[i] = r.Ret.Clone()
 			defined[i] = true
 		}
 	}
@@ -97,16 +101,17 @@ func Optimize(src *ir.Func, opts Options) Result {
 		if cand.NumInstrs(true) >= srcInstrs {
 			return false
 		}
+		candEval := interp.NewEvaluator(progs.Program(cand))
 		for i := range vectors {
 			if !defined[i] {
 				continue
 			}
-			r := interp.Exec(cand, interp.Env{Args: vectors[i]})
+			r := candEval.Run(interp.Env{Args: vectors[i]})
 			if !r.Completed || r.UB || !r.Ret.Equal(want[i]) {
 				return false
 			}
 		}
-		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed})
+		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed, Programs: progs})
 		if v.Verdict == alive.Correct {
 			res.Found = true
 			res.Candidate = cand

@@ -88,14 +88,20 @@ func Optimize(src *ir.Func, opts Options) Result {
 		widthFactor = 1
 	}
 
+	// The run's hot loop executes src once and every candidate many times:
+	// compile each function once (the hash-keyed cache also collapses
+	// structurally repeated candidates across enumeration levels) and reuse
+	// the same cache for the final refinement check.
+	progs := interp.NewCache()
 	vectors := testVectors(src, opts)
 	want := make([]interp.RVal, len(vectors))
 	defined := make([]bool, len(vectors))
 	anyDefined := false
+	srcEval := interp.NewEvaluator(progs.Program(src))
 	for i, v := range vectors {
-		r := interp.Exec(src, interp.Env{Args: v})
+		r := srcEval.Run(interp.Env{Args: v})
 		if r.Completed && !r.UB && !r.Ret.AnyPoison() {
-			want[i] = r.Ret
+			want[i] = r.Ret.Clone()
 			defined[i] = true
 			anyDefined = true
 		}
@@ -110,18 +116,19 @@ func Optimize(src *ir.Func, opts Options) Result {
 		if windowCost(cand) >= srcCost {
 			return false
 		}
+		candEval := interp.NewEvaluator(progs.Program(cand))
 		for i := range vectors {
 			if !defined[i] {
 				continue
 			}
-			r := interp.Exec(cand, interp.Env{Args: vectors[i]})
+			r := candEval.Run(interp.Env{Args: vectors[i]})
 			if !r.Completed || r.UB || !r.Ret.Equal(want[i]) {
 				return false
 			}
 		}
 		// Survivor: full verification.
 		res.VirtualSeconds += verifyCostPerB * float64(inputBytes)
-		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed})
+		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed, Programs: progs})
 		if v.Verdict == alive.Correct {
 			res.Found = true
 			res.Candidate = cand
