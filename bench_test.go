@@ -295,6 +295,10 @@ func BenchmarkVerify(b *testing.B) { experiments.BenchVerify(b) }
 // as the perf trajectory's baseline.
 func BenchmarkVerifyReference(b *testing.B) { experiments.BenchVerifyReference(b) }
 
+// BenchmarkVerifyBatch is the tiered checker reused across calls (the CEGIS
+// steady state): pure lane-batched verification with everything warm.
+func BenchmarkVerifyBatch(b *testing.B) { experiments.BenchVerifyBatch(b) }
+
 // BenchmarkVerifyWidths measures a generalize-style width sweep (the same
 // pair re-instantiated and re-verified at i8/i16/i32/i64) with the shared
 // program cache.
@@ -320,6 +324,12 @@ func BenchmarkInterpExec(b *testing.B) { experiments.BenchInterpExec(b) }
 // evaluator: the per-execution cost once the window is compiled (body shared
 // with the `lpo-bench -json` snapshot).
 func BenchmarkInterpCompiled(b *testing.B) { experiments.BenchInterpCompiled(b) }
+
+// BenchmarkInterpBatch executes one lane batch (interp.BatchWidth vectors)
+// of the clamp window per op through a warm evaluator (body shared with the
+// `lpo-bench -json` snapshot); divide by interp.BatchWidth for per-vector
+// cost.
+func BenchmarkInterpBatch(b *testing.B) { experiments.BenchInterpBatch(b) }
 
 func BenchmarkMCAAnalyze(b *testing.B) {
 	f := parser.MustParseFunc(clampSrc)

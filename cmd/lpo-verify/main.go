@@ -8,9 +8,14 @@
 // alive helper — a quick probe for whether a concrete finding is
 // width-generic before learning it properly with `lpo -learn`.
 //
+// The -stats flag prints the tiered scheduler's behaviour for each check:
+// how many input vectors every tier executed (pool replays / special values
+// / random samples), which tier found the counterexample, and the pool's
+// deposit counters — so the scheduler is observable from the CLI.
+//
 // Usage:
 //
-//	lpo-verify [-samples N] [-gain] [-widths 8,16,32,64] pair.ll
+//	lpo-verify [-samples N] [-gain] [-stats] [-widths 8,16,32,64] pair.ll
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 	samples := flag.Int("samples", 4096, "random samples when not exhaustive")
 	seed := flag.Uint64("seed", 1, "sampling seed")
 	gain := flag.Bool("gain", false, "also report the engine's filter-stage verdict (instrs/cycles gain)")
+	stats := flag.Bool("stats", false, "print the tier breakdown of each check (pool/special/random executions and kills)")
 	widthsFlag := flag.String("widths", "", "comma-separated bit widths to re-check the rewrite at (e.g. 8,16,32,64)")
 	flag.Parse()
 
@@ -74,9 +80,12 @@ func main() {
 		fmt.Printf("filter stage: %s (%d->%d instrs, %d->%d cycles)\n",
 			verdict, sr.Instructions, tr.Instructions, sr.TotalCycles, tr.TotalCycles)
 	}
-	// One compiled-program cache backs the main check and the width sweep:
-	// each (re-)instantiated function compiles once.
-	opts := alive.Options{Samples: *samples, Seed: *seed, Programs: interp.NewCache()}
+	// One compiled-program cache and one counterexample pool back the main
+	// check and the width sweep: each (re-)instantiated function compiles
+	// once, and a falsifying input found at one width is replayed first
+	// (tier 0) everywhere else.
+	pool := alive.NewCEPool()
+	opts := alive.Options{Samples: *samples, Seed: *seed, Programs: interp.NewCache(), Pool: pool}
 	res := alive.NewChecker(sf, tf, opts).Verify()
 	exit := 0
 	switch res.Verdict {
@@ -92,6 +101,9 @@ func main() {
 	case alive.Unsupported:
 		fmt.Println(res.Err)
 		exit = 2
+	}
+	if *stats {
+		printTierStats(res)
 	}
 	if *widthsFlag != "" {
 		widths, err := parseWidths(*widthsFlag)
@@ -125,9 +137,34 @@ func main() {
 			case alive.Unsupported:
 				fmt.Printf("width i%-2d: not checkable (%s)\n", wr.Width, wr.Err)
 			}
+			if *stats && wr.Verdict != alive.Unsupported {
+				printTierStats(wr.Result)
+			}
 		}
 	}
+	if *stats {
+		ps := pool.Stats()
+		fmt.Printf("ce pool: %d windows, %d vectors (%d deposits, %d duplicates)\n",
+			ps.Windows, ps.Vectors, ps.Deposits, ps.Dups)
+	}
 	os.Exit(exit)
+}
+
+// printTierStats renders one check's scheduler breakdown: executions per
+// tier and, for refuted pairs, the tier that found the violation.
+func printTierStats(res alive.Result) {
+	t := res.Tiers
+	killed := "none"
+	switch t.KillTier {
+	case alive.TierPool:
+		killed = "pool replay"
+	case alive.TierSpecial:
+		killed = "special values"
+	case alive.TierRandom:
+		killed = "random samples"
+	}
+	fmt.Printf("  tiers: %d executed (pool %d, special %d, random %d), killed by: %s\n",
+		res.Checked, t.PoolChecked, t.SpecialChecked, t.RandomChecked, killed)
 }
 
 func parseWidths(s string) ([]int, error) {

@@ -115,26 +115,59 @@
 // generalize width sweeps, and the Souper/Minotaur CEGIS loops reuse
 // compiled candidates across their filtering vectors and final checks.
 //
-// internal/alive builds on this with alive.NewChecker: both sides compile
-// once, input vectors stream lazily from the phase counters and seeded rng
-// (the exhaustive queue is never materialized), pointer-argument regions
-// are preallocated and reset per vector, and a CounterExample is
-// materialized — with cloned inputs — only on an actual violation.
-// alive.Verify wraps a one-shot Checker; alive.ReferenceVerify keeps the
-// historic Exec-per-input path. On the clamp window (1024 samples) the
-// checker runs ~6x faster with ~190x fewer allocations than the seed path
-// (see BENCH_4.json).
+// On top of the compile-once split, execution is lane-batched:
+// Evaluator.RunBatch streams up to interp.BatchWidth input vectors through a
+// program at once, instruction by instruction, over a structure-of-arrays
+// batch arena in which every scalar register's operands and results are
+// contiguous runs of words. The per-instruction dispatch that dominates
+// single-vector execution is paid once per batch, the hot scalar kernels
+// (integer binaries, icmp, select, int conversions, min/max intrinsics,
+// freeze) run as tight per-op loops with constants pre-broadcast into
+// columns, and UB, poison, return values and step budgets are tracked per
+// lane — bit-identical to running each vector alone (pinned by randomized
+// differential tests). Multi-block, memory-touching and
+// dynamic-vector-constant programs transparently fall back to per-vector
+// execution. Streaming callers write inputs straight into the evaluator's
+// ArgColumn runs and execute with RunBatchFilled, eliding staging and
+// scatter entirely. interp.Cache is bounded (clock eviction over a few
+// thousand programs, Stats for hit/miss/eviction counters), so campaign-long
+// caches stay a few MB.
+//
+// internal/alive builds on this with alive.NewChecker and a tiered
+// verification scheduler. Tier 0 replays the source window's pooled
+// counterexamples (alive.CEPool — campaign-scoped and concurrency-safe:
+// every falsified candidate deposits the refuting input, CEGIS-style, so
+// repeat offenders die in a handful of executions); tier 1 runs the
+// exhaustive/special-value phases and tier 2 the random phases, both
+// streamed through the lane-batched evaluators for memory-free straight-line
+// pairs. The generated sequence, first violating vector and counterexample
+// text are identical to the per-vector path (and to alive.ReferenceVerify,
+// the retained Exec-per-input baseline); Result.Tiers reports per-tier
+// executions and the killing tier, and `lpo-verify -stats` prints them.
+// alive.VerifyWidths reseeds each width of a sweep with earlier widths'
+// counterexamples rescaled to the new width; the engine installs one CEPool
+// per campaign beside its program cache (Stats.TierKills aggregates the
+// kills), and the Souper/Minotaur CEGIS loops deposit and replay through
+// the same pool while folding refuting inputs into their test-vector
+// filters. On one core this makes the clamp verification ~3x and the
+// generalize width sweep ~3.6x faster than the PR-4 reference.
 //
 // `lpo-bench -json FILE` records the hot-path numbers as a machine-readable
 // snapshot so later PRs have a trajectory to compare against. The format
-// (schema "lpo-bench-perf/1") is one JSON object: "schema", "go_max_procs",
-// "go_version", and "benchmarks" — an array of {name, ns_per_op,
-// allocs_per_op, bytes_per_op, iterations} for the workloads
-// verify_checker, verify_reference, verify_widths, interp_exec,
-// interp_compiled, opt_dispatch_all_rules and opt_run_o3 (mirrored by the
-// root-level BenchmarkVerify/BenchmarkVerifyWidths benchmarks). CI uploads
-// the snapshot as an artifact on every run; BENCH_4.json in the repository
-// root is the PR-4 reference point.
+// (schema "lpo-bench-perf/2") is one JSON object: "schema", "go_max_procs",
+// "go_version", "benchmarks" — an array of {name, ns_per_op, allocs_per_op,
+// bytes_per_op, iterations} for the workloads verify_checker,
+// verify_reference, verify_batch, verify_widths, interp_exec,
+// interp_compiled, interp_batch, opt_dispatch_all_rules and opt_run_o3
+// (mirrored by the root-level BenchmarkVerify*/BenchmarkInterp* benchmarks;
+// interp_batch measures one whole BatchWidth-vector batch per op) — and
+// "tier_kills", the {pool, special, random} kill counters of a fixed
+// refute-twice-then-verify script that makes counterexample sharing
+// CI-observable. CI uploads the snapshot as an artifact on every run and
+// fails if any tracked workload regresses past 2x ns/op against the
+// committed reference (`lpo-bench -json out.json -against BENCH_5.json`);
+// BENCH_5.json in the repository root is the PR-5 reference point,
+// BENCH_4.json the PR-4 one.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the

@@ -70,6 +70,13 @@ type Options struct {
 	// compiles per call. The cache never changes a verdict: programs are a
 	// pure function of the IR.
 	Programs *interp.Cache
+	// Pool optionally shares counterexamples across Verify calls: inputs
+	// that falsified any previous candidate for the same source window are
+	// replayed first (verification tier 0), killing repeat offenders in a
+	// handful of executions. Nil disables sharing. Replayed vectors are
+	// re-executed, so an Incorrect verdict always carries a genuine,
+	// freshly-checked counterexample.
+	Pool *CEPool
 }
 
 func (o Options) withDefaults() Options {
@@ -142,6 +149,36 @@ func (ce *CounterExample) Format() string {
 	return sb.String()
 }
 
+// Verification tiers, cheapest kill first. TierNone marks a Result without
+// a violation.
+const (
+	TierNone    = 0 // no violation found
+	TierPool    = 1 // replayed counterexample from the shared CEPool
+	TierSpecial = 2 // exhaustive / corner / mixed / poison phases
+	TierRandom  = 3 // random sampling phase
+)
+
+// TierStats breaks a Verify run down by scheduler tier: how many input
+// vectors each tier contributed and which tier found the violation (if
+// any). Checked on the enclosing Result is the sum of the per-tier counts.
+type TierStats struct {
+	PoolChecked    int // tier 0: pooled/seeded counterexample replays
+	SpecialChecked int // tier 1: exhaustive enumeration and special values
+	RandomChecked  int // tier 2: random samples
+	KillTier       int // Tier* constant of the violating vector, TierNone if none
+}
+
+func (t *TierStats) count(tier int) {
+	switch tier {
+	case TierPool:
+		t.PoolChecked++
+	case TierSpecial:
+		t.SpecialChecked++
+	case TierRandom:
+		t.RandomChecked++
+	}
+}
+
 // Result is the outcome of Verify.
 type Result struct {
 	Verdict    Verdict
@@ -149,6 +186,7 @@ type Result struct {
 	Err        string // set for Unsupported
 	Checked    int    // input vectors actually executed
 	Exhaustive bool   // true if the whole input space was covered
+	Tiers      TierStats
 }
 
 // Checker is a compiled (source, target) refinement obligation: both
@@ -169,6 +207,22 @@ type Checker struct {
 	ptrParams        []int            // param indices of pointer type
 	args             []interp.RVal    // per-vector argument buffer
 	baseArgs         []interp.RVal    // prebuilt region-base pointers per param
+
+	winKey  uint64 // pool key of the source window (lazy)
+	haveKey bool
+	seeds   []PoolVector // extra tier-0 vectors (width-sweep reseeding)
+
+	// Lane-batched streaming state, built lazily when both programs take
+	// the batch fast path (memory-free straight-line pairs). The generator
+	// writes each vector directly into the source evaluator's input columns
+	// (bArgs views them per batch slot), the columns are bulk-copied into
+	// the target evaluator, and both sides run with RunBatchFilled — no
+	// per-vector staging or scatter at all.
+	bArgs            [][]interp.RVal // per batch slot: views into srcCols
+	srcCols, tgtCols [][]interp.Word // per param: the evaluators' input columns
+	bTiers           []int8
+	srcRes           []interp.Result
+	tgtRes           []interp.Result
 }
 
 // NewChecker compiles src and tgt (through opts.Programs when set) and
@@ -206,26 +260,191 @@ func NewChecker(src, tgt *ir.Func, opts Options) *Checker {
 // parameter i; distinct parameters never alias.
 func regionBase(i int) uint64 { return uint64(0x10000 + i*0x1000) }
 
-// Verify streams the full input sequence for the checker's options through
-// both compiled functions and reports the verdict. It may be called
-// repeatedly (e.g. with the checker reused across CEGIS rounds); each call
-// replays the same deterministic sequence for the configured seed.
+// Seed adds extra tier-0 vectors that subsequent Verify calls replay before
+// the generated sequence, alongside any Options.Pool entries. VerifyWidths
+// uses this to reseed each width of a sweep with the (rescaled)
+// counterexamples earlier widths produced.
+func (c *Checker) Seed(vecs []PoolVector) {
+	c.seeds = append(c.seeds, vecs...)
+}
+
+// windowKey returns (and caches) the pool key of the source window.
+func (c *Checker) windowKey() uint64 {
+	if !c.haveKey {
+		c.winKey = WindowKey(c.src)
+		c.haveKey = true
+	}
+	return c.winKey
+}
+
+// Verify runs the tiered scheduler: tier 0 replays pooled/seeded
+// counterexamples for this source window, then the generated input sequence
+// streams through — lane-batched when both programs take the batch fast
+// path — with the exhaustive/special phases attributed to tier 1 and the
+// random phases to tier 2. The generated sequence, the first violating
+// vector and the resulting counterexample are identical to the historic
+// per-vector path (and to ReferenceVerify); only tier 0 can find a
+// violation earlier, and only when a previous candidate for the same window
+// already failed on that input. Any violation deposits its vector into
+// Options.Pool. Verify may be called repeatedly (e.g. with the checker
+// reused across CEGIS rounds).
 func (c *Checker) Verify() Result {
 	if c.sigErr != "" {
 		return Result{Verdict: Unsupported, Err: c.sigErr}
 	}
+	res := Result{}
+	// Tier 0: replay counterexamples that killed earlier candidates for
+	// this window, plus explicitly seeded vectors.
+	if c.opts.Pool != nil || len(c.seeds) > 0 {
+		key := c.windowKey()
+		pooled := c.opts.Pool.Vectors(key)
+		for vi, pv := range append(pooled, c.seeds...) {
+			if !c.compatible(pv) {
+				continue
+			}
+			res.Checked++
+			res.Tiers.PoolChecked++
+			if ce := c.checkVector(pv.Inputs, pv.Mem); ce != nil {
+				res.Verdict = Incorrect
+				res.CE = ce
+				res.Tiers.KillTier = TierPool
+				// Seed-sourced kills (width-sweep reseeds) are new to this
+				// window and worth pooling; a pool-sourced kill is already
+				// stored — redepositing would only bump the dup counter.
+				if vi >= len(pooled) {
+					c.opts.Pool.Add(key, ce.Inputs, ce.Memory)
+				}
+				return res
+			}
+		}
+	}
 	gen := newInputGen(c.src, c.opts)
-	res := Result{Exhaustive: gen.exhaustive}
+	res.Exhaustive = gen.exhaustive
+	if len(c.ptrParams) == 0 && c.se.Program().Batchable() && c.te.Program().Batchable() {
+		return c.verifyBatched(gen, res)
+	}
 	for gen.next() {
 		res.Checked++
+		tier := gen.tier()
+		res.Tiers.count(tier)
 		if ce := c.checkVector(gen.inputs, gen.memBytes); ce != nil {
 			res.Verdict = Incorrect
 			res.CE = ce
+			res.Tiers.KillTier = tier
+			c.deposit(ce)
 			return res
 		}
 	}
 	res.Verdict = Correct
 	return res
+}
+
+// compatible reports whether a pooled/seeded vector fits this checker's
+// signature (vectors stored under a window key always do; seeded vectors
+// from other widths are pre-rescaled but still validated here).
+func (c *Checker) compatible(pv PoolVector) bool {
+	if len(pv.Inputs) != len(c.src.Params) || len(pv.Mem) != len(c.ptrParams) {
+		return false
+	}
+	for i, p := range c.src.Params {
+		if len(pv.Inputs[i].Lanes) != ir.Lanes(p.Ty) {
+			return false
+		}
+	}
+	return true
+}
+
+// deposit shares a fresh counterexample's input vector with later
+// verifications of the same window.
+func (c *Checker) deposit(ce *CounterExample) {
+	if c.opts.Pool != nil {
+		c.opts.Pool.Add(c.windowKey(), ce.Inputs, ce.Memory)
+	}
+}
+
+// verifyBatched streams the generator through both compiled programs in
+// lane batches of interp.BatchWidth. Violations are scanned in generation
+// order within each batch, so the first violating vector — and therefore
+// Checked and the counterexample — match the per-vector path bit for bit.
+func (c *Checker) verifyBatched(gen *inputGen, res Result) Result {
+	c.initBatch()
+	retVoid := ir.IsVoid(c.src.Ret)
+	fpBits := retFPBits(c.src.Ret)
+	for {
+		n := 0
+		for n < interp.BatchWidth {
+			gen.bind(c.bArgs[n])
+			if !gen.next() {
+				break
+			}
+			c.bTiers[n] = int8(gen.tier())
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		for k := range c.srcCols {
+			lanesPerVec := len(c.srcCols[k]) / interp.BatchWidth
+			copy(c.tgtCols[k][:n*lanesPerVec], c.srcCols[k][:n*lanesPerVec])
+		}
+		c.se.RunBatchFilled(n, c.srcRes[:n])
+		c.te.RunBatchFilled(n, c.tgtRes[:n])
+		for i := 0; i < n; i++ {
+			res.Checked++
+			res.Tiers.count(int(c.bTiers[i]))
+			rs, rt := &c.srcRes[i], &c.tgtRes[i]
+			if !rs.Completed || rs.UB {
+				continue // out of budget or source UB: target unconstrained
+			}
+			if !rt.Completed {
+				continue
+			}
+			if !rt.UB && (retVoid || refinesLanes(rs.Ret.Lanes, rt.Ret.Lanes, fpBits)) {
+				continue
+			}
+			ce := &CounterExample{Params: c.src.Params,
+				Inputs: cloneRVals(c.bArgs[i]),
+				SrcRet: rs.Ret.Clone(), TgtRet: rt.Ret.Clone(),
+				SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+			res.Verdict = Incorrect
+			res.CE = ce
+			res.Tiers.KillTier = int(c.bTiers[i])
+			c.deposit(ce)
+			return res
+		}
+	}
+	res.Verdict = Correct
+	return res
+}
+
+// initBatch wires the generator-facing argument views straight into the
+// source evaluator's input columns (one RVal view per batch slot and
+// parameter), so filling a batch writes the arena directly and the target
+// side needs only one bulk column copy per parameter.
+func (c *Checker) initBatch() {
+	if c.bArgs != nil {
+		return
+	}
+	np := len(c.src.Params)
+	c.bTiers = make([]int8, interp.BatchWidth)
+	c.srcRes = make([]interp.Result, interp.BatchWidth)
+	c.tgtRes = make([]interp.Result, interp.BatchWidth)
+	c.srcCols = make([][]interp.Word, np)
+	c.tgtCols = make([][]interp.Word, np)
+	for i := range c.src.Params {
+		c.srcCols[i] = c.se.ArgColumn(i)
+		c.tgtCols[i] = c.te.ArgColumn(i)
+	}
+	c.bArgs = make([][]interp.RVal, interp.BatchWidth)
+	vals := make([]interp.RVal, interp.BatchWidth*np)
+	for b := 0; b < interp.BatchWidth; b++ {
+		args := vals[b*np : (b+1)*np : (b+1)*np]
+		for i, p := range c.src.Params {
+			n := ir.Lanes(p.Ty)
+			args[i] = interp.RVal{Ty: p.Ty, Lanes: c.srcCols[i][b*n : (b+1)*n : (b+1)*n]}
+		}
+		c.bArgs[b] = args
+	}
 }
 
 // checkVector runs both compiled functions on one concrete input vector and
@@ -317,16 +536,26 @@ func retRefines(retTy ir.Type, srcRet, tgtRet interp.RVal) bool {
 	if ir.IsVoid(retTy) {
 		return true
 	}
-	fpBits := 0
+	return refinesLanes(srcRet.Lanes, tgtRet.Lanes, retFPBits(retTy))
+}
+
+// retFPBits returns the lane width for NaN-refinement, 0 for non-FP types.
+func retFPBits(retTy ir.Type) int {
 	if ir.IsFloat(retTy) {
-		fpBits = ir.ScalarBits(ir.Elem(retTy))
+		return ir.ScalarBits(ir.Elem(retTy))
 	}
-	for i := range srcRet.Lanes {
-		sl := srcRet.Lanes[i]
+	return 0
+}
+
+// refinesLanes is the lane-wise refinement core with the type dispatch
+// hoisted out (the batched checker calls it once per vector).
+func refinesLanes(src, tgt []interp.Word, fpBits int) bool {
+	for i := range src {
+		sl := src[i]
 		if sl.Poison {
 			continue
 		}
-		tl := tgtRet.Lanes[i]
+		tl := tgt[i]
 		if tl.Poison {
 			return false
 		}
@@ -383,9 +612,12 @@ func ReferenceVerify(src, tgt *ir.Func, opts Options) Result {
 	res := Result{Exhaustive: gen.exhaustive}
 	for gen.next() {
 		res.Checked++
+		tier := gen.tier()
+		res.Tiers.count(tier)
 		if ce := checkOne(src, tgt, gen.params, gen.inputs, gen.memBytes, opts); ce != nil {
 			res.Verdict = Incorrect
 			res.CE = ce
+			res.Tiers.KillTier = tier
 			return res
 		}
 	}

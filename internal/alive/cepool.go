@@ -1,0 +1,199 @@
+package alive
+
+// CEGIS-style counterexample sharing: most wrong candidates for a source
+// window fail for the same reason, so an input vector that falsified one
+// candidate very often falsifies the next. The CEPool collects every
+// falsifying vector found during a campaign, keyed by the source window it
+// refuted a candidate for, and the Checker replays the window's pooled
+// vectors as verification tier 0 — killing repeat offenders after a handful
+// of executions instead of hundreds. Souper/Minotaur-style CEGIS loops
+// deposit and replay their counterexamples through the same pool.
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// defaultPoolCap bounds the vectors retained per source window. Falsifying
+// vectors are few per window in practice; the cap only guards pathological
+// candidates that each fail on a fresh input.
+const defaultPoolCap = 32
+
+// PoolVector is one stored falsifying input: the argument vector plus the
+// initial memory contents behind each pointer argument (param order), both
+// owned by the pool and treated as immutable.
+type PoolVector struct {
+	Inputs []interp.RVal
+	Mem    [][]byte
+}
+
+// CEPoolStats is a snapshot of a pool's counters.
+type CEPoolStats struct {
+	Windows  int   // source windows with at least one vector
+	Vectors  int   // vectors currently stored
+	Deposits int64 // successful Add calls (duplicates excluded)
+	Dups     int64 // Add calls dropped as duplicates
+}
+
+// CEPool is a campaign-scoped, concurrency-safe pool of counterexample
+// input vectors, keyed by source window (WindowKey of the source function).
+// A nil *CEPool is valid and stores nothing, so callers can thread an
+// optional pool without nil checks.
+type CEPool struct {
+	mu      sync.Mutex
+	cap     int
+	buckets map[uint64]*ceBucket
+
+	deposits, dups int64
+}
+
+type ceBucket struct {
+	vecs []PoolVector
+	seen map[uint64]bool // content hashes, for dedup
+}
+
+// NewCEPool returns an empty pool with the default per-window capacity.
+func NewCEPool() *CEPool {
+	return &CEPool{cap: defaultPoolCap, buckets: make(map[uint64]*ceBucket)}
+}
+
+// WindowKey is the pool key for a source function: its structural hash, the
+// same identity the program cache and the engine's verify cache use.
+func WindowKey(src *ir.Func) uint64 { return ir.Hash(src) }
+
+// Add deposits a falsifying vector for the given window, cloning inputs and
+// memory. Duplicate vectors (same values, poison marks and memory) and
+// deposits beyond the per-window cap are dropped. It reports whether the
+// vector was stored.
+func (p *CEPool) Add(window uint64, inputs []interp.RVal, mem [][]byte) bool {
+	if p == nil {
+		return false
+	}
+	h := hashVector(inputs, mem)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.buckets[window]
+	if b == nil {
+		b = &ceBucket{seen: make(map[uint64]bool)}
+		p.buckets[window] = b
+	}
+	if b.seen[h] {
+		p.dups++
+		return false
+	}
+	if len(b.vecs) >= p.cap {
+		return false
+	}
+	b.seen[h] = true
+	b.vecs = append(b.vecs, PoolVector{Inputs: cloneRVals(inputs), Mem: cloneByteSlices(mem)})
+	p.deposits++
+	return true
+}
+
+// Vectors returns the stored vectors for a window, oldest first. The
+// returned slice is a snapshot; its entries are shared and immutable.
+func (p *CEPool) Vectors(window uint64) []PoolVector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.buckets[window]
+	if b == nil || len(b.vecs) == 0 {
+		return nil
+	}
+	return append([]PoolVector(nil), b.vecs...)
+}
+
+// Stats returns a snapshot of the pool's counters. A nil pool reports zeros.
+func (p *CEPool) Stats() CEPoolStats {
+	if p == nil {
+		return CEPoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := CEPoolStats{Windows: len(p.buckets), Deposits: p.deposits, Dups: p.dups}
+	for _, b := range p.buckets {
+		s.Vectors += len(b.vecs)
+	}
+	return s
+}
+
+// hashVector fingerprints an input vector plus memory for deduplication.
+func hashVector(inputs []interp.RVal, mem [][]byte) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	for _, v := range inputs {
+		for _, l := range v.Lanes {
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(l.V >> (8 * i))
+			}
+			buf[8] = 0
+			if l.Poison {
+				buf[8] = 1
+			}
+			h.Write(buf[:])
+		}
+		buf[8] = 2
+		h.Write(buf[8:])
+	}
+	for _, m := range mem {
+		h.Write(m)
+		buf[8] = 3
+		h.Write(buf[8:])
+	}
+	return h.Sum64()
+}
+
+// CEFilterVector adapts a counterexample into a CEGIS test-vector filter
+// entry for superoptimizer loops (souper/minotaur): the refuting inputs
+// plus the source's output on them, recomputed through the caller's
+// compiled source evaluator. ok is false for poison-bearing inputs — they
+// stay useful in the verification pool but cannot filter, because the
+// source output is poison too. defined is false when the source run is UB,
+// incomplete or poison-valued; callers keep the vector but skip the output
+// comparison for it, mirroring their seeded test vectors.
+func CEFilterVector(ce *CounterExample, srcEval *interp.Evaluator) (args []interp.RVal, want interp.RVal, defined, ok bool) {
+	for _, in := range ce.Inputs {
+		if in.AnyPoison() {
+			return nil, interp.RVal{}, false, false
+		}
+	}
+	r := srcEval.Run(interp.Env{Args: ce.Inputs})
+	if r.Completed && !r.UB && !r.Ret.AnyPoison() {
+		return ce.Inputs, r.Ret.Clone(), true, true
+	}
+	return ce.Inputs, interp.RVal{}, false, true
+}
+
+// RescaleVector adapts a pooled vector to a checker whose parameters may sit
+// at a different bit width (the generalize width sweep re-instantiates the
+// same shape at several widths): each lane is masked to the corresponding
+// parameter's scalar width, poison marks survive. It reports false when the
+// shapes are incompatible (different arity or lane counts).
+func RescaleVector(params []*ir.Param, v PoolVector) (PoolVector, bool) {
+	if len(v.Inputs) != len(params) {
+		return PoolVector{}, false
+	}
+	out := PoolVector{Inputs: make([]interp.RVal, len(params)), Mem: v.Mem}
+	for i, p := range params {
+		in := v.Inputs[i]
+		if len(in.Lanes) != ir.Lanes(p.Ty) {
+			return PoolVector{}, false
+		}
+		mask := ir.MaskW(ir.ScalarBits(ir.Elem(p.Ty)))
+		lanes := make([]interp.Word, len(in.Lanes))
+		for l, w := range in.Lanes {
+			if w.Poison {
+				lanes[l] = interp.Word{Poison: true}
+			} else {
+				lanes[l] = interp.Word{V: w.V & mask}
+			}
+		}
+		out.Inputs[i] = interp.RVal{Ty: p.Ty, Lanes: lanes}
+	}
+	return out, true
+}

@@ -28,6 +28,9 @@ type inputGen struct {
 	fills    [][][]byte // initial memories, one entry per pointer param
 	tables   [][]uint64 // per-param corner value tables
 	specials int        // max table length across params (sampled phases)
+	widths   []int      // per-param scalar lane width (hoisted type dispatch)
+	masks    []uint64   // per-param lane mask
+	isPtr    []bool     // per-param pointer flag
 
 	phase int
 	c     uint64 // exhaustive counter
@@ -69,11 +72,17 @@ func newInputGen(f *ir.Func, opts Options) *inputGen {
 	g.fills = g.memoryFills(numPtrs, g.rng)
 
 	g.tables = make([][]uint64, len(f.Params))
+	g.widths = make([]int, len(f.Params))
+	g.masks = make([]uint64, len(f.Params))
+	g.isPtr = make([]bool, len(f.Params))
 	for i, p := range f.Params {
 		g.tables[i] = specialLanes(p.Ty)
 		if n := len(g.tables[i]); n > g.specials {
 			g.specials = n
 		}
+		g.widths[i] = ir.ScalarBits(ir.Elem(p.Ty))
+		g.masks[i] = ir.MaskW(g.widths[i])
+		g.isPtr[i] = ir.IsPtr(p.Ty)
 	}
 
 	g.inputs = make([]interp.RVal, len(f.Params))
@@ -181,19 +190,38 @@ func (g *inputGen) next() bool {
 	}
 }
 
+// bind redirects the generator to write the next vector directly into args,
+// whose shape must match the function's parameters (same arity and lane
+// counts). The batched checker rotates the generator across its batch slots
+// this way, eliding a staging copy per vector. Only valid for memory-free
+// functions, where every phase rewrites every argument on every next call.
+func (g *inputGen) bind(args []interp.RVal) {
+	g.inputs = args
+}
+
+// tier attributes the vector the latest next() emitted to a scheduler tier:
+// random samples are TierRandom, every other phase (exhaustive enumeration,
+// corner values, corner mixes, poison trials) is TierSpecial.
+func (g *inputGen) tier() int {
+	if g.phase == phRandom {
+		return TierRandom
+	}
+	return TierSpecial
+}
+
 // setFromCounter maps the bits of c onto the non-pointer arguments.
 func (g *inputGen) setFromCounter(c uint64) {
 	bit := uint(0)
-	for i, p := range g.params {
+	for i := range g.params {
 		lanes := g.inputs[i].Lanes
-		if ir.IsPtr(p.Ty) {
+		if g.isPtr[i] {
 			lanes[0] = interp.Word{} // replaced by the region base
 			continue
 		}
-		w := ir.ScalarBits(ir.Elem(p.Ty))
+		w, mask := uint(g.widths[i]), g.masks[i]
 		for l := range lanes {
-			lanes[l] = interp.Word{V: (c >> bit) & ir.MaskW(w)}
-			bit += uint(w)
+			lanes[l] = interp.Word{V: (c >> bit) & mask}
+			bit += w
 		}
 	}
 }
@@ -210,10 +238,10 @@ func (g *inputGen) setSpecial(i, k int) {
 
 // setRandom writes a uniformly random argument for param i.
 func (g *inputGen) setRandom(i int) {
-	w := ir.ScalarBits(ir.Elem(g.params[i].Ty))
+	mask := g.masks[i]
 	lanes := g.inputs[i].Lanes
 	for l := range lanes {
-		lanes[l] = interp.Word{V: g.rng.Uint64() & ir.MaskW(w)}
+		lanes[l] = interp.Word{V: g.rng.Uint64() & mask}
 	}
 }
 

@@ -1,0 +1,130 @@
+package alive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+// TestPoolKillsRepeatOffender is the CEGIS contract of the tiered
+// scheduler: the input that refuted one candidate kills the next wrong
+// candidate for the same window in tier 0, after a handful of executions
+// instead of a sampling pass — and the counterexample it reports is a
+// genuine, freshly re-executed violation.
+func TestPoolKillsRepeatOffender(t *testing.T) {
+	src := parser.MustParseFunc(`define i8 @src(i8 %x, i8 %y) { %r = add i8 %x, %y ret i8 %r }`)
+	nsw := parser.MustParseFunc(`define i8 @tgt(i8 %x, i8 %y) { %r = add nsw i8 %x, %y ret i8 %r }`)
+	ident := parser.MustParseFunc(`define i8 @tgt2(i8 %x, i8 %y) { ret i8 %x }`)
+	pool := NewCEPool()
+	opts := Options{Seed: 1, Samples: 256, Programs: interp.NewCache(), Pool: pool}
+
+	r1 := Verify(src, nsw, opts)
+	if r1.Verdict != Incorrect || r1.Tiers.KillTier == TierPool {
+		t.Fatalf("first refutation: verdict %v, tier %d", r1.Verdict, r1.Tiers.KillTier)
+	}
+	if pool.Stats().Deposits != 1 {
+		t.Fatalf("deposits = %d, want 1", pool.Stats().Deposits)
+	}
+	r2 := Verify(src, ident, opts)
+	if r2.Verdict != Incorrect {
+		t.Fatalf("identity rewrite must refute, got %v", r2.Verdict)
+	}
+	if r2.Tiers.KillTier != TierPool {
+		t.Fatalf("second candidate killed by tier %d, want pool (%d)", r2.Tiers.KillTier, TierPool)
+	}
+	if r2.Checked != 1 || r2.Tiers.PoolChecked != 1 {
+		t.Fatalf("pool kill took %d executions (pool %d), want 1", r2.Checked, r2.Tiers.PoolChecked)
+	}
+	// The pooled CE must be a real violation of THIS candidate: source and
+	// target outputs recomputed for the replayed input.
+	ce := r2.CE
+	if ce == nil || ce.SrcRet.Equal(ce.TgtRet) {
+		t.Fatalf("pool-kill counterexample is not a genuine violation: %+v", ce)
+	}
+	// A correct pair is unaffected by the pool: the pooled vector replays
+	// (it cannot falsify a refinement that holds) and the full sequence
+	// still passes.
+	comm := parser.MustParseFunc(`define i8 @tgt3(i8 %x, i8 %y) { %r = add i8 %y, %x ret i8 %r }`)
+	r3 := Verify(src, comm, opts)
+	if r3.Verdict != Correct || r3.Tiers.PoolChecked == 0 {
+		t.Fatalf("correct pair: verdict %v, pool checked %d", r3.Verdict, r3.Tiers.PoolChecked)
+	}
+}
+
+// TestTierAccounting pins that Checked is the sum of the per-tier counters
+// on both the batched and the reference paths, and that correct runs
+// report TierNone.
+func TestTierAccounting(t *testing.T) {
+	src := parser.MustParseFunc(clampSrc)
+	tgt := parser.MustParseFunc(clampTgt)
+	for _, res := range []Result{
+		Verify(src, tgt, Options{Seed: 3, Samples: 128}),
+		ReferenceVerify(src, tgt, Options{Seed: 3, Samples: 128}),
+	} {
+		if res.Verdict != Correct || res.Tiers.KillTier != TierNone {
+			t.Fatalf("verdict %v, kill tier %d", res.Verdict, res.Tiers.KillTier)
+		}
+		sum := res.Tiers.PoolChecked + res.Tiers.SpecialChecked + res.Tiers.RandomChecked
+		if sum != res.Checked {
+			t.Fatalf("tier counts %+v do not sum to Checked %d", res.Tiers, res.Checked)
+		}
+		if res.Tiers.SpecialChecked == 0 || res.Tiers.RandomChecked == 0 {
+			t.Fatalf("sampled run should exercise special and random tiers: %+v", res.Tiers)
+		}
+	}
+}
+
+// TestVerifyWidthsReseedsPool pins the sweep-level counterexample carry: a
+// width refuted early reseeds later widths, which then die on a rescaled
+// replay (tier 0) instead of a fresh search — while a correct pair's sweep
+// is byte-for-byte what an unseeded sweep produces.
+func TestVerifyWidthsReseedsPool(t *testing.T) {
+	src := parser.MustParseFunc(`define i8 @src(i8 %x, i8 %y) { %r = add i8 %x, %y ret i8 %r }`)
+	tgt := parser.MustParseFunc(`define i8 @tgt(i8 %x, i8 %y) { ret i8 %x }`)
+	opts := Options{Seed: 1, Samples: 128, Programs: interp.NewCache()}
+	inst := func(s, d *ir.Func) func(w int) (*ir.Func, *ir.Func, error) {
+		return func(w int) (*ir.Func, *ir.Func, error) {
+			sw, err := rewidthFunc(s, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			dw, err := rewidthFunc(d, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sw, dw, nil
+		}
+	}
+	wrs := VerifyWidths([]int{8, 16, 32}, opts, inst(src, tgt))
+	if wrs[0].Verdict != Incorrect || wrs[0].Tiers.KillTier == TierPool {
+		t.Fatalf("width 8: verdict %v tier %d", wrs[0].Verdict, wrs[0].Tiers.KillTier)
+	}
+	for _, wr := range wrs[1:] {
+		if wr.Verdict != Incorrect {
+			t.Fatalf("width %d: verdict %v", wr.Width, wr.Verdict)
+		}
+		if wr.Tiers.KillTier != TierPool || wr.Checked != 1 {
+			t.Fatalf("width %d: tier %d after %d executions, want pool kill on replay",
+				wr.Width, wr.Tiers.KillTier, wr.Checked)
+		}
+	}
+	// Correct pairs: seeded and unseeded sweeps must match exactly.
+	good := parser.MustParseFunc(`define i8 @tgt(i8 %x, i8 %y) { %r = add i8 %y, %x ret i8 %r }`)
+	a := VerifyWidths([]int{8, 16, 32}, opts, inst(src, good))
+	b := VerifyWidths([]int{8, 16, 32}, opts, inst(src, good))
+	for i := range a {
+		if a[i].Verdict != Correct || a[i].Checked != b[i].Checked {
+			t.Fatalf("width %d: sweep not reproducible: %+v vs %+v", a[i].Width, a[i].Result, b[i].Result)
+		}
+	}
+}
+
+// rewidthFunc re-types an all-i8 scalar function at width w by textual
+// substitution (a minimal local stand-in for generalize.Rewidth, which this
+// package cannot import).
+func rewidthFunc(f *ir.Func, w int) (*ir.Func, error) {
+	return parser.ParseFunc(strings.ReplaceAll(f.String(), "i8", ir.IntT(w).String()))
+}

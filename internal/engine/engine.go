@@ -215,6 +215,23 @@ func New(client llm.Client, cfg Config) *Engine {
 	if cfg.Generalize.Verify.Programs == nil {
 		cfg.Generalize.Verify.Programs = cfg.Verify.Programs
 	}
+	// One campaign-wide counterexample pool sits beside it: every falsified
+	// candidate deposits its refuting input, and verification tier 0
+	// replays the window's pooled inputs against later candidates (CEGIS).
+	// Verify-stage deposits always come from the window's own generated
+	// input sequence, so replaying them can never flip a verdict the
+	// sequence itself would not have flipped — the engine's
+	// any-worker-count determinism survives. The generalize width sweeps
+	// get their own campaign-scoped pool: sweep deposits include vectors
+	// rescaled from other widths, which are NOT in any window's generated
+	// sequence, so sharing one pool with the verify stage would make
+	// verdicts depend on whether a concurrent sweep deposited first.
+	if cfg.Verify.Pool == nil {
+		cfg.Verify.Pool = alive.NewCEPool()
+	}
+	if cfg.Generalize.Verify.Pool == nil {
+		cfg.Generalize.Verify.Pool = alive.NewCEPool()
+	}
 	return &Engine{
 		client:  client,
 		cfg:     cfg,
@@ -249,6 +266,10 @@ func (e *Engine) Rulebook() *generalize.Rulebook {
 
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// CEPool returns the campaign's shared counterexample pool (never nil after
+// New), for observability and cross-campaign reuse.
+func (e *Engine) CEPool() *alive.CEPool { return e.cfg.Verify.Pool }
 
 // item is one unit of scheduled work.
 type item struct {

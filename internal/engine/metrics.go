@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/alive"
 	"repro/internal/llm"
 )
 
@@ -30,6 +31,20 @@ type Stats struct {
 	cacheHits int
 	ruleHits  map[string]int
 	learned   int
+
+	// Tiered-verification counters (see alive.TierStats): how many refuted
+	// candidates each scheduler tier killed, and the total input vectors
+	// the verify stage executed.
+	poolKills, specialKills, randomKills int
+	verifyExecs                          int
+}
+
+// TierKills is a snapshot of the per-tier kill counters of the verify
+// stage's scheduler.
+type TierKills struct {
+	Pool    int // tier 0: replayed counterexamples from the campaign pool
+	Special int // tier 1: exhaustive/corner/poison phases
+	Random  int // tier 2: random sampling
 }
 
 func newStats() *Stats {
@@ -70,6 +85,23 @@ func (s *Stats) recordCacheHit() {
 	s.mu.Lock()
 	s.cacheHits++
 	s.mu.Unlock()
+}
+
+// recordVerify tallies one actual (non-cached) verification: the tier that
+// killed the candidate (alive.TierNone..TierRandom) and how many input
+// vectors ran.
+func (s *Stats) recordVerify(killTier, checked int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.verifyExecs += checked
+	switch killTier {
+	case alive.TierPool:
+		s.poolKills++
+	case alive.TierSpecial:
+		s.specialKills++
+	case alive.TierRandom:
+		s.randomKills++
+	}
 }
 
 // Sequences is the number of sequences that have completed the loop.
@@ -133,6 +165,22 @@ func (s *Stats) VerifyCacheHits() int {
 	return s.cacheHits
 }
 
+// TierKills returns how many refuted candidates each verification tier
+// killed (actual verifications only; cache hits don't re-count).
+func (s *Stats) TierKills() TierKills {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TierKills{Pool: s.poolKills, Special: s.specialKills, Random: s.randomKills}
+}
+
+// VerifyExecs is the total number of input vectors the verify stage
+// executed across all verifications.
+func (s *Stats) VerifyExecs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifyExecs
+}
+
 // LearnedFindings is the number of Found results backed by a learned rule
 // (Config.Learn). Distinct rules are on Engine.Learned; this counts results.
 func (s *Stats) LearnedFindings() int {
@@ -152,6 +200,8 @@ func (s *Stats) Reset() {
 	s.cacheHits = 0
 	s.ruleHits = make(map[string]int)
 	s.learned = 0
+	s.poolKills, s.specialKills, s.randomKills = 0, 0, 0
+	s.verifyExecs = 0
 }
 
 // Print renders a human-readable summary of the run.
@@ -176,6 +226,10 @@ func (s *Stats) Print(w io.Writer) {
 	}
 	if s.cacheHits > 0 {
 		fmt.Fprintf(w, "verify cache hits: %d\n", s.cacheHits)
+	}
+	if s.verifyExecs > 0 {
+		fmt.Fprintf(w, "verify executions: %d vectors (kills: pool %d, special %d, random %d)\n",
+			s.verifyExecs, s.poolKills, s.specialKills, s.randomKills)
 	}
 	if s.learned > 0 {
 		fmt.Fprintf(w, "findings backing learned rules: %d\n", s.learned)

@@ -88,7 +88,9 @@ func (e *Engine) verify(src, cand *ir.Func) alive.Result {
 	start := time.Now()
 	defer func() { e.stats.recordStage(StageVerify, time.Since(start).Seconds()) }()
 	if e.cfg.DisableVerifyCache {
-		return alive.Verify(src, cand, e.cfg.Verify)
+		res := alive.Verify(src, cand, e.cfg.Verify)
+		e.stats.recordVerify(res.Tiers.KillTier, res.Checked)
+		return res
 	}
 	key := verifyKey{src: ir.Hash(src), cand: ir.Hash(cand)}
 	e.vmu.Lock()
@@ -103,7 +105,10 @@ func (e *Engine) verify(src, cand *ir.Func) alive.Result {
 	}
 	// Singleflight: concurrent workers hitting the same pair wait for one
 	// verification instead of racing to compute it twice.
-	ent.once.Do(func() { ent.res = alive.Verify(src, cand, e.cfg.Verify) })
+	ent.once.Do(func() {
+		ent.res = alive.Verify(src, cand, e.cfg.Verify)
+		e.stats.recordVerify(ent.res.Tiers.KillTier, ent.res.Checked)
+	})
 	return ent.res
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -15,7 +16,9 @@ import (
 )
 
 // PerfSchema names the snapshot format; bump on breaking changes.
-const PerfSchema = "lpo-bench-perf/1"
+// Version 2 adds the verify_batch / interp_batch workloads and the
+// tier_kills counters of the tiered verification scheduler.
+const PerfSchema = "lpo-bench-perf/2"
 
 // PerfBench is one measured workload of the perf snapshot (see doc.go,
 // "Performance", for the schema).
@@ -32,18 +35,76 @@ type PerfBench struct {
 	Iterations int `json:"iterations"`
 }
 
+// PerfTierKills records the scheduler behaviour of a scripted
+// refute-twice-then-verify sequence (see measureTierKills): which tier
+// killed each wrong candidate. The second refutation of the same window
+// must be a pool kill, so the counters double as a CI-visible functional
+// check of counterexample sharing.
+type PerfTierKills struct {
+	Pool    int64 `json:"pool"`
+	Special int64 `json:"special"`
+	Random  int64 `json:"random"`
+}
+
 // PerfSnapshot is the machine-readable performance record emitted by
 // `lpo-bench -json` so successive PRs have a trajectory to compare against.
 type PerfSnapshot struct {
-	Schema     string      `json:"schema"`
-	GoMaxProcs int         `json:"go_max_procs"`
-	GoVersion  string      `json:"go_version"`
-	Benches    []PerfBench `json:"benchmarks"`
+	Schema     string        `json:"schema"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	GoVersion  string        `json:"go_version"`
+	Benches    []PerfBench   `json:"benchmarks"`
+	TierKills  PerfTierKills `json:"tier_kills"`
 }
 
 // Encode renders the snapshot as indented JSON.
 func (s *PerfSnapshot) Encode() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// DecodePerfSnapshot parses a snapshot previously written by Encode. Older
+// schema versions decode too (unknown workloads are simply absent), so the
+// regression guard can compare across schema bumps.
+func DecodePerfSnapshot(data []byte) (*PerfSnapshot, error) {
+	var s PerfSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ComparePerf checks the current snapshot against a committed reference and
+// returns one description per regression. A tracked workload is regressed
+// when its ns/op exceeds tolerance times the reference (the CI guard uses
+// 2.0 — generous enough for shared-runner noise, tight enough to catch a
+// lost optimization); workloads present on only one side are ignored, so
+// adding or retiring benchmarks never breaks the guard. The tier-kill
+// counters are deterministic (no timing involved) and compared exactly
+// whenever the reference recorded any, so a broken counterexample-sharing
+// path fails CI even though every ns/op may look fine.
+func ComparePerf(cur, ref *PerfSnapshot, tolerance float64) []string {
+	refByName := make(map[string]PerfBench, len(ref.Benches))
+	for _, b := range ref.Benches {
+		refByName[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range cur.Benches {
+		r, ok := refByName[b.Name]
+		if !ok || r.NsPerOp <= 0 {
+			continue
+		}
+		if b.NsPerOp > r.NsPerOp*tolerance {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs reference %.0f ns/op (%.2fx > %.1fx tolerance)",
+				b.Name, b.NsPerOp, r.NsPerOp, b.NsPerOp/r.NsPerOp, tolerance))
+		}
+	}
+	if ref.TierKills != (PerfTierKills{}) && cur.TierKills != ref.TierKills {
+		regressions = append(regressions, fmt.Sprintf(
+			"tier_kills: pool %d/special %d/random %d vs reference pool %d/special %d/random %d (scripted kill sequence is deterministic — counterexample sharing regressed)",
+			cur.TierKills.Pool, cur.TierKills.Special, cur.TierKills.Random,
+			ref.TierKills.Pool, ref.TierKills.Special, ref.TierKills.Random))
+	}
+	return regressions
 }
 
 // The perf workloads below are the single source of truth for both the
@@ -123,6 +184,23 @@ func BenchVerifyReference(b *testing.B) {
 	}
 }
 
+// BenchVerifyBatch measures the tiered checker in its steady state: one
+// Checker reused across calls (the CEGIS pattern), so compilation, batch
+// setup and the input-generator tables are all warm and each op is pure
+// lane-batched verification work.
+func BenchVerifyBatch(b *testing.B) {
+	perfFuncs()
+	c := alive.NewChecker(perfClampSrcF, perfClampTgtF,
+		alive.Options{Samples: 1024, Seed: 1, Programs: interp.NewCache()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := c.Verify(); r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
 // BenchVerifyWidths measures a generalize-style width sweep (the same pair
 // re-instantiated and re-verified at i8/i16/i32/i64) with the shared
 // program cache.
@@ -176,6 +254,27 @@ func BenchInterpCompiled(b *testing.B) {
 	}
 }
 
+// BenchInterpBatch executes one lane batch (interp.BatchWidth input
+// vectors) of the clamp window through a warm evaluator per op — divide
+// ns/op by interp.BatchWidth for the per-vector cost the batched verifier
+// pays, against interp_compiled's per-vector dispatch cost.
+func BenchInterpBatch(b *testing.B) {
+	perfFuncs()
+	ev := interp.NewEvaluator(interp.Compile(perfClampSrcF))
+	args := []interp.RVal{interp.Scalar(ir.I32, 1234)}
+	envs := make([]interp.Env, interp.BatchWidth)
+	for i := range envs {
+		envs[i] = interp.Env{Args: args}
+	}
+	out := make([]interp.Result, interp.BatchWidth)
+	ev.RunBatch(envs, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.RunBatch(envs, out)
+	}
+}
+
 // BenchOptDispatchAllRules measures the opcode-indexed rewrite dispatch with
 // every registry rule enabled over a prebuilt RuleSet.
 func BenchOptDispatchAllRules(b *testing.B) {
@@ -205,9 +304,11 @@ var perfWorkloads = []struct {
 }{
 	{"verify_checker", BenchVerify},
 	{"verify_reference", BenchVerifyReference},
+	{"verify_batch", BenchVerifyBatch},
 	{"verify_widths", BenchVerifyWidths},
 	{"interp_exec", BenchInterpExec},
 	{"interp_compiled", BenchInterpCompiled},
+	{"interp_batch", BenchInterpBatch},
 	{"opt_dispatch_all_rules", BenchOptDispatchAllRules},
 	{"opt_run_o3", BenchOptRunO3},
 }
@@ -215,8 +316,9 @@ var perfWorkloads = []struct {
 // RunPerfSnapshot measures every perf workload with testing.Benchmark and
 // returns the snapshot. Workload names map 1:1 onto the root-level
 // benchmarks (BenchmarkVerify, BenchmarkVerifyReference,
-// BenchmarkVerifyWidths, BenchmarkInterpExec, BenchmarkInterpCompiled and
-// the opt dispatch pair), which delegate to the same Bench* functions.
+// BenchmarkVerifyBatch, BenchmarkVerifyWidths, BenchmarkInterpExec,
+// BenchmarkInterpCompiled, BenchmarkInterpBatch and the opt dispatch pair),
+// which delegate to the same Bench* functions.
 func RunPerfSnapshot() *PerfSnapshot {
 	snap := &PerfSnapshot{Schema: PerfSchema, GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
 	for _, w := range perfWorkloads {
@@ -229,5 +331,47 @@ func RunPerfSnapshot() *PerfSnapshot {
 			Iterations:  r.N,
 		})
 	}
+	snap.TierKills = measureTierKills()
 	return snap
+}
+
+// measureTierKills runs a fixed script of refuted verifications through one
+// shared counterexample pool and records which scheduler tier killed each
+// candidate:
+//
+//  1. add/add-nsw at i8 — the corner values catch the signed overflow
+//     (special-tier kill) and the refuting input enters the pool;
+//  2. a second wrong candidate for the same window — the pooled input kills
+//     it on the first replayed vector (pool-tier kill);
+//  3. an i32 identity rewrite broken only on x ≡ 777 (mod 1000), a residue
+//     no corner value hits — only the random phase finds it (random-tier
+//     kill).
+//
+// The counters are deterministic for the fixed seed, so the snapshot makes
+// counterexample sharing itself CI-observable.
+func measureTierKills() PerfTierKills {
+	pool := alive.NewCEPool()
+	opts := alive.Options{Samples: 4096, Seed: 1, Programs: interp.NewCache(), Pool: pool}
+	src := parser.MustParseFunc(`define i8 @src(i8 %x, i8 %y) { %r = add i8 %x, %y ret i8 %r }`)
+	nsw := parser.MustParseFunc(`define i8 @tgt(i8 %x, i8 %y) { %r = add nsw i8 %x, %y ret i8 %r }`)
+	ident := parser.MustParseFunc(`define i8 @tgt(i8 %x, i8 %y) { ret i8 %x }`)
+	randSrc := parser.MustParseFunc(`define i32 @src(i32 %x) { ret i32 %x }`)
+	randTgt := parser.MustParseFunc(`define i32 @tgt(i32 %x) {
+  %m = urem i32 %x, 1000
+  %c = icmp eq i32 %m, 777
+  %r = select i1 %c, i32 0, i32 %x
+  ret i32 %r
+}`)
+	var kills PerfTierKills
+	for _, pair := range [][2]*ir.Func{{src, nsw}, {src, ident}, {randSrc, randTgt}} {
+		switch alive.Verify(pair[0], pair[1], opts).Tiers.KillTier {
+		case alive.TierPool:
+			kills.Pool++
+		case alive.TierSpecial:
+			kills.Special++
+		case alive.TierRandom:
+			kills.Random++
+		}
+	}
+	return kills
 }

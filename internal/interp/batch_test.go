@@ -1,0 +1,364 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/parser"
+)
+
+// sameResult compares two execution results field by field (return values
+// lane-exact: poison marks equal, bit patterns equal on non-poison lanes).
+func sameResult(a, b Result) string {
+	if a.UB != b.UB || a.UBReason != b.UBReason ||
+		a.Completed != b.Completed || a.DynInstrs != b.DynInstrs {
+		return fmt.Sprintf("status mismatch: %+v vs %+v", a, b)
+	}
+	if !a.UB && a.Completed && !a.Ret.Equal(b.Ret) {
+		return fmt.Sprintf("return mismatch: %s vs %s", a.Ret.Format(), b.Ret.Format())
+	}
+	return ""
+}
+
+// batchEnvs builds one fresh environment per vector, with independent
+// memories for pointer parameters (filled deterministically per vector so
+// the per-vector fallback still sees distinct states).
+func batchEnvs(f *ir.Func, vectors [][]RVal, maxSteps int) []Env {
+	envs := make([]Env, len(vectors))
+	for vi, args := range vectors {
+		env := Env{MaxSteps: maxSteps, Args: append([]RVal(nil), args...)}
+		var mem *Memory
+		for i, p := range f.Params {
+			if ir.IsPtr(p.Ty) {
+				if mem == nil {
+					mem = NewMemory()
+				}
+				base := uint64(0x10000 + i*0x1000)
+				r := mem.AddRegion(p.Nm, base, 32)
+				for b := range r.Data {
+					r.Data[b] = byte(b*3 + vi)
+				}
+				env.Args[i] = Scalar(ir.Ptr, base)
+			}
+		}
+		env.Mem = mem
+		envs[vi] = env
+	}
+	return envs
+}
+
+// TestRunBatchMatchesRunOnDiffCases drives every construct case — including
+// the multi-block, memory and vector cases that take the per-vector
+// fallback — through RunBatch and requires bit-identical results to Exec on
+// fresh environments. More vectors than BatchWidth are used so chunking and
+// the cross-chunk Ret cloning are exercised.
+func TestRunBatchMatchesRunOnDiffCases(t *testing.T) {
+	for _, tc := range diffCases {
+		f, err := parser.ParseFunc(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		ev := NewEvaluator(Compile(f))
+		rng := rand.New(rand.NewSource(41))
+		var vectors [][]RVal
+		for k := 0; k < BatchWidth+17; k++ {
+			mask := 0
+			if k%11 == 3 {
+				mask = 1 << (k % len(f.Params))
+			}
+			vectors = append(vectors, diffArgs(f, rng, mask))
+		}
+		out := make([]Result, len(vectors))
+		ev.RunBatch(batchEnvs(f, vectors, 0), out)
+		ref := batchEnvs(f, vectors, 0)
+		for i := range vectors {
+			want := Exec(f, ref[i])
+			if diff := sameResult(want, out[i]); diff != "" {
+				t.Fatalf("%s vector %d: %s", tc.name, i, diff)
+			}
+		}
+	}
+}
+
+// fuzzOps is the opcode palette of the straight-line generator.
+var fuzzBinOps = []string{"add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+	"shl", "lshr", "ashr", "and", "or", "xor"}
+var fuzzPreds = []string{"eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle"}
+var fuzzFlags = map[string][]string{
+	"add": {"", "nsw", "nuw", "nsw nuw"}, "sub": {"", "nsw", "nuw"},
+	"mul": {"", "nsw", "nuw"}, "shl": {"", "nsw", "nuw"},
+	"udiv": {"", "exact"}, "sdiv": {"", "exact"},
+	"lshr": {"", "exact"}, "ashr": {"", "exact"}, "or": {"", "disjoint"},
+}
+
+// genStraightLine emits a random straight-line scalar function: a chain of
+// integer binaries (with random poison flags), icmps, selects, conversions,
+// freezes and min/max/ctpop intrinsics over parameters, earlier values and
+// literal constants.
+func genStraightLine(rng *rand.Rand) string {
+	widths := []int{8, 16, 32, 64}
+	nParams := 1 + rng.Intn(3)
+	type val struct {
+		name string
+		w    int // 1 for i1
+	}
+	var vals []val
+	var sb strings.Builder
+	sb.WriteString("define i8 @fuzz(")
+	for i := 0; i < nParams; i++ {
+		w := widths[rng.Intn(len(widths))]
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "i%d %%p%d", w, i)
+		vals = append(vals, val{fmt.Sprintf("%%p%d", i), w})
+	}
+	sb.WriteString(") {\n")
+	pick := func(w int) string {
+		var cands []val
+		for _, v := range vals {
+			if v.w == w {
+				cands = append(cands, v)
+			}
+		}
+		// Mix in literal constants (small, corner and random) half the time.
+		if len(cands) == 0 || rng.Intn(2) == 0 {
+			c := []uint64{0, 1, 2, 3, ir.MaskW(w), ir.MaskW(w) >> 1, rng.Uint64() & ir.MaskW(w)}[rng.Intn(7)]
+			return fmt.Sprintf("%d", int64(ir.SignExt(c, w)))
+		}
+		return cands[rng.Intn(len(cands))].name
+	}
+	n := 3 + rng.Intn(9)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%%v%d", i)
+		w := widths[rng.Intn(len(widths))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // integer binary
+			op := fuzzBinOps[rng.Intn(len(fuzzBinOps))]
+			fl := ""
+			if fs := fuzzFlags[op]; fs != nil {
+				fl = fs[rng.Intn(len(fs))]
+				if fl != "" {
+					fl += " "
+				}
+			}
+			fmt.Fprintf(&sb, "  %s = %s %si%d %s, %s\n", name, op, fl, w, pick(w), pick(w))
+			vals = append(vals, val{name, w})
+		case 4: // icmp
+			fmt.Fprintf(&sb, "  %s = icmp %s i%d %s, %s\n",
+				name, fuzzPreds[rng.Intn(len(fuzzPreds))], w, pick(w), pick(w))
+			vals = append(vals, val{name, 1})
+		case 5: // select over an i1 if one exists
+			cond := ""
+			for _, v := range vals {
+				if v.w == 1 {
+					cond = v.name
+				}
+			}
+			if cond == "" {
+				fmt.Fprintf(&sb, "  %s = xor i%d %s, %s\n", name, w, pick(w), pick(w))
+			} else {
+				fmt.Fprintf(&sb, "  %s = select i1 %s, i%d %s, i%d %s\n",
+					name, cond, w, pick(w), w, pick(w))
+			}
+			vals = append(vals, val{name, w})
+		case 6: // conversion
+			from := widths[rng.Intn(len(widths))]
+			switch {
+			case from < w:
+				op := []string{"zext", "sext", "zext nneg"}[rng.Intn(3)]
+				fmt.Fprintf(&sb, "  %s = %s i%d %s to i%d\n", name, op, from, pick(from), w)
+			case from > w:
+				fl := []string{"", "nsw ", "nuw "}[rng.Intn(3)]
+				fmt.Fprintf(&sb, "  %s = trunc %si%d %s to i%d\n", name, fl, from, pick(from), w)
+			default:
+				fmt.Fprintf(&sb, "  %s = add i%d %s, %s\n", name, w, pick(w), pick(w))
+			}
+			vals = append(vals, val{name, w})
+		case 7: // freeze
+			fmt.Fprintf(&sb, "  %s = freeze i%d %s\n", name, w, pick(w))
+			vals = append(vals, val{name, w})
+		default: // intrinsic
+			base := []string{"umin", "umax", "smin", "smax"}[rng.Intn(4)]
+			if rng.Intn(5) == 0 {
+				fmt.Fprintf(&sb, "  %s = call i%d @llvm.ctpop.i%d(i%d %s)\n", name, w, w, w, pick(w))
+			} else {
+				fmt.Fprintf(&sb, "  %s = call i%d @llvm.%s.i%d(i%d %s, i%d %s)\n",
+					name, w, base, w, w, pick(w), w, pick(w))
+			}
+			vals = append(vals, val{name, w})
+		}
+	}
+	// Return an i8 derived from the last value.
+	last := vals[len(vals)-1]
+	switch {
+	case last.w == 8:
+		fmt.Fprintf(&sb, "  ret i8 %s\n", last.name)
+	case last.w < 8:
+		fmt.Fprintf(&sb, "  %%rz = zext i%d %s to i8\n  ret i8 %%rz\n", last.w, last.name)
+	default:
+		fmt.Fprintf(&sb, "  %%rt = trunc i%d %s to i8\n  ret i8 %%rt\n", last.w, last.name)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// fuzzVector builds one input vector biased toward interesting values
+// (zero divisors, shift overflows, sign boundaries) with occasional poison
+// lanes.
+func fuzzVector(f *ir.Func, rng *rand.Rand) []RVal {
+	args := make([]RVal, len(f.Params))
+	for i, p := range f.Params {
+		w := ir.ScalarBits(p.Ty)
+		if rng.Intn(12) == 0 {
+			args[i] = PoisonRV(p.Ty)
+			continue
+		}
+		var v uint64
+		switch rng.Intn(5) {
+		case 0:
+			v = uint64(rng.Intn(4)) // small: zero divisors, in-range shifts
+		case 1:
+			v = ir.MaskW(w) >> 1 // max signed
+		case 2:
+			v = (ir.MaskW(w) >> 1) + 1 // min signed
+		default:
+			v = rng.Uint64() & ir.MaskW(w)
+		}
+		args[i] = Scalar(p.Ty, v)
+	}
+	return args
+}
+
+// TestRunBatchFuzzStraightLine is the randomized three-way differential of
+// the tentpole: generated straight-line functions execute through the
+// reference tree-walker, the scalar evaluator and the lane-batched
+// executor, and every vector's values, poison lanes, UB reason and step
+// count must agree bit for bit. The seed is fixed so failures reproduce.
+func TestRunBatchFuzzStraightLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	nFuncs := 150
+	if testing.Short() {
+		nFuncs = 30
+	}
+	for fi := 0; fi < nFuncs; fi++ {
+		src := genStraightLine(rng)
+		f, err := parser.ParseFunc(src)
+		if err != nil {
+			t.Fatalf("func %d: generated IR does not parse: %v\n%s", fi, err, src)
+		}
+		p := Compile(f)
+		if !p.Batchable() {
+			t.Fatalf("func %d: generated function should be batchable\n%s", fi, src)
+		}
+		ev := NewEvaluator(p)
+		evBatch := NewEvaluator(p)
+		var vectors [][]RVal
+		for k := 0; k < BatchWidth+9; k++ {
+			vectors = append(vectors, fuzzVector(f, rng))
+		}
+		envs := batchEnvs(f, vectors, 0)
+		out := make([]Result, len(envs))
+		evBatch.RunBatch(envs, out)
+		for i, env := range envs {
+			want := Exec(f, env)
+			if diff := sameResult(want, out[i]); diff != "" {
+				t.Fatalf("func %d vector %d: batch vs Exec: %s\n%s", fi, i, diff, src)
+			}
+			got := ev.Run(env)
+			if diff := sameResult(want, got); diff != "" {
+				t.Fatalf("func %d vector %d: Run vs Exec: %s\n%s", fi, i, diff, src)
+			}
+		}
+	}
+}
+
+// TestRunBatchFilledMatchesRunBatch pins the zero-copy input path: writing
+// the argument columns directly and calling RunBatchFilled must equal
+// RunBatch over the same vectors.
+func TestRunBatchFilledMatchesRunBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for fi := 0; fi < 25; fi++ {
+		f := parser.MustParseFunc(genStraightLine(rng))
+		p := Compile(f)
+		evA, evB := NewEvaluator(p), NewEvaluator(p)
+		n := 1 + rng.Intn(BatchWidth)
+		var vectors [][]RVal
+		for k := 0; k < n; k++ {
+			vectors = append(vectors, fuzzVector(f, rng))
+		}
+		envs := batchEnvs(f, vectors, 0)
+		outA := make([]Result, n)
+		evA.RunBatch(envs, outA)
+		for i, prm := range f.Params {
+			col := evB.ArgColumn(i)
+			L := ir.Lanes(prm.Ty)
+			for b := 0; b < n; b++ {
+				copy(col[b*L:(b+1)*L], vectors[b][i].Lanes)
+			}
+		}
+		outB := make([]Result, n)
+		evB.RunBatchFilled(n, outB)
+		for i := range outA {
+			if diff := sameResult(outA[i], outB[i]); diff != "" {
+				t.Fatalf("func %d vector %d: filled vs batch: %s", fi, i, diff)
+			}
+		}
+	}
+}
+
+// TestRunBatchBudgetAndArgc covers the per-lane bookkeeping edges: mixed
+// step budgets within one batch and argument-count mismatches on individual
+// lanes, both matching per-vector Run exactly.
+func TestRunBatchBudgetAndArgc(t *testing.T) {
+	f := parser.MustParseFunc(`define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  %b = add i8 %a, 2
+  %c = add i8 %b, 3
+  ret i8 %c
+}`)
+	ev := NewEvaluator(Compile(f))
+	envs := []Env{
+		{Args: []RVal{Scalar(ir.I8, 5)}},
+		{Args: []RVal{Scalar(ir.I8, 5)}, MaxSteps: 2},
+		{Args: []RVal{Scalar(ir.I8, 5)}, MaxSteps: 4},
+		{Args: []RVal{}},
+		{Args: []RVal{Scalar(ir.I8, 7), Scalar(ir.I8, 7)}},
+	}
+	out := make([]Result, len(envs))
+	ev.RunBatch(envs, out)
+	refEv := NewEvaluator(Compile(f))
+	for i, env := range envs {
+		want := refEv.Run(env)
+		want.Ret = want.Ret.Clone()
+		if diff := sameResult(want, out[i]); diff != "" {
+			t.Fatalf("env %d: %s", i, diff)
+		}
+	}
+}
+
+// TestBatchableClassification pins which programs take the fast path.
+func TestBatchableClassification(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`define i8 @f(i8 %x) { %r = add i8 %x, 1 ret i8 %r }`, true},
+		{`define i16 @f(ptr %p) { %v = load i16, ptr %p ret i16 %v }`, false},
+		{`define i8 @f(i8 %x) {
+entry:
+  br label %next
+next:
+  ret i8 %x
+}`, false},
+	}
+	for i, tc := range cases {
+		p := Compile(parser.MustParseFunc(tc.src))
+		if p.Batchable() != tc.want {
+			t.Fatalf("case %d: Batchable = %v, want %v", i, p.Batchable(), tc.want)
+		}
+	}
+}

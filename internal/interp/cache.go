@@ -6,6 +6,12 @@ import (
 	"repro/internal/ir"
 )
 
+// DefaultCacheCap is the program capacity of NewCache. A compiled window is
+// a few KB, so the default bounds a campaign-long cache to a few MB while
+// still covering far more distinct windows than a corpus run touches
+// between repeats.
+const DefaultCacheCap = 4096
+
 // Cache memoizes compiled Programs by structural function hash (ir.Hash),
 // so repeated verifications of the same window — engine verify stages across
 // rounds and workers, generalize width sweeps re-instantiating the same
@@ -13,16 +19,46 @@ import (
 // once. It is safe for concurrent use. Like the engine's verification cache
 // it treats ir.Hash as identity.
 //
+// The cache is bounded: once it holds its capacity of programs, inserting a
+// new one evicts an old one chosen by the clock (second-chance) policy —
+// each hit marks its entry referenced, and the clock hand sweeps past
+// referenced entries (clearing the mark) until it finds an unreferenced
+// victim. Eviction never changes semantics; an evicted program is simply
+// recompiled on next use. Stats reports hit/miss/eviction counters.
+//
 // A nil *Cache is valid and simply compiles on every call, so callers can
 // thread an optional cache without nil checks.
 type Cache struct {
-	mu sync.Mutex
-	m  map[uint64]*Program
+	mu   sync.Mutex
+	cap  int
+	m    map[uint64]*cacheEntry
+	ring []uint64 // hashes in slot order for the clock sweep
+	hand int
+
+	hits, misses, evictions int64
 }
 
-// NewCache returns an empty program cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[uint64]*Program)}
+type cacheEntry struct {
+	p   *Program
+	ref bool
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	Len, Cap                int
+	Hits, Misses, Evictions int64
+}
+
+// NewCache returns an empty program cache with the default capacity.
+func NewCache() *Cache { return NewCacheSize(DefaultCacheCap) }
+
+// NewCacheSize returns an empty program cache holding at most capacity
+// programs (values below 1 fall back to the default).
+func NewCacheSize(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{cap: capacity, m: make(map[uint64]*cacheEntry)}
 }
 
 // Program returns the compiled program for fn, compiling it on first use.
@@ -32,22 +68,51 @@ func (c *Cache) Program(fn *ir.Func) *Program {
 	}
 	h := ir.Hash(fn)
 	c.mu.Lock()
-	p, ok := c.m[h]
-	c.mu.Unlock()
-	if ok {
+	if e, ok := c.m[h]; ok {
+		e.ref = true
+		c.hits++
+		p := e.p
+		c.mu.Unlock()
 		return p
 	}
+	c.misses++
+	c.mu.Unlock()
 	// Compile outside the lock: compilation is pure, so a racing duplicate
 	// is wasted work at worst, and slow compiles never serialize readers.
-	p = Compile(fn)
+	p := Compile(fn)
 	c.mu.Lock()
 	if prev, ok := c.m[h]; ok {
-		p = prev
+		p = prev.p
 	} else {
-		c.m[h] = p
+		c.insert(h, p)
 	}
 	c.mu.Unlock()
 	return p
+}
+
+// insert stores a freshly compiled program, evicting by clock when full.
+// Caller holds the lock.
+func (c *Cache) insert(h uint64, p *Program) {
+	if len(c.ring) < c.cap {
+		c.m[h] = &cacheEntry{p: p}
+		c.ring = append(c.ring, h)
+		return
+	}
+	for {
+		vh := c.ring[c.hand]
+		v := c.m[vh]
+		if v.ref {
+			v.ref = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.m, vh)
+		c.evictions++
+		c.m[h] = &cacheEntry{p: p}
+		c.ring[c.hand] = h
+		c.hand = (c.hand + 1) % len(c.ring)
+		return
+	}
 }
 
 // Len reports how many programs the cache holds.
@@ -58,4 +123,16 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// Stats returns a snapshot of the cache's counters. A nil cache reports
+// zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Len: len(c.m), Cap: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
 }

@@ -1,0 +1,84 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func cacheFunc(i int) string {
+	return fmt.Sprintf(`define i8 @f%d(i8 %%x) { %%r = add i8 %%x, %d ret i8 %%r }`, i, i%250)
+}
+
+// TestCacheBoundedEviction pins the satellite contract: the cache never
+// exceeds its capacity, eviction is counted, and evicted programs simply
+// recompile (a later lookup is a miss, not an error).
+func TestCacheBoundedEviction(t *testing.T) {
+	c := NewCacheSize(4)
+	for i := 0; i < 10; i++ {
+		c.Program(parser.MustParseFunc(cacheFunc(i)))
+	}
+	st := c.Stats()
+	if st.Len > 4 {
+		t.Fatalf("cache holds %d programs, cap 4", st.Len)
+	}
+	if st.Cap != 4 {
+		t.Fatalf("cap = %d, want 4", st.Cap)
+	}
+	if st.Evictions < 6 {
+		t.Fatalf("evictions = %d, want >= 6", st.Evictions)
+	}
+	if st.Misses != 10 || st.Hits != 0 {
+		t.Fatalf("hits/misses = %d/%d, want 0/10", st.Hits, st.Misses)
+	}
+	// Hits mark entries referenced; the clock should prefer evicting
+	// unreferenced entries.
+	f9 := parser.MustParseFunc(cacheFunc(9))
+	p1 := c.Program(f9)
+	if p2 := c.Program(f9); p1 != p2 {
+		t.Fatal("repeated lookup should hit the same program")
+	}
+	if got := c.Stats().Hits; got < 1 {
+		t.Fatalf("hits = %d, want >= 1", got)
+	}
+}
+
+// TestCacheNilSemantics keeps the nil-cache contract of the unbounded
+// version: a nil *Cache compiles per call and reports zero stats.
+func TestCacheNilSemantics(t *testing.T) {
+	var c *Cache
+	f := parser.MustParseFunc(cacheFunc(1))
+	if c.Program(f) == nil {
+		t.Fatal("nil cache must still compile")
+	}
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache must report zeros")
+	}
+}
+
+// TestCacheConcurrent hammers one bounded cache from many goroutines (run
+// under -race in CI).
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCacheSize(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := parser.MustParseFunc(cacheFunc((g + i) % 20))
+				if c.Program(f) == nil {
+					t.Error("nil program")
+					return
+				}
+				_ = c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded cap: %d", c.Len())
+	}
+}

@@ -39,7 +39,18 @@ type Program struct {
 	// reference interpreter resolves dynamically); Evaluator.Run delegates
 	// such programs to Exec wholesale so semantics stay bit-identical.
 	fallback bool
+
+	// hasMem marks programs touching memory (load/store/gep). Memory is
+	// per-environment state, so such programs are executed per vector by
+	// RunBatch instead of on the lane-batched fast path.
+	hasMem bool
 }
+
+// Batchable reports whether RunBatch executes p on its lane-batched fast
+// path: a straight-line, register-machine-modeled, memory-free program.
+// Non-batchable programs still work through RunBatch — they fall back to
+// per-vector execution with identical semantics.
+func (p *Program) Batchable() bool { return p.straight && !p.fallback && !p.hasMem }
 
 // Fn returns the compiled function.
 func (p *Program) Fn() *ir.Func { return p.fn }
@@ -167,6 +178,8 @@ func Compile(fn *ir.Func) *Program {
 				}
 			}
 			switch in.Op {
+			case ir.OpLoad, ir.OpStore, ir.OpGEP:
+				p.hasMem = true
 			case ir.OpBr:
 				p.straight = false
 				for k := range in.Labels {

@@ -28,6 +28,10 @@ type Evaluator struct {
 	// empty memory are always out of bounds and never mutate it, so one
 	// shared instance is safe across runs.
 	emptyMem *Memory
+
+	// bs is the lane-batched execution state (batch.go), built lazily on
+	// the first RunBatch so scalar-only evaluators never pay for it.
+	bs *batchState
 }
 
 // NewEvaluator builds an evaluator for p.

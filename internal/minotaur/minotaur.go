@@ -82,8 +82,10 @@ func Optimize(src *ir.Func, opts Options) Result {
 		vectors = append(vectors, args)
 	}
 	// Compile once per function; the cache is shared with the final
-	// refinement checks so src never recompiles.
+	// refinement checks so src never recompiles. The counterexample pool
+	// replays refuting inputs against every later candidate (tier 0).
 	progs := interp.NewCache()
+	pool := alive.NewCEPool()
 	want := make([]interp.RVal, len(vectors))
 	defined := make([]bool, len(vectors))
 	srcEval := interp.NewEvaluator(progs.Program(src))
@@ -111,11 +113,20 @@ func Optimize(src *ir.Func, opts Options) Result {
 				return false
 			}
 		}
-		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed, Programs: progs})
+		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed,
+			Programs: progs, Pool: pool})
 		if v.Verdict == alive.Correct {
 			res.Found = true
 			res.Candidate = cand
 			return true
+		}
+		if v.Verdict == alive.Incorrect && v.CE != nil {
+			// CEGIS: the refuting input joins the test-vector filter.
+			if args, w, def, ok := alive.CEFilterVector(v.CE, srcEval); ok {
+				vectors = append(vectors, args)
+				want = append(want, w)
+				defined = append(defined, def)
+			}
 		}
 		return false
 	}

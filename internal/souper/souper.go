@@ -91,8 +91,11 @@ func Optimize(src *ir.Func, opts Options) Result {
 	// The run's hot loop executes src once and every candidate many times:
 	// compile each function once (the hash-keyed cache also collapses
 	// structurally repeated candidates across enumeration levels) and reuse
-	// the same cache for the final refinement check.
+	// the same cache for the final refinement check. The counterexample
+	// pool makes the loop properly CEGIS: an input that refuted one
+	// candidate is replayed (verification tier 0) against every later one.
 	progs := interp.NewCache()
+	pool := alive.NewCEPool()
 	vectors := testVectors(src, opts)
 	want := make([]interp.RVal, len(vectors))
 	defined := make([]bool, len(vectors))
@@ -128,11 +131,21 @@ func Optimize(src *ir.Func, opts Options) Result {
 		}
 		// Survivor: full verification.
 		res.VirtualSeconds += verifyCostPerB * float64(inputBytes)
-		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed, Programs: progs})
+		v := alive.Verify(src, cand, alive.Options{Samples: 1024, Seed: opts.Seed,
+			Programs: progs, Pool: pool})
 		if v.Verdict == alive.Correct {
 			res.Found = true
 			res.Candidate = cand
 			return true
+		}
+		if v.Verdict == alive.Incorrect && v.CE != nil {
+			// Fold the falsifying input into the test-vector filter so later
+			// candidates with the same bug die before full verification.
+			if args, w, def, ok := alive.CEFilterVector(v.CE, srcEval); ok {
+				vectors = append(vectors, args)
+				want = append(want, w)
+				defined = append(defined, def)
+			}
 		}
 		return false
 	}
