@@ -14,8 +14,9 @@
 //	                                additionally compare the fresh snapshot
 //	                                against the committed reference REF and
 //	                                exit non-zero if any tracked workload
-//	                                regressed by more than 2x ns/op (the CI
-//	                                perf guard; tune with -tolerance)
+//	                                regressed by more than 2x ns/op or grew
+//	                                past 2x allocs/op (the CI perf guard;
+//	                                tune with -tolerance / -alloc-tolerance)
 //	lpo-bench -all                  everything (default)
 //	lpo-bench -rounds N -n N -seed N  sizing knobs
 //	lpo-bench -workers N            engine worker pool for the RQ runs
@@ -40,6 +41,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the perf snapshot (ns/op + allocs/op of the verify/interp/dispatch hot paths) to this file")
 	against := flag.String("against", "", "reference snapshot to compare the fresh -json snapshot against (fails on regression)")
 	tolerance := flag.Float64("tolerance", 2.0, "ns/op regression factor tolerated by -against before failing")
+	allocTolerance := flag.Float64("alloc-tolerance", 2.0, "allocs/op growth factor tolerated by -against before failing")
 	all := flag.Bool("all", false, "regenerate everything")
 	rounds := flag.Int("rounds", 5, "discovery rounds (RQ1: per model; -learned: per sequence)")
 	n := flag.Int("n", 250, "RQ3 sampled sequences (paper: 5000)")
@@ -80,14 +82,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			if regressions := experiments.ComparePerf(snap, ref, *tolerance); len(regressions) > 0 {
+			if regressions := experiments.ComparePerf(snap, ref, *tolerance, *allocTolerance); len(regressions) > 0 {
 				fmt.Fprintf(os.Stderr, "perf regression vs %s:\n", *against)
 				for _, r := range regressions {
 					fmt.Fprintln(os.Stderr, "  "+r)
 				}
 				os.Exit(1)
 			}
-			fmt.Printf("no regression vs %s (tolerance %.1fx)\n", *against, *tolerance)
+			fmt.Printf("no regression vs %s (tolerance %.1fx ns/op, %.1fx allocs/op)\n",
+				*against, *tolerance, *allocTolerance)
 		}
 		return
 	}

@@ -26,6 +26,15 @@
 //	-rulebook FILE  load a previously learned rulebook: its rules join the
 //	                optimizer used for extraction filtering and candidate
 //	                preprocessing, so past campaigns strengthen this run
+//
+// Persistence flag (the batch counterpart of the lpod daemon):
+//
+//	-store DIR      warm-start from a content-addressed store: windows with
+//	                a stored finding are served from disk (no provider or
+//	                verifier work), the stored counterexample vectors seed
+//	                the pool's tier-0 replay, and this run's findings,
+//	                learned rules and new vectors are committed back —
+//	                sharing one store with lpod and future runs
 package main
 
 import (
@@ -42,6 +51,8 @@ import (
 	"repro/internal/generalize"
 	"repro/internal/llm"
 	"repro/internal/opt"
+	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -54,6 +65,7 @@ func main() {
 	stats := flag.Bool("stats", true, "print per-stage engine statistics")
 	learnPath := flag.String("learn", "", "generalize verified findings and write the rulebook to this file")
 	rulebookPath := flag.String("rulebook", "", "load a learned rulebook into the optimizer before running")
+	storeDir := flag.String("store", "", "warm-start from (and persist to) a content-addressed store directory")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -73,6 +85,30 @@ func main() {
 		fmt.Printf("loaded %d learned rules from %s\n", len(rules), *rulebookPath)
 	}
 
+	// A store threads persistence through the whole run: verified outcomes
+	// short-circuit via the engine's Lookup hook, stored counterexample
+	// vectors seed tier-0 replay, and everything new is committed back.
+	var st *store.Store
+	var pool *alive.CEPool
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		pool = alive.NewCEPool()
+		loaded, err := service.LoadPool(st, pool)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sst := st.Stats()
+		fmt.Printf("store %s: %d findings, %d rules; %d counterexample vectors warm-loaded\n",
+			st.Dir(), sst.Findings, sst.Rules, loaded)
+	}
+
 	ex := extract.New(extract.Options{Opt: optOptions})
 	var src engine.Source
 	switch {
@@ -86,17 +122,21 @@ func main() {
 	}
 
 	sim := llm.NewSim(*model, *seed)
-	eng := engine.New(sim, engine.Config{
+	cfg := engine.Config{
 		Workers:   *workers,
 		QueueSize: *queue,
 		Rounds:    *rounds,
-		Learn:     *learnPath != "",
+		Learn:     *learnPath != "" || st != nil,
 		Opt:       optOptions,
-		Verify:    alive.Options{Samples: 1024, Seed: *seed},
-	})
+		Verify:    alive.Options{Samples: 1024, Seed: *seed, Pool: pool},
+	}
+	if st != nil {
+		cfg.Lookup = service.StoreLookup(st)
+	}
+	eng := engine.New(sim, cfg)
 
 	results, engStats := eng.Run(ctx, src)
-	found := 0
+	found, cached, persisted := 0, 0, 0
 	for res := range results {
 		switch res.Outcome {
 		case engine.Found:
@@ -108,10 +148,36 @@ func main() {
 			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)
 		}
+		if res.Cached {
+			cached++
+		}
+		if st != nil {
+			added, err := service.SaveResult(st, res)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if added {
+				persisted++
+			}
+		}
 	}
-	st := ex.Stats()
+	if st != nil {
+		if _, err := service.FlushPool(st, pool); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := st.Commit(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sst := st.Stats()
+		fmt.Printf("store: %d new findings persisted (%d served from store); now %d findings, %d rules, %d vectors\n",
+			persisted, cached, sst.Findings, sst.Rules, sst.Vectors)
+	}
+	xs := ex.Stats()
 	fmt.Printf("\nextracted %d unique sequences (%d raw, %d duplicates, %d already optimizable)\n",
-		st.Kept, st.Sequences, st.Duplicates, st.Optimizable)
+		xs.Kept, xs.Sequences, xs.Duplicates, xs.Optimizable)
 	if *stats {
 		engStats.Print(os.Stdout)
 	}

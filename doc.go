@@ -164,10 +164,57 @@
 // "tier_kills", the {pool, special, random} kill counters of a fixed
 // refute-twice-then-verify script that makes counterexample sharing
 // CI-observable. CI uploads the snapshot as an artifact on every run and
-// fails if any tracked workload regresses past 2x ns/op against the
-// committed reference (`lpo-bench -json out.json -against BENCH_5.json`);
+// fails if any tracked workload regresses past 2x ns/op or grows past 2x
+// allocs/op against the committed reference (`lpo-bench -json out.json
+// -against BENCH_5.json`, tolerances via -tolerance / -alloc-tolerance);
 // BENCH_5.json in the repository root is the PR-5 reference point,
 // BENCH_4.json the PR-4 one.
+//
+// # The lpod Service and the Content-Addressed Store
+//
+// Every identity in the pipeline is already content-derived — windows and
+// candidates by structural hash (ir.Hash), learned rules by the hash of
+// their witness pair — so discovery results are immutable facts about
+// content, and a campaign is just a set of such facts. internal/store makes
+// that set persistent: a directory holding one append-only record log
+// ("lpod.log", magic "LPODSTR1" — bump the trailing digit on breaking
+// format changes) plus an in-memory hash index rebuilt on open. Each record
+// frames a kind byte (finding, rule or counterexample vector), a key, a
+// value and a CRC32; Put appends (a duplicate key is a content-address hit,
+// not a write), Commit flushes and fsyncs the batch, and Open recovers from
+// a crash by scanning to the first torn or corrupt record and truncating
+// the tail — everything before it is intact by checksum. Readers take
+// snapshots (a record-count boundary) that are immune to concurrent
+// appends; since records are immutable, first-write-wins is the only
+// conflict rule the store needs. Findings are keyed by window hash, rules
+// by their content-derived ID, pool vectors by window hash plus a hash of
+// the encoded vector, and the stored finding bytes (deterministic indented
+// JSON, store.Finding) double as the service's wire format.
+//
+// cmd/lpod serves discovery from such a store as a long-running daemon.
+// internal/service wires one warm engine — program cache, verification
+// cache, counterexample pool and learned rules all persistent across
+// requests — behind the engine's incremental submission API
+// (engine.Submitter): POST /v1/windows accepts one window or a batch
+// (JSON {"ir": ...} / {"windows": [...]}, or a raw .ll module), hashes
+// each function, and only hashes the store has never seen reach the
+// engine; everything else is answered "cached" (stored) or "pending"
+// (inflight). Results are committed to the store as they drain — finding,
+// learned rule entries, and the pool's newly deposited vectors — before
+// the window stops reporting pending, so a finding is never servable
+// until it is durable. GET /v1/findings/{hash} returns the stored bytes
+// verbatim, GET /v1/rulebook assembles the store's accumulated rule
+// entries into a standard rulebook, and GET /v1/stats reports engine
+// (outcomes, verify executions, tier kills, store hits), store
+// (records, hit/miss counters, recovered bytes) and pool counters.
+// Restarting the daemon on the same store resumes exactly: resubmitted
+// corpora are answered byte-identically from disk with no provider or
+// verifier work, and the stored vectors warm the pool's tier-0 replay.
+// The engine side is engine.Config.Lookup — consulted once per sequence
+// after per-run dedup, a hit is returned as a Cached result and counted
+// in Stats.StoreHits — and cmd/lpo -store threads the same persistence
+// through one-shot batch runs, so batch campaigns, the daemon and future
+// runs all share one accumulated store.
 //
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the

@@ -310,9 +310,12 @@ func (c *Checker) Verify() Result {
 				res.Tiers.KillTier = TierPool
 				// Seed-sourced kills (width-sweep reseeds) are new to this
 				// window and worth pooling; a pool-sourced kill is already
-				// stored — redepositing would only bump the dup counter.
+				// stored — mark it referenced instead so the per-window
+				// clock keeps vectors that still earn their slot.
 				if vi >= len(pooled) {
 					c.opts.Pool.Add(key, ce.Inputs, ce.Memory)
+				} else {
+					c.opts.Pool.Touch(key, pv.Inputs, pv.Mem)
 				}
 				return res
 			}

@@ -30,29 +30,59 @@ type PoolVector struct {
 	Mem    [][]byte
 }
 
+// WindowVector pairs a pooled vector with the window it refuted a candidate
+// for — the unit the persistence hooks (Load, DrainPending) move between a
+// pool and a store.
+type WindowVector struct {
+	Window uint64
+	Vec    PoolVector
+}
+
 // CEPoolStats is a snapshot of a pool's counters.
 type CEPoolStats struct {
-	Windows  int   // source windows with at least one vector
-	Vectors  int   // vectors currently stored
-	Deposits int64 // successful Add calls (duplicates excluded)
-	Dups     int64 // Add calls dropped as duplicates
+	Windows   int   // source windows with at least one vector
+	Vectors   int   // vectors currently stored
+	Deposits  int64 // successful Add calls (duplicates excluded)
+	Dups      int64 // Add calls dropped as duplicates
+	Loaded    int64 // vectors installed by Load (store warm starts)
+	Evictions int64 // vectors displaced by the per-window clock
 }
 
 // CEPool is a campaign-scoped, concurrency-safe pool of counterexample
 // input vectors, keyed by source window (WindowKey of the source function).
 // A nil *CEPool is valid and stores nothing, so callers can thread an
 // optional pool without nil checks.
+//
+// Each window's vector list is bounded: past the per-window capacity a new
+// deposit evicts an old vector chosen by the clock (second-chance) policy
+// that interp.Cache uses — replayed vectors that actually falsify a
+// candidate are marked referenced (Touch), and the clock hand sweeps past
+// referenced entries (clearing the mark) until it finds an unreferenced
+// victim. A long-running daemon therefore keeps the falsifiers that still
+// kill candidates and sheds the ones that stopped earning their slot.
 type CEPool struct {
 	mu      sync.Mutex
 	cap     int
 	buckets map[uint64]*ceBucket
 
-	deposits, dups int64
+	// pending accumulates every Add since the last DrainPending — the flush
+	// hook a persistent store uses to pick up new falsifiers incrementally.
+	// Load does not mark pending (those vectors came FROM the store).
+	pending []WindowVector
+
+	deposits, dups, loaded, evictions int64
+}
+
+type ceSlot struct {
+	vec  PoolVector
+	hash uint64 // content hash, for dedup and eviction bookkeeping
+	ref  bool   // clock reference bit: set when the vector kills a candidate
 }
 
 type ceBucket struct {
-	vecs []PoolVector
-	seen map[uint64]bool // content hashes, for dedup
+	slots []ceSlot
+	seen  map[uint64]int // content hash -> slot index
+	hand  int
 }
 
 // NewCEPool returns an empty pool with the default per-window capacity.
@@ -65,9 +95,11 @@ func NewCEPool() *CEPool {
 func WindowKey(src *ir.Func) uint64 { return ir.Hash(src) }
 
 // Add deposits a falsifying vector for the given window, cloning inputs and
-// memory. Duplicate vectors (same values, poison marks and memory) and
-// deposits beyond the per-window cap are dropped. It reports whether the
-// vector was stored.
+// memory. Duplicate vectors (same values, poison marks and memory) are
+// dropped — but marked referenced, since the duplicate deposit proves the
+// stored vector is still killing candidates. Past the per-window cap the
+// clock evicts an unreferenced vector to make room. It reports whether a
+// new vector was stored.
 func (p *CEPool) Add(window uint64, inputs []interp.RVal, mem [][]byte) bool {
 	if p == nil {
 		return false
@@ -75,22 +107,85 @@ func (p *CEPool) Add(window uint64, inputs []interp.RVal, mem [][]byte) bool {
 	h := hashVector(inputs, mem)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	v := PoolVector{Inputs: cloneRVals(inputs), Mem: cloneByteSlices(mem)}
+	if !p.insert(window, v, h) {
+		return false
+	}
+	p.deposits++
+	p.pending = append(p.pending, WindowVector{Window: window, Vec: v})
+	return true
+}
+
+// Load installs a vector that came from a persistent store, so a restarted
+// campaign's tier-0 replay starts with the accumulated falsifier corpus.
+// Unlike Add it does not mark the vector pending (it is already stored) and
+// counts toward Loaded instead of Deposits. The vector is cloned.
+func (p *CEPool) Load(window uint64, v PoolVector) bool {
+	if p == nil {
+		return false
+	}
+	h := hashVector(v.Inputs, v.Mem)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	clone := PoolVector{Inputs: cloneRVals(v.Inputs), Mem: cloneByteSlices(v.Mem)}
+	if !p.insert(window, clone, h) {
+		return false
+	}
+	p.loaded++
+	return true
+}
+
+// insert stores v under window with dedup and clock eviction. Caller holds
+// the lock. dup vectors set the existing slot's reference bit.
+func (p *CEPool) insert(window uint64, v PoolVector, h uint64) bool {
 	b := p.buckets[window]
 	if b == nil {
-		b = &ceBucket{seen: make(map[uint64]bool)}
+		b = &ceBucket{seen: make(map[uint64]int)}
 		p.buckets[window] = b
 	}
-	if b.seen[h] {
+	if i, dup := b.seen[h]; dup {
+		b.slots[i].ref = true
 		p.dups++
 		return false
 	}
-	if len(b.vecs) >= p.cap {
-		return false
+	if len(b.slots) < p.cap {
+		b.seen[h] = len(b.slots)
+		b.slots = append(b.slots, ceSlot{vec: v, hash: h})
+		return true
 	}
-	b.seen[h] = true
-	b.vecs = append(b.vecs, PoolVector{Inputs: cloneRVals(inputs), Mem: cloneByteSlices(mem)})
-	p.deposits++
-	return true
+	// Clock sweep, mirroring interp.Cache: skip-and-clear referenced slots
+	// until an unreferenced victim turns up.
+	for {
+		s := &b.slots[b.hand]
+		if s.ref {
+			s.ref = false
+			b.hand = (b.hand + 1) % len(b.slots)
+			continue
+		}
+		delete(b.seen, s.hash)
+		p.evictions++
+		*s = ceSlot{vec: v, hash: h}
+		b.seen[h] = b.hand
+		b.hand = (b.hand + 1) % len(b.slots)
+		return true
+	}
+}
+
+// Touch marks the stored copy of a vector as recently useful (it just
+// falsified a candidate), protecting it from the next clock sweep. The
+// checker calls this on every pool-tier kill.
+func (p *CEPool) Touch(window uint64, inputs []interp.RVal, mem [][]byte) {
+	if p == nil {
+		return
+	}
+	h := hashVector(inputs, mem)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b := p.buckets[window]; b != nil {
+		if i, ok := b.seen[h]; ok {
+			b.slots[i].ref = true
+		}
+	}
 }
 
 // Vectors returns the stored vectors for a window, oldest first. The
@@ -102,10 +197,30 @@ func (p *CEPool) Vectors(window uint64) []PoolVector {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	b := p.buckets[window]
-	if b == nil || len(b.vecs) == 0 {
+	if b == nil || len(b.slots) == 0 {
 		return nil
 	}
-	return append([]PoolVector(nil), b.vecs...)
+	out := make([]PoolVector, len(b.slots))
+	for i, s := range b.slots {
+		out[i] = s.vec
+	}
+	return out
+}
+
+// DrainPending returns every vector deposited since the last drain and
+// clears the pending list — the flush hook a persistent store polls so the
+// falsifier corpus survives restarts. Entries are shared and immutable;
+// vectors evicted between deposit and drain are still returned (the store
+// is append-only, and an evicted falsifier is still corpus).
+func (p *CEPool) DrainPending() []WindowVector {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.pending
+	p.pending = nil
+	return out
 }
 
 // Stats returns a snapshot of the pool's counters. A nil pool reports zeros.
@@ -115,9 +230,10 @@ func (p *CEPool) Stats() CEPoolStats {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	s := CEPoolStats{Windows: len(p.buckets), Deposits: p.deposits, Dups: p.dups}
+	s := CEPoolStats{Windows: len(p.buckets), Deposits: p.deposits, Dups: p.dups,
+		Loaded: p.loaded, Evictions: p.evictions}
 	for _, b := range p.buckets {
-		s.Vectors += len(b.vecs)
+		s.Vectors += len(b.slots)
 	}
 	return s
 }

@@ -48,10 +48,15 @@ func TestCEPoolDedupAndCap(t *testing.T) {
 		t.Fatal("pool aliased the caller's buffer")
 	}
 	for i := uint64(0); i < defaultPoolCap*2; i++ {
-		p.Add(4, poolVec(i), nil)
+		if !p.Add(4, poolVec(i), nil) {
+			t.Fatalf("deposit %d rejected: the clock should evict, not drop", i)
+		}
 	}
 	if got := len(p.Vectors(4)); got != defaultPoolCap {
 		t.Fatalf("cap not enforced: %d vectors", got)
+	}
+	if ev := p.Stats().Evictions; ev != defaultPoolCap {
+		t.Fatalf("evictions = %d, want %d", ev, defaultPoolCap)
 	}
 	var nilPool *CEPool
 	if nilPool.Add(1, poolVec(1), nil) || nilPool.Vectors(1) != nil || nilPool.Stats() != (CEPoolStats{}) {
@@ -138,4 +143,73 @@ func TestRescaleVector(t *testing.T) {
 	if _, ok := RescaleVector(params, PoolVector{Inputs: poolVec(1)}); ok {
 		t.Fatal("arity mismatch accepted")
 	}
+}
+
+// TestCEPoolClockEviction pins the second-chance policy: vectors marked
+// referenced (Touch, or a duplicate re-deposit) survive the sweep that
+// evicts unreferenced ones, mirroring interp.Cache.
+func TestCEPoolClockEviction(t *testing.T) {
+	p := NewCEPool()
+	for i := uint64(0); i < defaultPoolCap; i++ {
+		p.Add(1, poolVec(i), nil)
+	}
+	// Protect vector 0 via Touch and vector 1 via a duplicate deposit.
+	p.Touch(1, poolVec(0), nil)
+	if p.Add(1, poolVec(1), nil) {
+		t.Fatal("duplicate deposit must not store")
+	}
+	// Two inserts at cap: the hand sweeps past the two referenced slots
+	// (clearing their marks) and evicts the first unreferenced ones.
+	p.Add(1, poolVec(100), nil)
+	p.Add(1, poolVec(101), nil)
+	have := make(map[uint64]bool)
+	for _, v := range p.Vectors(1) {
+		have[v.Inputs[0].Lanes[0].V] = true
+	}
+	if !have[0] || !have[1] {
+		t.Fatal("referenced vectors were evicted")
+	}
+	if have[2] || have[3] {
+		t.Fatal("unreferenced vectors survived a full sweep")
+	}
+	if !have[100] || !have[101] {
+		t.Fatal("new vectors were not inserted")
+	}
+	st := p.Stats()
+	if st.Vectors != defaultPoolCap || st.Evictions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCEPoolLoadAndDrain pins the persistence hooks: Load installs without
+// marking pending, Add marks pending exactly once, and DrainPending clears.
+func TestCEPoolLoadAndDrain(t *testing.T) {
+	p := NewCEPool()
+	if !p.Load(7, PoolVector{Inputs: poolVec(1, 2)}) {
+		t.Fatal("load rejected")
+	}
+	if p.Load(7, PoolVector{Inputs: poolVec(1, 2)}) {
+		t.Fatal("duplicate load accepted")
+	}
+	p.Add(7, poolVec(3, 4), nil)
+	p.Add(8, poolVec(5, 6), nil)
+	st := p.Stats()
+	if st.Loaded != 1 || st.Deposits != 2 || st.Vectors != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	drained := p.DrainPending()
+	if len(drained) != 2 {
+		t.Fatalf("drained %d vectors, want 2 (loads must not be pending)", len(drained))
+	}
+	if drained[0].Window != 7 || drained[1].Window != 8 {
+		t.Fatalf("drained windows %d, %d", drained[0].Window, drained[1].Window)
+	}
+	if got := p.DrainPending(); got != nil {
+		t.Fatalf("second drain returned %d vectors", len(got))
+	}
+	var nilPool *CEPool
+	if nilPool.Load(1, PoolVector{}) || nilPool.DrainPending() != nil {
+		t.Fatal("nil pool hooks must be inert")
+	}
+	nilPool.Touch(1, nil, nil)
 }

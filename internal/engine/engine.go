@@ -63,6 +63,16 @@ type Config struct {
 	// Generalize bounds the learn stage (zero value = generalize defaults).
 	Generalize generalize.Options
 
+	// Lookup optionally short-circuits sequences whose outcome a previous
+	// campaign already computed: it is consulted once per sequence (after
+	// per-run dedup, before any provider round), and a hit is returned as
+	// the sequence's Result — marked Cached, counted in Stats.StoreHits —
+	// without touching the provider or the verifier. cmd/lpo -store and the
+	// lpod service back it with the persistent content-addressed store
+	// (internal/store), which is what makes resubmitting an overlapping
+	// corpus pay only for windows nobody has processed before.
+	Lookup func(src *ir.Func) (Result, bool)
+
 	AttemptLimit int         // max LLM attempts per sequence (paper: 2)
 	Opt          opt.Options // optimizer used for candidate preprocessing
 	Verify       alive.Options
@@ -147,6 +157,11 @@ type Result struct {
 	// one rule instance; nil when learning is off or the rewrite does not
 	// generalize.
 	Learned *generalize.Rule
+
+	// Cached marks a result served by Config.Lookup (a previous campaign's
+	// stored outcome) rather than computed by this run — consumers that
+	// persist results use it to avoid re-writing what the store gave them.
+	Cached bool
 }
 
 // String renders a result for logs.
@@ -401,6 +416,18 @@ func (e *Engine) runSeq(ctx context.Context, it item) Result {
 		e.dmu.Unlock()
 		if dup {
 			return Result{Index: it.idx, Seq: it.seq, Src: it.seq.Fn, Outcome: Duplicate}
+		}
+	}
+	if e.cfg.Lookup != nil && it.seq.Fn != nil {
+		if r, ok := e.cfg.Lookup(it.seq.Fn); ok {
+			r.Index = it.idx
+			r.Seq = it.seq
+			if r.Src == nil {
+				r.Src = it.seq.Fn
+			}
+			r.Cached = true
+			e.stats.recordStoreHit()
+			return r
 		}
 	}
 

@@ -29,6 +29,7 @@ type Stats struct {
 	usage     llm.Usage
 	stages    map[string]*StageMetrics
 	cacheHits int
+	storeHits int
 	ruleHits  map[string]int
 	learned   int
 
@@ -84,6 +85,12 @@ func (s *Stats) recordStage(name string, seconds float64) {
 func (s *Stats) recordCacheHit() {
 	s.mu.Lock()
 	s.cacheHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordStoreHit() {
+	s.mu.Lock()
+	s.storeHits++
 	s.mu.Unlock()
 }
 
@@ -165,6 +172,14 @@ func (s *Stats) VerifyCacheHits() int {
 	return s.cacheHits
 }
 
+// StoreHits is the number of sequences short-circuited by Config.Lookup —
+// results served from a persistent store instead of recomputed.
+func (s *Stats) StoreHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storeHits
+}
+
 // TierKills returns how many refuted candidates each verification tier
 // killed (actual verifications only; cache hits don't re-count).
 func (s *Stats) TierKills() TierKills {
@@ -198,6 +213,7 @@ func (s *Stats) Reset() {
 	s.usage = llm.Usage{}
 	s.stages = make(map[string]*StageMetrics)
 	s.cacheHits = 0
+	s.storeHits = 0
 	s.ruleHits = make(map[string]int)
 	s.learned = 0
 	s.poolKills, s.specialKills, s.randomKills = 0, 0, 0
@@ -226,6 +242,9 @@ func (s *Stats) Print(w io.Writer) {
 	}
 	if s.cacheHits > 0 {
 		fmt.Fprintf(w, "verify cache hits: %d\n", s.cacheHits)
+	}
+	if s.storeHits > 0 {
+		fmt.Fprintf(w, "store hits (results served from a prior campaign): %d\n", s.storeHits)
 	}
 	if s.verifyExecs > 0 {
 		fmt.Fprintf(w, "verify executions: %d vectors (kills: pool %d, special %d, random %d)\n",

@@ -74,14 +74,18 @@ func DecodePerfSnapshot(data []byte) (*PerfSnapshot, error) {
 
 // ComparePerf checks the current snapshot against a committed reference and
 // returns one description per regression. A tracked workload is regressed
-// when its ns/op exceeds tolerance times the reference (the CI guard uses
+// when its ns/op exceeds nsTolerance times the reference (the CI guard uses
 // 2.0 — generous enough for shared-runner noise, tight enough to catch a
-// lost optimization); workloads present on only one side are ignored, so
-// adding or retiring benchmarks never breaks the guard. The tier-kill
-// counters are deterministic (no timing involved) and compared exactly
-// whenever the reference recorded any, so a broken counterexample-sharing
-// path fails CI even though every ns/op may look fine.
-func ComparePerf(cur, ref *PerfSnapshot, tolerance float64) []string {
+// lost optimization), or when its allocs/op exceeds allocTolerance times the
+// reference (allocation counts are near-deterministic, so growth past the
+// factor is a real change in the code's allocation behaviour, not noise; a
+// small absolute slack exempts workloads whose reference count is tiny).
+// Workloads present on only one side are ignored, so adding or retiring
+// benchmarks never breaks the guard. The tier-kill counters are
+// deterministic (no timing involved) and compared exactly whenever the
+// reference recorded any, so a broken counterexample-sharing path fails CI
+// even though every ns/op may look fine.
+func ComparePerf(cur, ref *PerfSnapshot, nsTolerance, allocTolerance float64) []string {
 	refByName := make(map[string]PerfBench, len(ref.Benches))
 	for _, b := range ref.Benches {
 		refByName[b.Name] = b
@@ -92,10 +96,17 @@ func ComparePerf(cur, ref *PerfSnapshot, tolerance float64) []string {
 		if !ok || r.NsPerOp <= 0 {
 			continue
 		}
-		if b.NsPerOp > r.NsPerOp*tolerance {
+		if b.NsPerOp > r.NsPerOp*nsTolerance {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: %.0f ns/op vs reference %.0f ns/op (%.2fx > %.1fx tolerance)",
-				b.Name, b.NsPerOp, r.NsPerOp, b.NsPerOp/r.NsPerOp, tolerance))
+				b.Name, b.NsPerOp, r.NsPerOp, b.NsPerOp/r.NsPerOp, nsTolerance))
+		}
+		// The +8 slack keeps sub-ten-alloc workloads from tripping the
+		// guard on a one-or-two-alloc wobble.
+		if limit := int64(float64(r.AllocsPerOp)*allocTolerance) + 8; b.AllocsPerOp > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op vs reference %d allocs/op (> %.1fx tolerance)",
+				b.Name, b.AllocsPerOp, r.AllocsPerOp, allocTolerance))
 		}
 	}
 	if ref.TierKills != (PerfTierKills{}) && cur.TierKills != ref.TierKills {

@@ -1,0 +1,419 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/alive"
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/llm"
+	"repro/internal/parser"
+	"repro/internal/store"
+)
+
+// Config assembles a discovery server.
+type Config struct {
+	// Store is the persistent content-addressed store (required). The server
+	// does not close it; the owner does, after Server.Close.
+	Store *store.Store
+	// Client is the LLM provider; nil builds the simulated provider from
+	// Model and Seed.
+	Client llm.Client
+	// Model names the provider profile for the simulated client
+	// (default "Gemini2.0T").
+	Model string
+	// Seed drives the simulated provider and the verifier (default 1).
+	Seed uint64
+	// Engine tunes the embedded engine. The server forces Learn on, installs
+	// a store-backed Lookup, and threads one persistent CEPool through
+	// Verify — everything else passes through.
+	Engine engine.Config
+}
+
+// Server is the lpod discovery service: one warm engine behind an HTTP/JSON
+// API, every outcome persisted to (and deduplicated against) the store.
+// Windows POSTed to /v1/windows are content-addressed by their structural
+// hash; only hashes the store has never seen reach the engine. Findings,
+// learned rules and counterexample vectors are committed to the store as
+// results drain, so a restarted server resumes exactly where the last one
+// stopped.
+type Server struct {
+	st   *store.Store
+	pool *alive.CEPool
+	eng  *engine.Engine
+	sub  *engine.Submitter
+
+	cancel context.CancelFunc
+	drain  sync.WaitGroup
+
+	mu        sync.Mutex
+	inflight  map[uint64]bool
+	submitted int64
+	persisted int64
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// loadedVectors is how many pool vectors the startup warm load installed.
+	loadedVectors int
+}
+
+// New builds and starts a server: loads the store's counterexample corpus
+// into a fresh pool, wires the engine with learning and store lookup, and
+// starts the persistent worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: Config.Store is required")
+	}
+	if cfg.Model == "" {
+		cfg.Model = "Gemini2.0T"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = llm.NewSim(cfg.Model, cfg.Seed)
+	}
+
+	ecfg := cfg.Engine
+	ecfg.Learn = true
+	pool := ecfg.Verify.Pool
+	if pool == nil {
+		pool = alive.NewCEPool()
+		ecfg.Verify.Pool = pool
+	}
+	if ecfg.Verify.Seed == 0 {
+		ecfg.Verify.Seed = cfg.Seed
+	}
+	ecfg.Lookup = StoreLookup(cfg.Store)
+
+	s := &Server{
+		st:       cfg.Store,
+		pool:     pool,
+		inflight: make(map[uint64]bool),
+	}
+	n, err := LoadPool(cfg.Store, pool)
+	if err != nil {
+		return nil, fmt.Errorf("service: loading pool vectors: %w", err)
+	}
+	s.loadedVectors = n
+
+	s.eng = engine.New(client, ecfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.sub = s.eng.Submitter(ctx)
+	s.drain.Add(1)
+	go s.drainResults()
+	return s, nil
+}
+
+// drainResults persists every computed result as it arrives, then clears
+// the window's inflight mark — findings become servable only once durable,
+// which is what lets a crashed-and-restarted daemon serve identical bytes.
+func (s *Server) drainResults() {
+	defer s.drain.Done()
+	for res := range s.sub.Results() {
+		s.persist(res)
+	}
+}
+
+func (s *Server) persist(res engine.Result) {
+	if res.Src == nil {
+		return
+	}
+	h := ir.Hash(res.Src)
+	added, err := SaveResult(s.st, res)
+	if err == nil {
+		if _, ferr := FlushPool(s.st, s.pool); ferr != nil {
+			err = ferr
+		}
+	}
+	if err == nil {
+		err = s.st.Commit()
+	}
+	s.mu.Lock()
+	delete(s.inflight, h)
+	if added && err == nil {
+		s.persisted++
+	}
+	s.mu.Unlock()
+}
+
+// LoadedVectors reports how many counterexample vectors the startup warm
+// load installed into the pool.
+func (s *Server) LoadedVectors() int { return s.loadedVectors }
+
+// Close drains the engine (pending submissions still complete and persist),
+// flushes the pool's remaining vectors, and commits. It does not close the
+// store. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.sub.Close()
+		s.drain.Wait()
+		s.cancel()
+		if _, err := FlushPool(s.st, s.pool); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+		if err := s.st.Commit(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// windowStatus is one per-window entry in a submit response.
+type windowStatus struct {
+	Window string `json:"window,omitempty"`
+	Status string `json:"status"` // cached | queued | pending | invalid
+	Error  string `json:"error,omitempty"`
+}
+
+// submitRequest is the JSON body of POST /v1/windows: one window or a batch.
+type submitRequest struct {
+	IR      string   `json:"ir,omitempty"`
+	Windows []string `json:"windows,omitempty"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/windows          submit one window or a batch (JSON or raw .ll)
+//	GET  /v1/findings/{hash}  a stored finding, verbatim bytes
+//	GET  /v1/rulebook         the store's assembled rulebook
+//	GET  /v1/stats            engine + store + pool + server counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/windows", s.handleSubmit)
+	mux.HandleFunc("GET /v1/findings/{hash}", s.handleFinding)
+	mux.HandleFunc("GET /v1/rulebook", s.handleRulebook)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var sources []string
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") {
+		var req submitRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		if req.IR != "" {
+			sources = append(sources, req.IR)
+		}
+		sources = append(sources, req.Windows...)
+	} else {
+		// Raw .ll text (curl-friendly): every function in the module is a
+		// window.
+		sources = append(sources, string(body))
+	}
+	if len(sources) == 0 {
+		httpError(w, http.StatusBadRequest, "no windows in request")
+		return
+	}
+
+	var statuses []windowStatus
+	for _, src := range sources {
+		mod, err := parser.Parse(src)
+		if err != nil {
+			statuses = append(statuses, windowStatus{Status: "invalid", Error: err.Error()})
+			continue
+		}
+		for _, fn := range mod.Funcs {
+			statuses = append(statuses, s.submitWindow(r.Context(), fn))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"windows": statuses})
+}
+
+// submitWindow dedups one window against the store and the inflight set,
+// scheduling it on the engine only when it is genuinely novel.
+func (s *Server) submitWindow(ctx context.Context, fn *ir.Func) windowStatus {
+	h := ir.Hash(fn)
+	key := store.WindowKey(h)
+	ws := windowStatus{Window: key}
+	if s.st.Has(store.KindFinding, key) {
+		ws.Status = "cached"
+		return ws
+	}
+	s.mu.Lock()
+	if s.inflight[h] {
+		s.mu.Unlock()
+		ws.Status = "pending"
+		return ws
+	}
+	s.inflight[h] = true
+	s.submitted++
+	s.mu.Unlock()
+
+	if err := s.sub.Submit(ctx, fn); err != nil {
+		s.mu.Lock()
+		delete(s.inflight, h)
+		s.submitted--
+		s.mu.Unlock()
+		ws.Status = "invalid"
+		ws.Error = err.Error()
+		return ws
+	}
+	ws.Status = "queued"
+	return ws
+}
+
+func (s *Server) handleFinding(w http.ResponseWriter, r *http.Request) {
+	h, err := store.ParseWindowKey(r.PathValue("hash"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad window hash: %v", err)
+		return
+	}
+	key := store.WindowKey(h)
+	if data, ok := s.st.Get(store.KindFinding, key); ok {
+		// Serve the stored bytes verbatim: the store is the wire format, so
+		// a restarted daemon answers byte-identically.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+		return
+	}
+	s.mu.Lock()
+	pending := s.inflight[h]
+	s.mu.Unlock()
+	if pending {
+		writeJSON(w, http.StatusAccepted, windowStatus{Window: key, Status: "pending"})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, windowStatus{Window: key, Status: "unknown"})
+}
+
+func (s *Server) handleRulebook(w http.ResponseWriter, r *http.Request) {
+	book, err := StoreRulebook(s.st)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "assembling rulebook: %v", err)
+		return
+	}
+	data, err := book.Encode()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding rulebook: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// statsReply is the GET /v1/stats wire format.
+type statsReply struct {
+	Engine struct {
+		Sequences       int            `json:"sequences"`
+		Outcomes        map[string]int `json:"outcomes"`
+		VerifyExecs     int            `json:"verify_execs"`
+		VerifyCacheHits int            `json:"verify_cache_hits"`
+		StoreHits       int            `json:"store_hits"`
+		LearnedFindings int            `json:"learned_findings"`
+		TierKills       struct {
+			Pool    int `json:"pool"`
+			Special int `json:"special"`
+			Random  int `json:"random"`
+		} `json:"tier_kills"`
+	} `json:"engine"`
+	Store struct {
+		Records   int   `json:"records"`
+		Findings  int   `json:"findings"`
+		Rules     int   `json:"rules"`
+		Vectors   int   `json:"vectors"`
+		Bytes     int64 `json:"bytes"`
+		PutNew    int64 `json:"put_new"`
+		PutDup    int64 `json:"put_dup"`
+		GetHits   int64 `json:"get_hits"`
+		GetMisses int64 `json:"get_misses"`
+		Recovered int64 `json:"recovered_bytes"`
+	} `json:"store"`
+	Pool struct {
+		Windows   int   `json:"windows"`
+		Vectors   int   `json:"vectors"`
+		Deposits  int64 `json:"deposits"`
+		Dups      int64 `json:"dups"`
+		Loaded    int64 `json:"loaded"`
+		Evictions int64 `json:"evictions"`
+	} `json:"pool"`
+	Server struct {
+		Submitted     int64 `json:"submitted"`
+		Persisted     int64 `json:"persisted"`
+		Inflight      int   `json:"inflight"`
+		LoadedVectors int   `json:"loaded_vectors"`
+	} `json:"server"`
+}
+
+// StatsSnapshot gathers the live counters (also the GET /v1/stats payload).
+func (s *Server) StatsSnapshot() any {
+	var rep statsReply
+	es := s.sub.Stats()
+	rep.Engine.Sequences = es.Sequences()
+	rep.Engine.Outcomes = make(map[string]int)
+	for o, n := range es.ByOutcome() {
+		rep.Engine.Outcomes[string(o)] = n
+	}
+	rep.Engine.VerifyExecs = es.VerifyExecs()
+	rep.Engine.VerifyCacheHits = es.VerifyCacheHits()
+	rep.Engine.StoreHits = es.StoreHits()
+	rep.Engine.LearnedFindings = es.LearnedFindings()
+	tk := es.TierKills()
+	rep.Engine.TierKills.Pool = tk.Pool
+	rep.Engine.TierKills.Special = tk.Special
+	rep.Engine.TierKills.Random = tk.Random
+
+	ss := s.st.Stats()
+	rep.Store.Records = ss.Records
+	rep.Store.Findings = ss.Findings
+	rep.Store.Rules = ss.Rules
+	rep.Store.Vectors = ss.Vectors
+	rep.Store.Bytes = ss.Bytes
+	rep.Store.PutNew = ss.PutNew
+	rep.Store.PutDup = ss.PutDup
+	rep.Store.GetHits = ss.GetHits
+	rep.Store.GetMisses = ss.GetMisses
+	rep.Store.Recovered = ss.Recovered
+
+	ps := s.pool.Stats()
+	rep.Pool.Windows = ps.Windows
+	rep.Pool.Vectors = ps.Vectors
+	rep.Pool.Deposits = ps.Deposits
+	rep.Pool.Dups = ps.Dups
+	rep.Pool.Loaded = ps.Loaded
+	rep.Pool.Evictions = ps.Evictions
+
+	s.mu.Lock()
+	rep.Server.Submitted = s.submitted
+	rep.Server.Persisted = s.persisted
+	rep.Server.Inflight = len(s.inflight)
+	s.mu.Unlock()
+	rep.Server.LoadedVectors = s.loadedVectors
+	return rep
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,187 @@
+package store
+
+// Typed payloads for the three record kinds. Findings and pool vectors are
+// encoded as indented JSON with a trailing newline, like rulebooks, and the
+// encodings are deterministic: resubmitting a corpus against a warm store
+// must serve byte-identical findings, so the stored bytes ARE the wire
+// format — the HTTP layer returns them verbatim.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/alive"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// WindowKey renders an ir.Hash window hash as the store's key string
+// (16 lower-case hex digits, the format the HTTP API uses in paths).
+func WindowKey(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// ParseWindowKey parses a WindowKey back into the hash. It accepts any
+// 1..16-digit hex string so hand-typed curl requests work.
+func ParseWindowKey(s string) (uint64, error) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, fmt.Errorf("store: %q is not a window hash", s)
+	}
+	h, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: %q is not a window hash", s)
+	}
+	return h, nil
+}
+
+// Finding is the persisted outcome of one window's trip through the
+// discovery loop — enough to serve the result without recomputing it and to
+// reconstruct an engine Result for short-circuiting. Src and Cand are the
+// canonical ir printouts of the window and (for found outcomes) the
+// verified candidate.
+type Finding struct {
+	Window       string         `json:"window"`
+	Outcome      string         `json:"outcome"`
+	Round        int            `json:"round,omitempty"`
+	Src          string         `json:"src"`
+	Cand         string         `json:"cand,omitempty"`
+	InstrsBefore int            `json:"instrs_before,omitempty"`
+	InstrsAfter  int            `json:"instrs_after,omitempty"`
+	CyclesBefore int            `json:"cycles_before,omitempty"`
+	CyclesAfter  int            `json:"cycles_after,omitempty"`
+	RuleHits     map[string]int `json:"rule_hits,omitempty"`
+	LearnedID    string         `json:"learned_rule,omitempty"`
+}
+
+// Encode renders the finding as indented JSON with a trailing newline.
+// Encoding is deterministic (struct field order; the one map is sorted by
+// encoding/json), which is what makes stored findings byte-stable.
+func (f *Finding) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeFinding parses a finding previously written by Encode.
+func DecodeFinding(data []byte) (*Finding, error) {
+	var f Finding
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("store: finding: %w", err)
+	}
+	return &f, nil
+}
+
+// PoolVec is one persisted counterexample vector of the falsifier corpus:
+// the window it refuted a candidate for, the argument vector, and the
+// initial memory behind each pointer argument.
+type PoolVec struct {
+	Window string    `json:"window"`
+	Inputs []RValRec `json:"inputs"`
+	Mem    [][]byte  `json:"mem,omitempty"`
+}
+
+// RValRec is the serialized form of one interp.RVal.
+type RValRec struct {
+	Ty    string    `json:"ty"`
+	Lanes []LaneRec `json:"lanes"`
+}
+
+// LaneRec is one serialized lane. JSON round-trips uint64 exactly in Go.
+type LaneRec struct {
+	V      uint64 `json:"v"`
+	Poison bool   `json:"p,omitempty"`
+}
+
+// NewPoolVec converts a pooled vector for persistence.
+func NewPoolVec(window uint64, v alive.PoolVector) PoolVec {
+	pv := PoolVec{Window: WindowKey(window), Mem: v.Mem}
+	for _, in := range v.Inputs {
+		rec := RValRec{Ty: in.Ty.String(), Lanes: make([]LaneRec, len(in.Lanes))}
+		for i, l := range in.Lanes {
+			rec.Lanes[i] = LaneRec{V: l.V, Poison: l.Poison}
+		}
+		pv.Inputs = append(pv.Inputs, rec)
+	}
+	return pv
+}
+
+// Vector converts a persisted vector back into pool form.
+func (pv *PoolVec) Vector() (window uint64, v alive.PoolVector, err error) {
+	window, err = ParseWindowKey(pv.Window)
+	if err != nil {
+		return 0, alive.PoolVector{}, err
+	}
+	v = alive.PoolVector{Mem: pv.Mem}
+	for _, rec := range pv.Inputs {
+		ty, err := parseType(rec.Ty)
+		if err != nil {
+			return 0, alive.PoolVector{}, err
+		}
+		rv := interp.RVal{Ty: ty, Lanes: make([]interp.Word, len(rec.Lanes))}
+		for i, l := range rec.Lanes {
+			rv.Lanes[i] = interp.Word{V: l.V, Poison: l.Poison}
+		}
+		v.Inputs = append(v.Inputs, rv)
+	}
+	return window, v, nil
+}
+
+// Encode renders the vector record as compact JSON.
+func (pv *PoolVec) Encode() ([]byte, error) { return json.Marshal(pv) }
+
+// DecodePoolVec parses a vector record previously written by Encode.
+func DecodePoolVec(data []byte) (*PoolVec, error) {
+	var pv PoolVec
+	if err := json.Unmarshal(data, &pv); err != nil {
+		return nil, fmt.Errorf("store: pool vector: %w", err)
+	}
+	return &pv, nil
+}
+
+// VectorKey builds the KindVector store key for an encoded vector record:
+// the window hash plus a content hash of the encoding, so every distinct
+// vector of a window is its own immutable record.
+func VectorKey(window uint64, encoded []byte) string {
+	h := fnv.New64a()
+	h.Write(encoded)
+	return WindowKey(window) + "/" + fmt.Sprintf("%016x", h.Sum64())
+}
+
+// parseType parses the .ll type syntax RValRec stores: iN, float, double,
+// ptr, and fixed-length vectors thereof.
+func parseType(s string) (ir.Type, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "float":
+		return ir.F32, nil
+	case s == "double":
+		return ir.F64, nil
+	case s == "ptr":
+		return ir.Ptr, nil
+	case strings.HasPrefix(s, "i"):
+		w, err := strconv.Atoi(s[1:])
+		if err != nil || w < 1 || w > 64 {
+			return nil, fmt.Errorf("store: bad type %q", s)
+		}
+		return ir.IntT(w), nil
+	case strings.HasPrefix(s, "<") && strings.HasSuffix(s, ">"):
+		body := s[1 : len(s)-1]
+		n, elemStr, ok := strings.Cut(body, " x ")
+		if !ok {
+			return nil, fmt.Errorf("store: bad type %q", s)
+		}
+		lanes, err := strconv.Atoi(strings.TrimSpace(n))
+		if err != nil || lanes < 1 {
+			return nil, fmt.Errorf("store: bad type %q", s)
+		}
+		elem, err := parseType(elemStr)
+		if err != nil {
+			return nil, err
+		}
+		return ir.VecT(lanes, elem), nil
+	}
+	return nil, fmt.Errorf("store: bad type %q", s)
+}
