@@ -299,6 +299,17 @@ func BenchmarkVerifyReference(b *testing.B) { experiments.BenchVerifyReference(b
 // steady state): pure lane-batched verification with everything warm.
 func BenchmarkVerifyBatch(b *testing.B) { experiments.BenchVerifyBatch(b) }
 
+// BenchmarkVerifyMultiBlock measures the reused checker on a branchy pair
+// (an abs-value diamond vs its branch-free form): since the masked
+// multi-block scheduler landed, these vectors run lane-batched instead of
+// through the per-vector fallback.
+func BenchmarkVerifyMultiBlock(b *testing.B) { experiments.BenchVerifyMultiBlock(b) }
+
+// BenchmarkVerifyMemory measures the reused checker on a load/store pair:
+// per-lane memory slabs let pointer programs batch, including the
+// columnwise memory-fill generation and the per-lane final-memory diff.
+func BenchmarkVerifyMemory(b *testing.B) { experiments.BenchVerifyMemory(b) }
+
 // BenchmarkVerifyWidths measures a generalize-style width sweep (the same
 // pair re-instantiated and re-verified at i8/i16/i32/i64) with the shared
 // program cache.

@@ -109,11 +109,12 @@
 // and skips per-run defined-register bookkeeping and block dispatch.
 // Multi-block functions (phis, loops) run on the same register machine with
 // those guards enabled; the one construct the register machine does not
-// model (vector constants with runtime elements) falls back to interp.Exec
-// wholesale. interp.Cache memoizes Programs by structural hash: the engine
-// installs one cache per campaign shared by its verify stage and the
-// generalize width sweeps, and the Souper/Minotaur CEGIS loops reuse
-// compiled candidates across their filtering vectors and final checks.
+// model (vector constants with runtime elements) is marked unbatchable at
+// compile time (Program.Batchable, with BatchFallbackReason naming why).
+// interp.Cache memoizes Programs by structural hash: the engine installs
+// one cache per campaign shared by its verify stage and the generalize
+// width sweeps, and the Souper/Minotaur CEGIS loops reuse compiled
+// candidates across their filtering vectors and final checks.
 //
 // On top of the compile-once split, execution is lane-batched:
 // Evaluator.RunBatch streams up to interp.BatchWidth input vectors through a
@@ -125,13 +126,23 @@
 // freeze) run as tight per-op loops with constants pre-broadcast into
 // columns, and UB, poison, return values and step budgets are tracked per
 // lane — bit-identical to running each vector alone (pinned by randomized
-// differential tests). Multi-block, memory-touching and
-// dynamic-vector-constant programs transparently fall back to per-vector
-// execution. Streaming callers write inputs straight into the evaluator's
-// ArgColumn runs and execute with RunBatchFilled, eliding staging and
-// scatter entirely. interp.Cache is bounded (clock eviction over a few
-// thousand programs, Stats for hit/miss/eviction counters), so campaign-long
-// caches stay a few MB.
+// differential tests over straight-line, branchy and memory-touching
+// programs). Multi-block programs run under a lane-masked scheduler: each
+// block keeps a bitmask of lanes waiting to execute it, the scheduler
+// always resumes the lowest-numbered runnable block so lanes that diverged
+// at a branch reconverge at the join, and per-lane step budgets, phi
+// predecessors and defined-register guards match single-vector Run exactly
+// — a lane that exhausts its budget or trips UB simply drops out of every
+// later mask. Memory-touching programs batch over per-lane memory slabs
+// (interp.BatchMems): one lane-strided allocation per declared region,
+// carved into BatchWidth isolated Memory views at identical base
+// addresses, so loads and stores index lane-local storage with no
+// cross-lane interference and a lane's final memory can be diffed or reset
+// (ResetLane) independently. Streaming callers write inputs straight into
+// the evaluator's ArgColumn runs and execute with RunBatchFilled, eliding
+// staging and scatter entirely. interp.Cache is bounded (clock eviction
+// over a few thousand programs, Stats for hit/miss/eviction counters), so
+// campaign-long caches stay a few MB.
 //
 // internal/alive builds on this with alive.NewChecker and a tiered
 // verification scheduler. Tier 0 replays the source window's pooled
@@ -139,11 +150,20 @@
 // every falsified candidate deposits the refuting input, CEGIS-style, so
 // repeat offenders die in a handful of executions); tier 1 runs the
 // exhaustive/special-value phases and tier 2 the random phases, both
-// streamed through the lane-batched evaluators for memory-free straight-line
-// pairs. The generated sequence, first violating vector and counterexample
-// text are identical to the per-vector path (and to alive.ReferenceVerify,
-// the retained Exec-per-input baseline); Result.Tiers reports per-tier
-// executions and the killing tier, and `lpo-verify -stats` prints them.
+// streamed through the lane-batched evaluators whenever both programs
+// compile batchable — straight-line or branchy, with or without memory.
+// The input generator emits columnwise (inputGen.nextBatch binds each
+// output vector to a different ArgColumn slot before drawing it, keeping
+// the vector-major rng draw order that same-seed reproducibility pins),
+// memory fills land directly in the per-lane slabs, and refuted pairs
+// restore the raw generated pointer words and initial region bytes so the
+// counterexample text stays byte-identical to the per-vector path (and to
+// alive.ReferenceVerify, the retained Exec-per-input baseline). Result.Tiers
+// reports per-tier executions, the killing tier and the batched/fallback
+// split (Batched + Fallback == Checked — tier-0 pool replays are always
+// per-vector, everything else batches unless a program is unbatchable);
+// `lpo-verify -stats` prints them, engine.Stats aggregates them campaign-
+// wide as BatchCoverage, and GET /v1/stats serves them.
 // alive.VerifyWidths reseeds each width of a sweep with earlier widths'
 // counterexamples rescaled to the new width; the engine installs one CEPool
 // per campaign beside its program cache (Stats.TierKills aggregates the
@@ -154,21 +174,25 @@
 //
 // `lpo-bench -json FILE` records the hot-path numbers as a machine-readable
 // snapshot so later PRs have a trajectory to compare against. The format
-// (schema "lpo-bench-perf/2") is one JSON object: "schema", "go_max_procs",
+// (schema "lpo-bench-perf/3") is one JSON object: "schema", "go_max_procs",
 // "go_version", "benchmarks" — an array of {name, ns_per_op, allocs_per_op,
 // bytes_per_op, iterations} for the workloads verify_checker,
-// verify_reference, verify_batch, verify_widths, interp_exec,
-// interp_compiled, interp_batch, opt_dispatch_all_rules and opt_run_o3
-// (mirrored by the root-level BenchmarkVerify*/BenchmarkInterp* benchmarks;
-// interp_batch measures one whole BatchWidth-vector batch per op) — and
-// "tier_kills", the {pool, special, random} kill counters of a fixed
-// refute-twice-then-verify script that makes counterexample sharing
-// CI-observable. CI uploads the snapshot as an artifact on every run and
-// fails if any tracked workload regresses past 2x ns/op or grows past 2x
-// allocs/op against the committed reference (`lpo-bench -json out.json
-// -against BENCH_5.json`, tolerances via -tolerance / -alloc-tolerance);
-// BENCH_5.json in the repository root is the PR-5 reference point,
-// BENCH_4.json the PR-4 one.
+// verify_reference, verify_batch, verify_multiblock, verify_memory,
+// verify_widths, interp_exec, interp_compiled, interp_batch,
+// opt_dispatch_all_rules and opt_run_o3 (mirrored by the root-level
+// BenchmarkVerify*/BenchmarkInterp* benchmarks; interp_batch measures one
+// whole BatchWidth-vector batch per op, verify_multiblock/verify_memory
+// exercise the masked scheduler and the per-lane slabs on a reused
+// checker) — "tier_kills", the {pool, special, random} kill counters of a
+// fixed refute-twice-then-verify script that makes counterexample sharing
+// CI-observable — and "batch_coverage", the {batched, fallback, coverage}
+// split of a deterministic corpus self-verification sweep. CI uploads the
+// snapshot as an artifact on every run and fails if any tracked workload
+// regresses past 2x ns/op or grows past 2x allocs/op against the committed
+// reference, or if the sweep's batched share drops below 95% (`lpo-bench
+// -json out.json -against BENCH_6.json`, tolerances via -tolerance /
+// -alloc-tolerance); BENCH_6.json in the repository root is the PR-6
+// reference point, BENCH_5.json the PR-5 one, BENCH_4.json the PR-4 one.
 //
 // # The lpod Service and the Content-Addressed Store
 //
@@ -205,7 +229,8 @@
 // until it is durable. GET /v1/findings/{hash} returns the stored bytes
 // verbatim, GET /v1/rulebook assembles the store's accumulated rule
 // entries into a standard rulebook, and GET /v1/stats reports engine
-// (outcomes, verify executions, tier kills, store hits), store
+// (outcomes, verify executions, tier kills, batch coverage, store hits),
+// store
 // (records, hit/miss counters, recovered bytes) and pool counters.
 // Restarting the daemon on the same store resumes exactly: resubmitted
 // corpora are answered byte-identically from disk with no provider or

@@ -166,6 +166,12 @@ type TierStats struct {
 	SpecialChecked int // tier 1: exhaustive enumeration and special values
 	RandomChecked  int // tier 2: random samples
 	KillTier       int // Tier* constant of the violating vector, TierNone if none
+
+	// Batched and Fallback split Checked by execution path: vectors run on
+	// the lane-batched fast path versus per-vector execution (tier-0
+	// replays and non-batchable programs). Batched+Fallback == Checked.
+	Batched  int
+	Fallback int
 }
 
 func (t *TierStats) count(tier int) {
@@ -212,17 +218,23 @@ type Checker struct {
 	haveKey bool
 	seeds   []PoolVector // extra tier-0 vectors (width-sweep reseeding)
 
-	// Lane-batched streaming state, built lazily when both programs take
-	// the batch fast path (memory-free straight-line pairs). The generator
-	// writes each vector directly into the source evaluator's input columns
-	// (bArgs views them per batch slot), the columns are bulk-copied into
-	// the target evaluator, and both sides run with RunBatchFilled — no
-	// per-vector staging or scatter at all.
+	// Lane-batched streaming state, built lazily when both programs are
+	// batchable (everything except dynamic-vector-constant programs). The
+	// generator writes each vector directly into the source evaluator's
+	// input columns (bArgs views them per batch slot), the columns are
+	// bulk-copied into the target evaluator, and both sides run with
+	// RunBatchFilled — no per-vector staging or scatter at all. Pairs with
+	// pointer parameters additionally carry per-lane slab memories: each
+	// batch slot's regions are reset to that vector's initial fill before
+	// the runs and diffed lane against lane afterwards.
 	bArgs            [][]interp.RVal // per batch slot: views into srcCols
 	srcCols, tgtCols [][]interp.Word // per param: the evaluators' input columns
 	bTiers           []int8
 	srcRes           []interp.Result
 	tgtRes           []interp.Result
+	srcBM, tgtBM     *interp.BatchMems // per-lane memories (pointer params only)
+	bFills           [][][]byte        // per slot: initial region fill, per ptr param
+	ptrSave          [][]interp.Word   // per ptr param: raw generated words, per slot
 }
 
 // NewChecker compiles src and tgt (through opts.Programs when set) and
@@ -304,6 +316,7 @@ func (c *Checker) Verify() Result {
 			}
 			res.Checked++
 			res.Tiers.PoolChecked++
+			res.Tiers.Fallback++
 			if ce := c.checkVector(pv.Inputs, pv.Mem); ce != nil {
 				res.Verdict = Incorrect
 				res.CE = ce
@@ -323,13 +336,14 @@ func (c *Checker) Verify() Result {
 	}
 	gen := newInputGen(c.src, c.opts)
 	res.Exhaustive = gen.exhaustive
-	if len(c.ptrParams) == 0 && c.se.Program().Batchable() && c.te.Program().Batchable() {
+	if c.se.Program().Batchable() && c.te.Program().Batchable() {
 		return c.verifyBatched(gen, res)
 	}
 	for gen.next() {
 		res.Checked++
 		tier := gen.tier()
 		res.Tiers.count(tier)
+		res.Tiers.Fallback++
 		if ce := c.checkVector(gen.inputs, gen.memBytes); ce != nil {
 			res.Verdict = Incorrect
 			res.CE = ce
@@ -369,20 +383,30 @@ func (c *Checker) deposit(ce *CounterExample) {
 // lane batches of interp.BatchWidth. Violations are scanned in generation
 // order within each batch, so the first violating vector — and therefore
 // Checked and the counterexample — match the per-vector path bit for bit.
+// Pointer-parameter pairs run against per-lane slab memories: the fill
+// hook snapshots each vector's initial memory into its lane (and saves the
+// raw generated pointer words for counterexample fidelity) before the
+// columns' pointer slots are pinned to the fixed region bases.
 func (c *Checker) verifyBatched(gen *inputGen, res Result) Result {
 	c.initBatch()
 	retVoid := ir.IsVoid(c.src.Ret)
 	fpBits := retFPBits(c.src.Ret)
-	for {
-		n := 0
-		for n < interp.BatchWidth {
-			gen.bind(c.bArgs[n])
-			if !gen.next() {
-				break
+	var fill func(int)
+	var srcMems, tgtMems []*interp.Memory
+	if len(c.ptrParams) > 0 {
+		srcMems, tgtMems = c.srcBM.Mems, c.tgtBM.Mems
+		fill = func(b int) {
+			for j, pi := range c.ptrParams {
+				c.ptrSave[j][b] = c.srcCols[pi][b]
+				c.srcCols[pi][b] = interp.Word{V: regionBase(pi)}
+				copy(c.bFills[b][j], gen.memBytes[j])
+				c.srcBM.ResetLane(j, b, gen.memBytes[j])
+				c.tgtBM.ResetLane(j, b, gen.memBytes[j])
 			}
-			c.bTiers[n] = int8(gen.tier())
-			n++
 		}
+	}
+	for {
+		n := gen.nextBatch(c.bArgs, c.bTiers, fill)
 		if n == 0 {
 			break
 		}
@@ -390,11 +414,18 @@ func (c *Checker) verifyBatched(gen *inputGen, res Result) Result {
 			lanesPerVec := len(c.srcCols[k]) / interp.BatchWidth
 			copy(c.tgtCols[k][:n*lanesPerVec], c.srcCols[k][:n*lanesPerVec])
 		}
-		c.se.RunBatchFilled(n, c.srcRes[:n])
-		c.te.RunBatchFilled(n, c.tgtRes[:n])
+		// The gate above checked Batchable on both programs, so neither call
+		// can fail; a non-nil error here is a bug in the gate.
+		if err := c.se.RunBatchFilled(n, c.srcRes[:n], srcMems); err != nil {
+			panic(err)
+		}
+		if err := c.te.RunBatchFilled(n, c.tgtRes[:n], tgtMems); err != nil {
+			panic(err)
+		}
 		for i := 0; i < n; i++ {
 			res.Checked++
 			res.Tiers.count(int(c.bTiers[i]))
+			res.Tiers.Batched++
 			rs, rt := &c.srcRes[i], &c.tgtRes[i]
 			if !rs.Completed || rs.UB {
 				continue // out of budget or source UB: target unconstrained
@@ -402,13 +433,27 @@ func (c *Checker) verifyBatched(gen *inputGen, res Result) Result {
 			if !rt.Completed {
 				continue
 			}
+			diff := ""
 			if !rt.UB && (retVoid || refinesLanes(rs.Ret.Lanes, rt.Ret.Lanes, fpBits)) {
-				continue
+				if len(c.ptrParams) > 0 {
+					diff = memDiff(c.srcBM.Mems[i], c.tgtBM.Mems[i])
+				}
+				if diff == "" {
+					continue
+				}
+			}
+			inputs := cloneRVals(c.bArgs[i])
+			for j, pi := range c.ptrParams {
+				inputs[pi].Lanes[0] = c.ptrSave[j][i]
+			}
+			var memCopy [][]byte
+			if c.bFills != nil {
+				memCopy = cloneByteSlices(c.bFills[i])
 			}
 			ce := &CounterExample{Params: c.src.Params,
-				Inputs: cloneRVals(c.bArgs[i]),
+				Inputs: inputs, Memory: memCopy,
 				SrcRet: rs.Ret.Clone(), TgtRet: rt.Ret.Clone(),
-				SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason}
+				SrcUB: rs.UB, TgtUB: rt.UB, TgtWhy: rt.UBReason, MemDiff: diff}
 			res.Verdict = Incorrect
 			res.CE = ce
 			res.Tiers.KillTier = int(c.bTiers[i])
@@ -423,7 +468,9 @@ func (c *Checker) verifyBatched(gen *inputGen, res Result) Result {
 // initBatch wires the generator-facing argument views straight into the
 // source evaluator's input columns (one RVal view per batch slot and
 // parameter), so filling a batch writes the arena directly and the target
-// side needs only one bulk column copy per parameter.
+// side needs only one bulk column copy per parameter. Pairs with pointer
+// parameters also build the per-lane slab memories, the per-slot fill
+// snapshots behind counterexamples, and the raw-pointer-word save area.
 func (c *Checker) initBatch() {
 	if c.bArgs != nil {
 		return
@@ -435,8 +482,17 @@ func (c *Checker) initBatch() {
 	c.srcCols = make([][]interp.Word, np)
 	c.tgtCols = make([][]interp.Word, np)
 	for i := range c.src.Params {
-		c.srcCols[i] = c.se.ArgColumn(i)
-		c.tgtCols[i] = c.te.ArgColumn(i)
+		// Verify gated on Batchable for both programs, so neither call can
+		// fail here.
+		col, err := c.se.ArgColumn(i)
+		if err != nil {
+			panic(err)
+		}
+		c.srcCols[i] = col
+		if col, err = c.te.ArgColumn(i); err != nil {
+			panic(err)
+		}
+		c.tgtCols[i] = col
 	}
 	c.bArgs = make([][]interp.RVal, interp.BatchWidth)
 	vals := make([]interp.RVal, interp.BatchWidth*np)
@@ -447,6 +503,30 @@ func (c *Checker) initBatch() {
 			args[i] = interp.RVal{Ty: p.Ty, Lanes: c.srcCols[i][b*n : (b+1)*n : (b+1)*n]}
 		}
 		c.bArgs[b] = args
+	}
+	if len(c.ptrParams) == 0 {
+		return
+	}
+	c.srcBM = interp.NewBatchMems(interp.BatchWidth)
+	c.tgtBM = interp.NewBatchMems(interp.BatchWidth)
+	for _, i := range c.ptrParams {
+		p := c.src.Params[i]
+		c.srcBM.AddRegion(p.Nm, regionBase(i), c.opts.MemSize)
+		c.tgtBM.AddRegion(p.Nm, regionBase(i), c.opts.MemSize)
+	}
+	c.ptrSave = make([][]interp.Word, len(c.ptrParams))
+	for j := range c.ptrSave {
+		c.ptrSave[j] = make([]interp.Word, interp.BatchWidth)
+	}
+	c.bFills = make([][][]byte, interp.BatchWidth)
+	fillBuf := make([]byte, interp.BatchWidth*len(c.ptrParams)*c.opts.MemSize)
+	for b := range c.bFills {
+		fl := make([][]byte, len(c.ptrParams))
+		for j := range fl {
+			off := (b*len(c.ptrParams) + j) * c.opts.MemSize
+			fl[j] = fillBuf[off : off+c.opts.MemSize : off+c.opts.MemSize]
+		}
+		c.bFills[b] = fl
 	}
 }
 
@@ -617,6 +697,7 @@ func ReferenceVerify(src, tgt *ir.Func, opts Options) Result {
 		res.Checked++
 		tier := gen.tier()
 		res.Tiers.count(tier)
+		res.Tiers.Fallback++
 		if ce := checkOne(src, tgt, gen.params, gen.inputs, gen.memBytes, opts); ce != nil {
 			res.Verdict = Incorrect
 			res.CE = ce

@@ -109,9 +109,12 @@ func (g *inputGen) next() bool {
 				g.phase = phPoison
 				continue
 			}
-			if g.fi == 0 {
-				g.setFromCounter(g.c)
-			}
+			// Rewrite the arguments on every emission, not just when the
+			// counter advances: the batched checker rebinds g.inputs to a
+			// different slot between calls, so fill-iteration vectors must
+			// not rely on the previous slot's contents. The values are a
+			// pure function of c, so the emitted sequence is unchanged.
+			g.setFromCounter(g.c)
 			g.memBytes = g.fills[g.fi]
 			g.fi++
 			if g.fi >= len(g.fills) {
@@ -193,10 +196,36 @@ func (g *inputGen) next() bool {
 // bind redirects the generator to write the next vector directly into args,
 // whose shape must match the function's parameters (same arity and lane
 // counts). The batched checker rotates the generator across its batch slots
-// this way, eliding a staging copy per vector. Only valid for memory-free
-// functions, where every phase rewrites every argument on every next call.
+// this way, eliding a staging copy per vector; every phase rewrites every
+// argument on every next call, so stale slot contents never leak through.
 func (g *inputGen) bind(args []interp.RVal) {
 	g.inputs = args
+}
+
+// nextBatch fills up to len(slots) consecutive vectors of the generated
+// sequence, writing each vector's arguments directly through the per-slot
+// views (the batched checker points these at the evaluators' input columns,
+// so generation lands straight in the batch arena with no staging Envs) and
+// recording each slot's scheduler tier. fill, when non-nil, runs after each
+// slot is emitted so the caller can snapshot g.memBytes into that slot's
+// per-lane memory. Generation stays vector-major inside the batch — the rng
+// draw order is part of the sequence contract (same-seed campaigns replay
+// byte-identically) — only the destination is columnwise. Returns the
+// number of slots filled; fewer than len(slots) means the sequence ended.
+func (g *inputGen) nextBatch(slots [][]interp.RVal, tiers []int8, fill func(slot int)) int {
+	n := 0
+	for n < len(slots) {
+		g.bind(slots[n])
+		if !g.next() {
+			break
+		}
+		tiers[n] = int8(g.tier())
+		if fill != nil {
+			fill(n)
+		}
+		n++
+	}
+	return n
 }
 
 // tier attributes the vector the latest next() emitted to a scheduler tier:

@@ -35,9 +35,11 @@ type Stats struct {
 
 	// Tiered-verification counters (see alive.TierStats): how many refuted
 	// candidates each scheduler tier killed, and the total input vectors
-	// the verify stage executed.
+	// the verify stage executed, split by execution path (lane-batched
+	// versus per-vector fallback).
 	poolKills, specialKills, randomKills int
 	verifyExecs                          int
+	batchedExecs, fallbackExecs          int
 }
 
 // TierKills is a snapshot of the per-tier kill counters of the verify
@@ -95,13 +97,16 @@ func (s *Stats) recordStoreHit() {
 }
 
 // recordVerify tallies one actual (non-cached) verification: the tier that
-// killed the candidate (alive.TierNone..TierRandom) and how many input
-// vectors ran.
-func (s *Stats) recordVerify(killTier, checked int) {
+// killed the candidate (alive.TierNone..TierRandom), how many input vectors
+// ran, and how they split between the lane-batched path and the per-vector
+// fallback.
+func (s *Stats) recordVerify(checked int, tiers alive.TierStats) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.verifyExecs += checked
-	switch killTier {
+	s.batchedExecs += tiers.Batched
+	s.fallbackExecs += tiers.Fallback
+	switch tiers.KillTier {
 	case alive.TierPool:
 		s.poolKills++
 	case alive.TierSpecial:
@@ -196,6 +201,26 @@ func (s *Stats) VerifyExecs() int {
 	return s.verifyExecs
 }
 
+// BatchExecs splits VerifyExecs by execution path: vectors run on the
+// lane-batched interpreter versus the per-vector fallback (tier-0 replays
+// and non-batchable programs). batched+fallback == VerifyExecs.
+func (s *Stats) BatchExecs() (batched, fallback int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batchedExecs, s.fallbackExecs
+}
+
+// BatchCoverage is the fraction of verify executions that ran lane-batched,
+// in [0, 1]; it reports 1 when nothing has run yet.
+func (s *Stats) BatchCoverage() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.verifyExecs == 0 {
+		return 1
+	}
+	return float64(s.batchedExecs) / float64(s.verifyExecs)
+}
+
 // LearnedFindings is the number of Found results backed by a learned rule
 // (Config.Learn). Distinct rules are on Engine.Learned; this counts results.
 func (s *Stats) LearnedFindings() int {
@@ -218,6 +243,7 @@ func (s *Stats) Reset() {
 	s.learned = 0
 	s.poolKills, s.specialKills, s.randomKills = 0, 0, 0
 	s.verifyExecs = 0
+	s.batchedExecs, s.fallbackExecs = 0, 0
 }
 
 // Print renders a human-readable summary of the run.
@@ -249,6 +275,8 @@ func (s *Stats) Print(w io.Writer) {
 	if s.verifyExecs > 0 {
 		fmt.Fprintf(w, "verify executions: %d vectors (kills: pool %d, special %d, random %d)\n",
 			s.verifyExecs, s.poolKills, s.specialKills, s.randomKills)
+		fmt.Fprintf(w, "batch coverage: %.1f%% (%d batched, %d per-vector fallback)\n",
+			100*float64(s.batchedExecs)/float64(s.verifyExecs), s.batchedExecs, s.fallbackExecs)
 	}
 	if s.learned > 0 {
 		fmt.Fprintf(w, "findings backing learned rules: %d\n", s.learned)

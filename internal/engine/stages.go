@@ -89,7 +89,7 @@ func (e *Engine) verify(src, cand *ir.Func) alive.Result {
 	defer func() { e.stats.recordStage(StageVerify, time.Since(start).Seconds()) }()
 	if e.cfg.DisableVerifyCache {
 		res := alive.Verify(src, cand, e.cfg.Verify)
-		e.stats.recordVerify(res.Tiers.KillTier, res.Checked)
+		e.stats.recordVerify(res.Checked, res.Tiers)
 		return res
 	}
 	key := verifyKey{src: ir.Hash(src), cand: ir.Hash(cand)}
@@ -107,7 +107,7 @@ func (e *Engine) verify(src, cand *ir.Func) alive.Result {
 	// verification instead of racing to compute it twice.
 	ent.once.Do(func() {
 		ent.res = alive.Verify(src, cand, e.cfg.Verify)
-		e.stats.recordVerify(ent.res.Tiers.KillTier, ent.res.Checked)
+		e.stats.recordVerify(ent.res.Checked, ent.res.Tiers)
 	})
 	return ent.res
 }

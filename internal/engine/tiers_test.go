@@ -43,6 +43,14 @@ func TestEngineTierKillStats(t *testing.T) {
 	if e.stats.VerifyExecs() == 0 {
 		t.Fatal("verify executions not recorded")
 	}
+	batched, fallback := e.stats.BatchExecs()
+	if batched+fallback != e.stats.VerifyExecs() {
+		t.Fatalf("batched %d + fallback %d != verify execs %d",
+			batched, fallback, e.stats.VerifyExecs())
+	}
+	if cov := e.stats.BatchCoverage(); cov < 0.95 {
+		t.Fatalf("batch coverage %.3f, want >0.95 (clamp candidates are all batchable)", cov)
+	}
 	if e.CEPool().Stats().Deposits == 0 {
 		t.Fatal("refuting inputs not deposited into the campaign pool")
 	}

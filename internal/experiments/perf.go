@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/alive"
+	"repro/internal/corpus"
 	"repro/internal/generalize"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -17,8 +18,11 @@ import (
 
 // PerfSchema names the snapshot format; bump on breaking changes.
 // Version 2 adds the verify_batch / interp_batch workloads and the
-// tier_kills counters of the tiered verification scheduler.
-const PerfSchema = "lpo-bench-perf/2"
+// tier_kills counters of the tiered verification scheduler. Version 3 adds
+// the verify_multiblock / verify_memory workloads (batched execution of
+// control flow and load/store programs) and the batch_coverage record
+// measured over a corpus self-verification sweep.
+const PerfSchema = "lpo-bench-perf/3"
 
 // PerfBench is one measured workload of the perf snapshot (see doc.go,
 // "Performance", for the schema).
@@ -46,14 +50,26 @@ type PerfTierKills struct {
 	Random  int64 `json:"random"`
 }
 
+// PerfBatchCoverage records how a corpus self-verification sweep split
+// between the lane-batched execution path and the per-vector fallback (see
+// measureBatchCoverage). The split is deterministic for the fixed seed, so
+// a change that silently knocks program shapes off the batched path is
+// CI-visible even when every ns/op still passes.
+type PerfBatchCoverage struct {
+	Batched  int64   `json:"batched"`
+	Fallback int64   `json:"fallback"`
+	Coverage float64 `json:"coverage"` // Batched / (Batched + Fallback)
+}
+
 // PerfSnapshot is the machine-readable performance record emitted by
 // `lpo-bench -json` so successive PRs have a trajectory to compare against.
 type PerfSnapshot struct {
-	Schema     string        `json:"schema"`
-	GoMaxProcs int           `json:"go_max_procs"`
-	GoVersion  string        `json:"go_version"`
-	Benches    []PerfBench   `json:"benchmarks"`
-	TierKills  PerfTierKills `json:"tier_kills"`
+	Schema        string            `json:"schema"`
+	GoMaxProcs    int               `json:"go_max_procs"`
+	GoVersion     string            `json:"go_version"`
+	Benches       []PerfBench       `json:"benchmarks"`
+	TierKills     PerfTierKills     `json:"tier_kills"`
+	BatchCoverage PerfBatchCoverage `json:"batch_coverage"`
 }
 
 // Encode renders the snapshot as indented JSON.
@@ -115,8 +131,23 @@ func ComparePerf(cur, ref *PerfSnapshot, nsTolerance, allocTolerance float64) []
 			cur.TierKills.Pool, cur.TierKills.Special, cur.TierKills.Random,
 			ref.TierKills.Pool, ref.TierKills.Special, ref.TierKills.Random))
 	}
+	// Batch coverage is an absolute floor, not a relative tolerance: the
+	// corpus sweep must keep >95% of its verify executions on the
+	// lane-batched path. The gate only arms once a reference snapshot has
+	// recorded the sweep (older schemas decode with a zero record).
+	if ref.BatchCoverage.Batched+ref.BatchCoverage.Fallback > 0 &&
+		cur.BatchCoverage.Coverage < minBatchCoverage {
+		regressions = append(regressions, fmt.Sprintf(
+			"batch_coverage: %.1f%% of corpus verify executions ran lane-batched (%d batched, %d fallback), floor is %.0f%%",
+			100*cur.BatchCoverage.Coverage, cur.BatchCoverage.Batched,
+			cur.BatchCoverage.Fallback, 100*minBatchCoverage))
+	}
 	return regressions
 }
+
+// minBatchCoverage is the absolute floor ComparePerf enforces on the corpus
+// sweep's lane-batched execution share.
+const minBatchCoverage = 0.95
 
 // The perf workloads below are the single source of truth for both the
 // root-level benchmarks (bench_test.go delegates to the Bench* functions)
@@ -138,6 +169,47 @@ const perfClampTgt = `define i8 @tgt(i32 %0) {
   ret i8 %4
 }`
 
+const perfMultiBlockSrc = `define i32 @src(i32 %x) {
+entry:
+  %c = icmp slt i32 %x, 0
+  br i1 %c, label %neg, label %pos
+neg:
+  %n = sub i32 0, %x
+  br label %join
+pos:
+  br label %join
+join:
+  %a = phi i32 [ %n, %neg ], [ %x, %pos ]
+  %r = and i32 %a, 2147483647
+  ret i32 %r
+}`
+
+const perfMultiBlockTgt = `define i32 @tgt(i32 %x) {
+  %s = ashr i32 %x, 31
+  %t = xor i32 %x, %s
+  %a = sub i32 %t, %s
+  %r = and i32 %a, 2147483647
+  ret i32 %r
+}`
+
+const perfMemSrc = `define i8 @src(ptr %p, i32 %x) {
+  %t = trunc i32 %x to i8
+  %v = load i8, ptr %p
+  %d = shl i8 %v, 1
+  %s = add i8 %d, %t
+  store i8 %s, ptr %p
+  ret i8 %s
+}`
+
+const perfMemTgt = `define i8 @tgt(ptr %p, i32 %x) {
+  %t = trunc i32 %x to i8
+  %v = load i8, ptr %p
+  %d = add i8 %v, %v
+  %s = add i8 %d, %t
+  store i8 %s, ptr %p
+  ret i8 %s
+}`
+
 const perfSweepSrc = `define i16 @src(i16 %x, i16 %y) {
   %a = and i16 %x, %y
   %o = or i16 %x, %y
@@ -154,6 +226,8 @@ var (
 	perfOnce                     sync.Once
 	perfClampSrcF, perfClampTgtF *ir.Func
 	perfSweepSrcF, perfSweepTgtF *ir.Func
+	perfMBSrcF, perfMBTgtF       *ir.Func
+	perfMemSrcF, perfMemTgtF     *ir.Func
 )
 
 func perfFuncs() {
@@ -162,6 +236,10 @@ func perfFuncs() {
 		perfClampTgtF = parser.MustParseFunc(perfClampTgt)
 		perfSweepSrcF = parser.MustParseFunc(perfSweepSrc)
 		perfSweepTgtF = parser.MustParseFunc(perfSweepTgt)
+		perfMBSrcF = parser.MustParseFunc(perfMultiBlockSrc)
+		perfMBTgtF = parser.MustParseFunc(perfMultiBlockTgt)
+		perfMemSrcF = parser.MustParseFunc(perfMemSrc)
+		perfMemTgtF = parser.MustParseFunc(perfMemTgt)
 	})
 }
 
@@ -202,6 +280,40 @@ func BenchVerifyReference(b *testing.B) {
 func BenchVerifyBatch(b *testing.B) {
 	perfFuncs()
 	c := alive.NewChecker(perfClampSrcF, perfClampTgtF,
+		alive.Options{Samples: 1024, Seed: 1, Programs: interp.NewCache()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := c.Verify(); r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
+// BenchVerifyMultiBlock measures steady-state verification of a branchy
+// window (an abs-value diamond with a phi join against its branch-free
+// form) through a reused Checker — the masked multi-block scheduler is the
+// whole workload, where the seed fell back to per-vector execution.
+func BenchVerifyMultiBlock(b *testing.B) {
+	perfFuncs()
+	c := alive.NewChecker(perfMBSrcF, perfMBTgtF,
+		alive.Options{Samples: 1024, Seed: 1, Programs: interp.NewCache()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := c.Verify(); r.Verdict != alive.Correct {
+			b.Fatal("verification regressed")
+		}
+	}
+}
+
+// BenchVerifyMemory measures steady-state verification of a load/store
+// window (shl-vs-add on a loaded byte, stored back) through a reused
+// Checker — per-lane slab memories and the per-lane memory diff are the
+// workload, where the seed fell back to per-vector execution.
+func BenchVerifyMemory(b *testing.B) {
+	perfFuncs()
+	c := alive.NewChecker(perfMemSrcF, perfMemTgtF,
 		alive.Options{Samples: 1024, Seed: 1, Programs: interp.NewCache()})
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -316,6 +428,8 @@ var perfWorkloads = []struct {
 	{"verify_checker", BenchVerify},
 	{"verify_reference", BenchVerifyReference},
 	{"verify_batch", BenchVerifyBatch},
+	{"verify_multiblock", BenchVerifyMultiBlock},
+	{"verify_memory", BenchVerifyMemory},
 	{"verify_widths", BenchVerifyWidths},
 	{"interp_exec", BenchInterpExec},
 	{"interp_compiled", BenchInterpCompiled},
@@ -343,7 +457,38 @@ func RunPerfSnapshot() *PerfSnapshot {
 		})
 	}
 	snap.TierKills = measureTierKills()
+	snap.BatchCoverage = measureBatchCoverage()
 	return snap
+}
+
+// measureBatchCoverage self-verifies a fixed slice of the generated corpus
+// — the shapes a real extraction produces, including branches, memory
+// access and vectors — and records how the executed input vectors split
+// between the lane-batched path and the per-vector fallback. The sweep is
+// deterministic for the fixed seed; ComparePerf fails CI when the batched
+// share drops below minBatchCoverage.
+func measureBatchCoverage() PerfBatchCoverage {
+	projects := corpus.Generate(corpus.Options{Seed: 7, ModulesPerProject: 1, FuncsPerModule: 8})
+	opts := alive.Options{Samples: 96, Seed: 7, Programs: interp.NewCache()}
+	var cov PerfBatchCoverage
+	n := 0
+	for _, p := range projects {
+		for _, m := range p.Modules {
+			for _, f := range m.Funcs {
+				if n >= 48 {
+					break
+				}
+				n++
+				res := alive.Verify(f, f, opts)
+				cov.Batched += int64(res.Tiers.Batched)
+				cov.Fallback += int64(res.Tiers.Fallback)
+			}
+		}
+	}
+	if total := cov.Batched + cov.Fallback; total > 0 {
+		cov.Coverage = float64(cov.Batched) / float64(total)
+	}
+	return cov
 }
 
 // measureTierKills runs a fixed script of refuted verifications through one

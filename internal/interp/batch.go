@@ -12,11 +12,25 @@ package interp
 // vector in isolation — guarded by the randomized differential tests in
 // batch_test.go.
 //
-// The fast path covers straight-line, memory-free, register-machine-modeled
-// programs (Program.Batchable) — the shape of essentially every extracted
-// peephole window. Multi-block, memory-touching and dynamic-vector-constant
-// programs fall back to per-vector Run with cloned return values, so
-// RunBatch is safe to call on any program.
+// Two batched execution modes cover every register-machine-modeled program
+// (Program.Batchable):
+//
+//   - Straight-line programs — the shape of essentially every extracted
+//     peephole window — run runBatchCore: one pass over the code with no
+//     block dispatch at all.
+//   - Multi-block programs run runBatchBlocks, a masked scheduler: all
+//     active lanes step the current block together, lanes whose branches
+//     diverge are parked on a per-successor-block lane mask, and the
+//     scheduler resumes the lowest-numbered block with parked lanes —
+//     which reconverges both arms of a diamond before their join and
+//     re-runs loop bodies until every lane has exited. UB, poison, Ret and
+//     step accounting are tracked per lane throughout.
+//
+// Memory-touching programs batch too: each lane carries its own Memory
+// (callers with many lanes back them with lane-strided BatchMems slabs).
+// Only dynamic-vector-constant programs — which the register machine
+// cannot model at all — still fall back to per-vector Run with cloned
+// return values, so RunBatch is safe to call on any program.
 
 import (
 	"fmt"
@@ -62,8 +76,17 @@ type batchState struct {
 	bargs  [][][]Word // per code index: operand runs (specialized kinds)
 	bdst   [][]Word   // per code index: result run (specialized kinds)
 	alive  []bool     // per batch lane: still executing
+	mems   []*Memory  // per batch lane: memory (emptyMem when absent)
 	argBuf []RVal     // reusable per-vector operand views (generic kind)
 	sc     scratch
+
+	// Masked multi-block scheduler state (runBatchBlocks). Lane masks are
+	// uint64 bitsets, which BatchWidth = 64 fills exactly.
+	steps   []int    // per lane: dynamic instruction count so far
+	budget  []int    // per lane: step budget
+	prev    []int32  // per lane: predecessor block index (-1 at entry)
+	defs    []uint64 // per register: lanes holding a bound value
+	waiting []uint64 // per block: lanes parked on its entry
 }
 
 // batch returns the evaluator's batch state, building it on first use.
@@ -78,6 +101,17 @@ func (ev *Evaluator) batch() *batchState {
 		bargs: make([][][]Word, len(p.code)),
 		bdst:  make([][]Word, len(p.code)),
 		alive: make([]bool, BatchWidth),
+		mems:  make([]*Memory, BatchWidth),
+	}
+	for b := range bs.mems {
+		bs.mems[b] = ev.emptyMem
+	}
+	if !p.straight {
+		bs.steps = make([]int, BatchWidth)
+		bs.budget = make([]int, BatchWidth)
+		bs.prev = make([]int32, BatchWidth)
+		bs.defs = make([]uint64, len(p.regLanes))
+		bs.waiting = make([]uint64, len(p.blocks))
 	}
 	maxArgs := 1
 	specialized := func(k batchKind) bool {
@@ -184,9 +218,9 @@ func (ev *Evaluator) RunBatch(envs []Env, out []Result) {
 		panic("interp: RunBatch needs len(out) >= len(envs)")
 	}
 	if !ev.p.Batchable() {
-		// Per-vector fallback: multi-block, memory-touching or
-		// dynamic-vector-constant programs. Rets are cloned because Run
-		// reuses its scratch across calls.
+		// Per-vector fallback: dynamic-vector-constant programs, which Run
+		// itself delegates to Exec. Rets are cloned because Run reuses its
+		// scratch across calls.
 		for i := range envs {
 			r := ev.Run(envs[i])
 			r.Ret = r.Ret.Clone()
@@ -203,30 +237,39 @@ func (ev *Evaluator) RunBatch(envs []Env, out []Result) {
 	}
 }
 
+// batchableErr names why the program cannot use the column-streaming entry
+// points, so callers see the fallback class instead of a bare panic.
+func (ev *Evaluator) batchableErr(what string) error {
+	return fmt.Errorf("interp: %s requires a batchable program: %s falls back to per-vector execution: %s",
+		what, ev.p.fn.Name, ev.p.BatchFallbackReason())
+}
+
 // ArgColumn returns the batch arena's input column for parameter i: vector
 // b's lanes occupy [b*L, (b+1)*L) of the returned run, the exact layout the
 // batch kernels read. Callers streaming many batches (the alive checker)
 // write inputs directly into the columns and execute with RunBatchFilled,
-// eliding the per-vector Env staging and scatter entirely. Only valid for
-// Batchable programs.
-func (ev *Evaluator) ArgColumn(i int) []Word {
+// eliding the per-vector Env staging and scatter entirely. It fails for
+// non-Batchable programs, naming the fallback reason.
+func (ev *Evaluator) ArgColumn(i int) ([]Word, error) {
 	if !ev.p.Batchable() {
-		panic("interp: ArgColumn requires a batchable program")
+		return nil, ev.batchableErr("ArgColumn")
 	}
 	bs := ev.batch()
 	r := ev.p.paramReg[i]
 	L := int(ev.p.regLanes[r])
 	base := int(ev.p.regOff[r]) * BatchWidth
-	return bs.words[base : base+L*BatchWidth : base+L*BatchWidth]
+	return bs.words[base : base+L*BatchWidth : base+L*BatchWidth], nil
 }
 
 // RunBatchFilled executes the first n batch lanes against inputs the caller
-// already wrote into the ArgColumn runs, with default step budgets and no
-// memory. Results are written like RunBatch. Only valid for Batchable
-// programs and n <= BatchWidth.
-func (ev *Evaluator) RunBatchFilled(n int, out []Result) {
+// already wrote into the ArgColumn runs, with default step budgets. mems
+// optionally carries one memory per lane (nil entries and a nil slice mean
+// no memory, as for an Env without Mem). Results are written like RunBatch.
+// It fails for non-Batchable programs, naming the fallback reason; n must
+// be <= BatchWidth.
+func (ev *Evaluator) RunBatchFilled(n int, out []Result, mems []*Memory) error {
 	if !ev.p.Batchable() {
-		panic("interp: RunBatchFilled requires a batchable program")
+		return ev.batchableErr("RunBatchFilled")
 	}
 	if n > BatchWidth || len(out) < n {
 		panic("interp: RunBatchFilled bounds")
@@ -235,7 +278,21 @@ func (ev *Evaluator) RunBatchFilled(n int, out []Result) {
 	for b := 0; b < n; b++ {
 		bs.alive[b] = true
 	}
-	ev.runBatchCore(n, out, nil, defaultMaxSteps, n)
+	if ev.p.hasMem {
+		for b := 0; b < n; b++ {
+			if mems != nil && mems[b] != nil {
+				bs.mems[b] = mems[b]
+			} else {
+				bs.mems[b] = ev.emptyMem
+			}
+		}
+	}
+	if ev.p.straight {
+		ev.runBatchCore(n, out, nil, defaultMaxSteps, n)
+	} else {
+		ev.runBatchBlocks(n, out, nil)
+	}
+	return nil
 }
 
 // runBatchChunk executes one chunk of at most BatchWidth environments on the
@@ -296,7 +353,20 @@ func (ev *Evaluator) runBatchChunk(envs []Env, out []Result, cloneRets bool) {
 		}
 	}
 
-	ev.runBatchCore(B, out, envs, minMax, live)
+	if p.hasMem {
+		for b := 0; b < B; b++ {
+			if m := envs[b].Mem; m != nil {
+				bs.mems[b] = m
+			} else {
+				bs.mems[b] = ev.emptyMem
+			}
+		}
+	}
+	if p.straight {
+		ev.runBatchCore(B, out, envs, minMax, live)
+	} else {
+		ev.runBatchBlocks(B, out, envs)
+	}
 	if cloneRets {
 		for b := 0; b < B; b++ {
 			out[b].Ret = out[b].Ret.Clone()
@@ -313,7 +383,10 @@ func (ev *Evaluator) runBatchCore(B int, out []Result, envs []Env, minMax, live 
 
 	// kill retires lane b with UB. Lanes retire at most once, and every
 	// retirement writes the full Result, so out needs no up-front zeroing.
-	kill := func(b int, why string, step int) {
+	// step tracks the current instruction (uniform across lanes on the
+	// straight-line path).
+	step := 0
+	kill := func(b int, why string) {
 		out[b] = Result{UB: true, UBReason: why, Completed: true, DynInstrs: step}
 		bs.alive[b] = false
 		live--
@@ -321,7 +394,7 @@ func (ev *Evaluator) runBatchCore(B int, out []Result, envs []Env, minMax, live 
 
 	for gi := 0; gi < len(p.code) && live > 0; gi++ {
 		ci := &p.code[gi]
-		step := gi + 1
+		step = gi + 1
 		if step > minMax {
 			for b := 0; b < B; b++ {
 				if !bs.alive[b] {
@@ -348,7 +421,7 @@ func (ev *Evaluator) runBatchCore(B int, out []Result, envs []Env, minMax, live 
 			if ub, why := batchConstUB(p, ci); ub {
 				for b := 0; b < B; b++ {
 					if bs.alive[b] {
-						kill(b, why, step)
+						kill(b, why)
 					}
 				}
 				break
@@ -410,11 +483,11 @@ func (ev *Evaluator) runBatchCore(B int, out []Result, envs []Env, minMax, live 
 		case bkUnreachable:
 			for b := 0; b < B; b++ {
 				if bs.alive[b] {
-					kill(b, "reached unreachable", step)
+					kill(b, "reached unreachable")
 				}
 			}
 		case bkIntBin:
-			batchIntBin(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B, step, kill)
+			batchIntBin(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B, kill)
 		case bkICmp:
 			batchICmp(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B)
 		case bkSelect:
@@ -448,17 +521,307 @@ func (ev *Evaluator) runBatchCore(B int, out []Result, envs []Env, minMax, live 
 					base := int(p.regOff[ci.dst]) * BatchWidth
 					dst = bs.words[base+b*L : base+(b+1)*L : base+(b+1)*L]
 				}
-				if ub, why := evalOp(ci.in, dst, args, ev.emptyMem, &bs.sc); ub {
-					kill(b, why, step)
+				mem := ev.emptyMem
+				if p.hasMem {
+					mem = bs.mems[b]
+				}
+				if ub, why := evalOp(ci.in, dst, args, mem, &bs.sc); ub {
+					kill(b, why)
 				}
 			}
 		}
 	}
 	if live > 0 {
+		step = len(p.code)
 		for b := 0; b < B; b++ {
 			if bs.alive[b] {
-				kill(b, "block fell through without terminator", len(p.code))
+				kill(b, "block fell through without terminator")
 			}
+		}
+	}
+}
+
+// runBatchBlocks is the masked multi-block scheduler: arguments are already
+// in the batch arena and bs.alive marks the runnable lanes. All lanes of a
+// wave step the current block's instructions together; a lane leaves the
+// wave by returning, dying (UB, budget), or branching — branches park the
+// lane on its successor's waiting mask. The scheduler then resumes the
+// lowest-numbered block with parked lanes: forward branches reconverge
+// naturally (both arms of a diamond run before their join block) and back
+// edges re-run loop bodies until every lane has exited. Per-lane step
+// counts, budgets, defined-register masks and predecessor blocks keep the
+// semantics — including UB reasons and DynInstrs — bit-identical to running
+// Run per vector. envs is only consulted for per-lane step budgets and may
+// be nil (default budgets).
+func (ev *Evaluator) runBatchBlocks(B int, out []Result, envs []Env) {
+	p := ev.p
+	bs := ev.bs
+
+	var entry uint64
+	for b := 0; b < B; b++ {
+		bs.steps[b] = 0
+		bs.prev[b] = -1
+		bs.budget[b] = defaultMaxSteps
+		if envs != nil && envs[b].MaxSteps != 0 {
+			bs.budget[b] = envs[b].MaxSteps
+		}
+		if bs.alive[b] {
+			entry |= 1 << uint(b)
+		}
+	}
+	defs := bs.defs
+	for i := range defs {
+		defs[i] = 0
+	}
+	for _, r := range p.paramReg {
+		defs[r] = entry
+	}
+	waiting := bs.waiting
+	for i := range waiting {
+		waiting[i] = 0
+	}
+	waiting[0] = entry
+	steps, budget, prev := bs.steps, bs.budget, bs.prev
+
+	// wave is the lane mask currently executing; kill retires one lane of
+	// it with UB at its own step count.
+	var wave uint64
+	kill := func(b int, why string) {
+		out[b] = Result{UB: true, UBReason: why, Completed: true, DynInstrs: steps[b]}
+		bs.alive[b] = false
+		wave &^= 1 << uint(b)
+	}
+	// checkLanes applies one instruction's runtime guards lane by lane, in
+	// operand order, mirroring Evaluator.checkArgs.
+	checkLanes := func(ci *cinstr) {
+		for _, k := range ci.checks {
+			if wave == 0 {
+				return
+			}
+			slot := ci.args[k]
+			if slot >= 0 {
+				for m := wave &^ defs[slot]; m != 0; m &= m - 1 {
+					kill(bits.TrailingZeros64(m), "use of unbound value "+ci.in.Args[k].Ident())
+				}
+			} else if e := &p.consts[^slot]; e.ub {
+				for m := wave; m != 0; m &= m - 1 {
+					kill(bits.TrailingZeros64(m), e.why)
+				}
+			}
+		}
+	}
+	// laneView returns lane b's run of register r.
+	laneView := func(r int32, b int) []Word {
+		L := int(p.regLanes[r])
+		base := int(p.regOff[r])*BatchWidth + b*L
+		return bs.words[base : base+L : base+L]
+	}
+
+	for {
+		bi := -1
+		for i := range waiting {
+			if waiting[i] != 0 {
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			return
+		}
+		wave = waiting[bi]
+		waiting[bi] = 0
+		for m := wave; m != 0; m &= m - 1 {
+			bs.alive[bits.TrailingZeros64(m)] = true
+		}
+		blk := &p.blocks[bi]
+		for gi := blk.start; gi < blk.end && wave != 0; gi++ {
+			ci := &p.code[gi]
+			for m := wave; m != 0; m &= m - 1 {
+				b := bits.TrailingZeros64(m)
+				steps[b]++
+				if steps[b] > budget[b] {
+					out[b] = Result{Completed: false, DynInstrs: steps[b]}
+					bs.alive[b] = false
+					wave &^= 1 << uint(b)
+				}
+			}
+			if wave == 0 {
+				break
+			}
+			switch ci.in.Op {
+			case ir.OpRet:
+				if len(ci.in.Args) == 1 {
+					checkLanes(ci)
+					if wave == 0 {
+						break
+					}
+					retTy := ci.in.Args[0].Type()
+					if slot := ci.args[0]; slot >= 0 {
+						for m := wave; m != 0; m &= m - 1 {
+							b := bits.TrailingZeros64(m)
+							out[b] = Result{Completed: true, DynInstrs: steps[b],
+								Ret: RVal{Ty: retTy, Lanes: laneView(slot, b)}}
+							bs.alive[b] = false
+						}
+					} else {
+						rv := p.consts[^slot].rv
+						for m := wave; m != 0; m &= m - 1 {
+							b := bits.TrailingZeros64(m)
+							out[b] = Result{Completed: true, DynInstrs: steps[b], Ret: rv}
+							bs.alive[b] = false
+						}
+					}
+				} else {
+					for m := wave; m != 0; m &= m - 1 {
+						b := bits.TrailingZeros64(m)
+						out[b] = Result{Completed: true, DynInstrs: steps[b]}
+						bs.alive[b] = false
+					}
+				}
+				wave = 0
+			case ir.OpBr:
+				if len(ci.in.Args) == 0 {
+					if succ := ci.succ[0]; succ < 0 {
+						why := "branch to unknown block " + ci.in.Labels[0]
+						for m := wave; m != 0; m &= m - 1 {
+							kill(bits.TrailingZeros64(m), why)
+						}
+					} else {
+						waiting[succ] |= wave
+						for m := wave; m != 0; m &= m - 1 {
+							b := bits.TrailingZeros64(m)
+							prev[b] = int32(bi)
+							bs.alive[b] = false
+						}
+						wave = 0
+					}
+					break
+				}
+				checkLanes(ci)
+				slot := ci.args[0]
+				for m := wave; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					var c Word
+					if slot >= 0 {
+						c = laneView(slot, b)[0]
+					} else {
+						c = p.consts[^slot].rv.Lanes[0]
+					}
+					if c.Poison {
+						kill(b, "branch on poison")
+						continue
+					}
+					k := 1
+					if c.V&1 == 1 {
+						k = 0
+					}
+					if succ := ci.succ[k]; succ < 0 {
+						kill(b, "branch to unknown block "+ci.in.Labels[k])
+					} else {
+						waiting[succ] |= 1 << uint(b)
+						prev[b] = int32(bi)
+						bs.alive[b] = false
+						wave &^= 1 << uint(b)
+					}
+				}
+			case ir.OpUnreachable:
+				for m := wave; m != 0; m &= m - 1 {
+					kill(bits.TrailingZeros64(m), "reached unreachable")
+				}
+			case ir.OpPhi:
+				for m := wave; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					idx := -1
+					for k, pi := range ci.phiPred {
+						if pi == prev[b] {
+							idx = k
+							break
+						}
+					}
+					if idx < 0 {
+						pn := ""
+						if prev[b] >= 0 {
+							pn = p.blocks[prev[b]].name
+						}
+						kill(b, "phi has no incoming edge from "+pn)
+						continue
+					}
+					slot := ci.args[idx]
+					var src []Word
+					if slot >= 0 {
+						if defs[slot]&(1<<uint(b)) == 0 {
+							kill(b, "use of unbound value "+ci.in.Args[idx].Ident())
+							continue
+						}
+						src = laneView(slot, b)
+					} else {
+						e := &p.consts[^slot]
+						if e.ub {
+							kill(b, e.why)
+							continue
+						}
+						src = e.rv.Lanes
+					}
+					if ci.dst >= 0 {
+						dst := laneView(ci.dst, b)
+						n := copy(dst, src)
+						for ; n < len(dst); n++ {
+							dst[n] = Word{}
+						}
+						defs[ci.dst] |= 1 << uint(b)
+					}
+				}
+			default:
+				checkLanes(ci)
+				if wave == 0 {
+					break
+				}
+				switch bs.kinds[gi] {
+				case bkIntBin:
+					batchIntBin(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B, kill)
+				case bkICmp:
+					batchICmp(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B)
+				case bkSelect:
+					batchSelect(bs.bdst[gi], bs.bargs[gi], bs.alive, B)
+				case bkConvInt:
+					batchConvInt(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B)
+				case bkMinMax:
+					batchMinMax(ci.in, bs.bdst[gi], bs.bargs[gi], bs.alive, B)
+				case bkFreeze:
+					batchFreeze(bs.bdst[gi], bs.bargs[gi], bs.alive, B)
+				default: // bkGeneric: shared evalOp kernels, one lane at a time.
+					na := len(ci.args)
+					for m := wave; m != 0; m &= m - 1 {
+						b := bits.TrailingZeros64(m)
+						args := bs.argBuf[:na]
+						for k, slot := range ci.args {
+							if slot >= 0 {
+								args[k] = RVal{Ty: ci.in.Args[k].Type(), Lanes: laneView(slot, b)}
+							} else {
+								args[k] = p.consts[^slot].rv
+							}
+						}
+						var dst []Word
+						if ci.dst >= 0 {
+							dst = laneView(ci.dst, b)
+						}
+						mem := ev.emptyMem
+						if p.hasMem {
+							mem = bs.mems[b]
+						}
+						if ub, why := evalOp(ci.in, dst, args, mem, &bs.sc); ub {
+							kill(b, why)
+						}
+					}
+				}
+				if ci.dst >= 0 {
+					defs[ci.dst] |= wave
+				}
+			}
+		}
+		// Lanes that ran off the block without reaching a terminator.
+		for m := wave; m != 0; m &= m - 1 {
+			kill(bits.TrailingZeros64(m), "block fell through without terminator")
 		}
 	}
 }
@@ -483,8 +846,8 @@ func batchConstUB(p *Program, ci *cinstr) (bool, string) {
 // aborting the whole execution. The randomized differential test pins them
 // to the scalar kernels.
 
-func batchIntBin(in *ir.Instr, dst []Word, args [][]Word, alive []bool, B, step int,
-	kill func(int, string, int)) {
+func batchIntBin(in *ir.Instr, dst []Word, args [][]Word, alive []bool, B int,
+	kill func(int, string)) {
 	w := ir.ScalarBits(ir.Elem(in.Ty))
 	mask := ir.MaskW(w)
 	op, flags := in.Op, in.Flags
@@ -572,16 +935,16 @@ func batchIntBin(in *ir.Instr, dst []Word, args [][]Word, alive []bool, B, step 
 		x, y := xs[b], ys[b]
 		if isDiv {
 			if y.Poison {
-				kill(b, "division by poison", step)
+				kill(b, "division by poison")
 				continue
 			}
 			if y.V&mask == 0 {
-				kill(b, "division by zero", step)
+				kill(b, "division by zero")
 				continue
 			}
 			if (op == ir.OpSDiv || op == ir.OpSRem) && !x.Poison {
 				if ir.SignExt(x.V, w) == minSigned(w) && ir.SignExt(y.V, w) == -1 {
-					kill(b, "signed division overflow", step)
+					kill(b, "signed division overflow")
 					continue
 				}
 			}

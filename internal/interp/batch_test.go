@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -276,6 +277,267 @@ func TestRunBatchFuzzStraightLine(t *testing.T) {
 	}
 }
 
+// sameMemory compares two final memories region by region (addresses, data
+// bytes and poison shadows).
+func sameMemory(a, b *Memory) string {
+	if (a == nil) != (b == nil) {
+		return "one memory is nil"
+	}
+	if a == nil {
+		return ""
+	}
+	if len(a.Regions) != len(b.Regions) {
+		return fmt.Sprintf("region count %d vs %d", len(a.Regions), len(b.Regions))
+	}
+	for ri := range a.Regions {
+		ra, rb := a.Regions[ri], b.Regions[ri]
+		if ra.Addr != rb.Addr || !bytes.Equal(ra.Data, rb.Data) {
+			return fmt.Sprintf("region %s data mismatch:\n% x\n% x", ra.Name, ra.Data, rb.Data)
+		}
+		for i := range ra.Poison {
+			if ra.Poison[i] != rb.Poison[i] {
+				return fmt.Sprintf("region %s poison mismatch at byte %d", ra.Name, i)
+			}
+		}
+	}
+	return ""
+}
+
+// emitFuzzOps appends n random scalar integer ops of width w, drawing
+// operands from pool (plus occasional literals), and returns the value
+// names it defined. Names are prefixed so blocks never collide.
+func emitFuzzOps(sb *strings.Builder, rng *rand.Rand, w int, pool []string, prefix string, n int) []string {
+	ops := []string{"add", "sub", "mul", "xor", "and", "or", "udiv", "sdiv",
+		"urem", "srem", "shl", "lshr", "add nsw", "sub nuw", "mul nsw"}
+	cur := append([]string(nil), pool...)
+	var defined []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%%%s%d", prefix, i)
+		a := cur[rng.Intn(len(cur))]
+		b := cur[rng.Intn(len(cur))]
+		if rng.Intn(3) == 0 {
+			b = fmt.Sprintf("%d", rng.Intn(8))
+		}
+		fmt.Fprintf(sb, "  %s = %s i%d %s, %s\n", name, ops[rng.Intn(len(ops))], w, a, b)
+		cur = append(cur, name)
+		defined = append(defined, name)
+	}
+	return defined
+}
+
+// genMultiBlock emits a random multi-block scalar function: a diamond whose
+// arms diverge per input, a phi join (sometimes against a literal), an
+// occasional deliberate cross-block use of an arm-only value (unbound on
+// the other path), and half the time a counted loop whose trip count — and
+// therefore DynInstrs — depends on the inputs.
+func genMultiBlock(rng *rand.Rand) string {
+	w := []int{8, 16, 32}[rng.Intn(3)]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "define i%d @mbfuzz(i%d %%p0, i%d %%p1) {\nentry:\n", w, w, w)
+	vals := []string{"%p0", "%p1"}
+	if ev := emitFuzzOps(&sb, rng, w, vals, "e", 1+rng.Intn(3)); len(ev) > 0 {
+		vals = append(vals, ev...)
+	}
+	fmt.Fprintf(&sb, "  %%c = icmp %s i%d %s, %s\n",
+		fuzzPreds[rng.Intn(len(fuzzPreds))], w, vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))])
+	sb.WriteString("  br i1 %c, label %a, label %b\na:\n")
+	av := emitFuzzOps(&sb, rng, w, vals, "a", 1+rng.Intn(3))
+	sb.WriteString("  br label %join\nb:\n")
+	bv := emitFuzzOps(&sb, rng, w, vals, "b", 1+rng.Intn(3))
+	sb.WriteString("  br label %join\njoin:\n")
+	aval, bval := av[len(av)-1], bv[len(bv)-1]
+	if rng.Intn(4) == 0 {
+		aval = fmt.Sprintf("%d", rng.Intn(16))
+	}
+	fmt.Fprintf(&sb, "  %%ph = phi i%d [ %s, %%a ], [ %s, %%b ]\n", w, aval, bval)
+	pool := append(append([]string(nil), vals...), "%ph")
+	if rng.Intn(4) == 0 {
+		// Cross-block use of an arm-a-only value: lanes arriving via %b hit
+		// "use of unbound value" at runtime.
+		pool = append(pool, av[len(av)-1])
+	}
+	jv := emitFuzzOps(&sb, rng, w, pool, "j", 1+rng.Intn(2))
+	last := jv[len(jv)-1]
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&sb, "  %%bound = and i%d %s, 7\n", w, last)
+		sb.WriteString("  br label %head\nhead:\n")
+		fmt.Fprintf(&sb, "  %%i = phi i%d [ 0, %%join ], [ %%inext, %%body ]\n", w)
+		fmt.Fprintf(&sb, "  %%acc = phi i%d [ %s, %%join ], [ %%accn, %%body ]\n", w, last)
+		fmt.Fprintf(&sb, "  %%lc = icmp ult i%d %%i, %%bound\n", w)
+		sb.WriteString("  br i1 %lc, label %body, label %exit\nbody:\n")
+		fmt.Fprintf(&sb, "  %%accn = add i%d %%acc, %%i\n", w)
+		fmt.Fprintf(&sb, "  %%inext = add i%d %%i, 1\n", w)
+		sb.WriteString("  br label %head\nexit:\n")
+		fmt.Fprintf(&sb, "  ret i%d %%acc\n}", w)
+	} else {
+		fmt.Fprintf(&sb, "  ret i%d %s\n}", w, last)
+	}
+	return sb.String()
+}
+
+// genMemory emits a random straight-line memory-touching function over one
+// pointer parameter: fixed and dynamic GEPs (some deliberately out of
+// bounds of the 32-byte test region), mixed-width loads and stores, and
+// arithmetic that can feed poison into stored bytes.
+func genMemory(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("define i8 @memfuzz(ptr %p, i8 %x) {\n")
+	vals := []string{"%x"}
+	gi := 0
+	dynGEP := ""
+	if rng.Intn(2) == 0 {
+		// A data-dependent address: poison %x poisons the whole chain.
+		fmt.Fprintf(&sb, "  %%xm = and i8 %%x, 24\n  %%xi = zext i8 %%xm to i64\n")
+		fmt.Fprintf(&sb, "  %%gd = getelementptr i8, ptr %%p, i64 %%xi\n")
+		dynGEP = "%gd"
+	}
+	n := 2 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0, 1: // load (mixed widths, occasionally out of bounds)
+			lw := []int{8, 16, 32}[rng.Intn(3)]
+			ptr := dynGEP
+			if ptr == "" || rng.Intn(2) == 0 {
+				inb := ""
+				if rng.Intn(2) == 0 {
+					inb = "inbounds "
+				}
+				fmt.Fprintf(&sb, "  %%g%d = getelementptr %si8, ptr %%p, i64 %d\n", gi, inb, rng.Intn(36))
+				ptr = fmt.Sprintf("%%g%d", gi)
+				gi++
+			}
+			fmt.Fprintf(&sb, "  %%l%d = load i%d, ptr %s\n", i, lw, ptr)
+			if lw > 8 {
+				fmt.Fprintf(&sb, "  %%lt%d = trunc i%d %%l%d to i8\n", i, lw, i)
+				vals = append(vals, fmt.Sprintf("%%lt%d", i))
+			} else {
+				vals = append(vals, fmt.Sprintf("%%l%d", i))
+			}
+		case 2, 3: // store a (possibly poison) value
+			ptr := dynGEP
+			if ptr == "" || rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "  %%g%d = getelementptr i8, ptr %%p, i64 %d\n", gi, rng.Intn(36))
+				ptr = fmt.Sprintf("%%g%d", gi)
+				gi++
+			}
+			fmt.Fprintf(&sb, "  store i8 %s, ptr %s\n", vals[rng.Intn(len(vals))], ptr)
+		default: // arithmetic that can introduce poison or UB
+			name := fmt.Sprintf("%%v%d", i)
+			op := []string{"add nsw", "sub nuw", "udiv", "shl", "xor"}[rng.Intn(5)]
+			a := vals[rng.Intn(len(vals))]
+			b := vals[rng.Intn(len(vals))]
+			if rng.Intn(2) == 0 {
+				b = fmt.Sprintf("%d", rng.Intn(9))
+			}
+			fmt.Fprintf(&sb, "  %s = %s i8 %s, %s\n", name, op, a, b)
+			vals = append(vals, name)
+		}
+	}
+	fmt.Fprintf(&sb, "  ret i8 %s\n}", vals[len(vals)-1])
+	return sb.String()
+}
+
+// TestRunBatchFuzzMultiBlock is the randomized three-way differential of
+// the masked multi-block scheduler: generated branchy functions (diamonds,
+// loops, cross-block unbound uses) execute through Exec, Run and RunBatch
+// with mixed per-lane step budgets, and every vector's values, poison, UB
+// reason and per-lane DynInstrs must agree bit for bit.
+func TestRunBatchFuzzMultiBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	nFuncs := 150
+	if testing.Short() {
+		nFuncs = 30
+	}
+	for fi := 0; fi < nFuncs; fi++ {
+		src := genMultiBlock(rng)
+		f, err := parser.ParseFunc(src)
+		if err != nil {
+			t.Fatalf("func %d: generated IR does not parse: %v\n%s", fi, err, src)
+		}
+		p := Compile(f)
+		if !p.Batchable() {
+			t.Fatalf("func %d: multi-block function should be batchable\n%s", fi, src)
+		}
+		ev := NewEvaluator(p)
+		evBatch := NewEvaluator(p)
+		var vectors [][]RVal
+		for k := 0; k < BatchWidth+9; k++ {
+			vectors = append(vectors, fuzzVector(f, rng))
+		}
+		budget := func(envs []Env) []Env {
+			for vi := range envs {
+				if vi%7 == 3 {
+					envs[vi].MaxSteps = 1 + vi%29
+				}
+			}
+			return envs
+		}
+		envs := budget(batchEnvs(f, vectors, 0))
+		refEnvs := budget(batchEnvs(f, vectors, 0))
+		runEnvs := budget(batchEnvs(f, vectors, 0))
+		out := make([]Result, len(envs))
+		evBatch.RunBatch(envs, out)
+		for i := range envs {
+			want := Exec(f, refEnvs[i])
+			if diff := sameResult(want, out[i]); diff != "" {
+				t.Fatalf("func %d vector %d: batch vs Exec: %s\n%s", fi, i, diff, src)
+			}
+			if diff := sameResult(want, ev.Run(runEnvs[i])); diff != "" {
+				t.Fatalf("func %d vector %d: Run vs Exec: %s\n%s", fi, i, diff, src)
+			}
+		}
+	}
+}
+
+// TestRunBatchFuzzMemory is the randomized three-way differential of
+// per-lane batch memories: generated load/store/GEP functions execute
+// through Exec, Run and RunBatch on per-vector memories, and every
+// vector's results and final memory (data and poison shadows) must agree.
+func TestRunBatchFuzzMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	nFuncs := 120
+	if testing.Short() {
+		nFuncs = 25
+	}
+	for fi := 0; fi < nFuncs; fi++ {
+		src := genMemory(rng)
+		f, err := parser.ParseFunc(src)
+		if err != nil {
+			t.Fatalf("func %d: generated IR does not parse: %v\n%s", fi, err, src)
+		}
+		p := Compile(f)
+		if !p.Batchable() {
+			t.Fatalf("func %d: memory function should be batchable\n%s", fi, src)
+		}
+		ev := NewEvaluator(p)
+		evBatch := NewEvaluator(p)
+		var vectors [][]RVal
+		for k := 0; k < BatchWidth+9; k++ {
+			vectors = append(vectors, fuzzVector(f, rng))
+		}
+		envs := batchEnvs(f, vectors, 0)
+		refEnvs := batchEnvs(f, vectors, 0)
+		runEnvs := batchEnvs(f, vectors, 0)
+		out := make([]Result, len(envs))
+		evBatch.RunBatch(envs, out)
+		for i := range envs {
+			want := Exec(f, refEnvs[i])
+			if diff := sameResult(want, out[i]); diff != "" {
+				t.Fatalf("func %d vector %d: batch vs Exec: %s\n%s", fi, i, diff, src)
+			}
+			if diff := sameResult(want, ev.Run(runEnvs[i])); diff != "" {
+				t.Fatalf("func %d vector %d: Run vs Exec: %s\n%s", fi, i, diff, src)
+			}
+			if diff := sameMemory(refEnvs[i].Mem, envs[i].Mem); diff != "" {
+				t.Fatalf("func %d vector %d: batch final memory vs Exec: %s\n%s", fi, i, diff, src)
+			}
+			if diff := sameMemory(refEnvs[i].Mem, runEnvs[i].Mem); diff != "" {
+				t.Fatalf("func %d vector %d: Run final memory vs Exec: %s\n%s", fi, i, diff, src)
+			}
+		}
+	}
+}
+
 // TestRunBatchFilledMatchesRunBatch pins the zero-copy input path: writing
 // the argument columns directly and calling RunBatchFilled must equal
 // RunBatch over the same vectors.
@@ -294,14 +556,19 @@ func TestRunBatchFilledMatchesRunBatch(t *testing.T) {
 		outA := make([]Result, n)
 		evA.RunBatch(envs, outA)
 		for i, prm := range f.Params {
-			col := evB.ArgColumn(i)
+			col, err := evB.ArgColumn(i)
+			if err != nil {
+				t.Fatalf("func %d: ArgColumn: %v", fi, err)
+			}
 			L := ir.Lanes(prm.Ty)
 			for b := 0; b < n; b++ {
 				copy(col[b*L:(b+1)*L], vectors[b][i].Lanes)
 			}
 		}
 		outB := make([]Result, n)
-		evB.RunBatchFilled(n, outB)
+		if err := evB.RunBatchFilled(n, outB, nil); err != nil {
+			t.Fatalf("func %d: RunBatchFilled: %v", fi, err)
+		}
 		for i := range outA {
 			if diff := sameResult(outA[i], outB[i]); diff != "" {
 				t.Fatalf("func %d vector %d: filled vs batch: %s", fi, i, diff)
@@ -340,19 +607,26 @@ func TestRunBatchBudgetAndArgc(t *testing.T) {
 	}
 }
 
-// TestBatchableClassification pins which programs take the fast path.
+// TestBatchableClassification pins which programs take the batched path:
+// since the masked scheduler and per-lane memories landed, multi-block and
+// memory-touching programs batch natively and only dynamic-vector-constant
+// programs fall back to per-vector execution.
 func TestBatchableClassification(t *testing.T) {
 	cases := []struct {
 		src  string
 		want bool
 	}{
 		{`define i8 @f(i8 %x) { %r = add i8 %x, 1 ret i8 %r }`, true},
-		{`define i16 @f(ptr %p) { %v = load i16, ptr %p ret i16 %v }`, false},
+		{`define i16 @f(ptr %p) { %v = load i16, ptr %p ret i16 %v }`, true},
 		{`define i8 @f(i8 %x) {
 entry:
   br label %next
 next:
   ret i8 %x
+}`, true},
+		{`define <2 x i8> @f(i8 %x) {
+  %s = add <2 x i8> splat (i8 %x), splat (i8 1)
+  ret <2 x i8> %s
 }`, false},
 	}
 	for i, tc := range cases {
@@ -360,5 +634,27 @@ next:
 		if p.Batchable() != tc.want {
 			t.Fatalf("case %d: Batchable = %v, want %v", i, p.Batchable(), tc.want)
 		}
+		if reason := p.BatchFallbackReason(); (reason != "") == tc.want {
+			t.Fatalf("case %d: BatchFallbackReason = %q, want empty=%v", i, reason, tc.want)
+		}
+	}
+}
+
+// TestArgColumnFallbackError pins that the column-streaming entry points
+// fail with an error naming the fallback reason instead of panicking.
+func TestArgColumnFallbackError(t *testing.T) {
+	f := parser.MustParseFunc(`define <2 x i8> @dyn(i8 %x) {
+  %s = add <2 x i8> splat (i8 %x), splat (i8 1)
+  ret <2 x i8> %s
+}`)
+	ev := NewEvaluator(Compile(f))
+	if _, err := ev.ArgColumn(0); err == nil ||
+		!strings.Contains(err.Error(), "dynamic vector constant") {
+		t.Fatalf("ArgColumn error = %v, want dynamic-vector reason", err)
+	}
+	out := make([]Result, 1)
+	if err := ev.RunBatchFilled(1, out, nil); err == nil ||
+		!strings.Contains(err.Error(), "dynamic vector constant") {
+		t.Fatalf("RunBatchFilled error = %v, want dynamic-vector reason", err)
 	}
 }

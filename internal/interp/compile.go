@@ -38,19 +38,34 @@ type Program struct {
 	// model (vector constants whose elements are runtime values, which the
 	// reference interpreter resolves dynamically); Evaluator.Run delegates
 	// such programs to Exec wholesale so semantics stay bit-identical.
-	fallback bool
+	// fallbackWhy names the offending construct for diagnostics.
+	fallback    bool
+	fallbackWhy string
 
-	// hasMem marks programs touching memory (load/store/gep). Memory is
-	// per-environment state, so such programs are executed per vector by
-	// RunBatch instead of on the lane-batched fast path.
+	// hasMem marks programs touching memory (load/store/gep). Batched
+	// executions of such programs carry one Memory per lane.
 	hasMem bool
 }
 
-// Batchable reports whether RunBatch executes p on its lane-batched fast
-// path: a straight-line, register-machine-modeled, memory-free program.
-// Non-batchable programs still work through RunBatch — they fall back to
-// per-vector execution with identical semantics.
-func (p *Program) Batchable() bool { return p.straight && !p.fallback && !p.hasMem }
+// Batchable reports whether RunBatch executes p on its lane-batched path.
+// Multi-block control flow runs under the masked block scheduler and
+// memory-touching programs run against per-lane memories, so the only
+// remaining fallback is a program the register machine cannot model at all
+// (dynamic vector constants, delegated wholesale to Exec). Non-batchable
+// programs still work through RunBatch — they fall back to per-vector
+// execution with identical semantics.
+func (p *Program) Batchable() bool { return !p.fallback }
+
+// BatchFallbackReason describes why the program is executed per-vector by
+// RunBatch, or "" for batchable programs. Historic fallback classes —
+// multi-block control flow and memory access — batch natively now; only
+// dynamic-vector-constant programs still bail.
+func (p *Program) BatchFallbackReason() string {
+	if !p.fallback {
+		return ""
+	}
+	return p.fallbackWhy
+}
 
 // Fn returns the compiled function.
 func (p *Program) Fn() *ir.Func { return p.fn }
@@ -139,6 +154,10 @@ func Compile(fn *ir.Func) *Program {
 		}
 		if constHasDynamicElems(v, reg) {
 			p.fallback = true
+			if p.fallbackWhy == "" {
+				p.fallbackWhy = "dynamic vector constant (elements of " + v.Ident() +
+					" are computed at run time)"
+			}
 		}
 		e := materializeConst(v, reg)
 		idx := int32(len(p.consts))

@@ -66,6 +66,53 @@ func (m *Memory) StoreBytes(addr uint64, data []byte, poison []bool) bool {
 	return true
 }
 
+// BatchMems carves per-lane memories for lane-batched execution out of
+// lane-strided slabs: region r of lane b views bytes [b*size, (b+1)*size)
+// of one shared allocation, so a whole batch of memories costs two
+// allocations per region (data + poison shadow) and resetting a lane
+// between fills touches contiguous bytes. Every lane is an independent
+// address space — regions live at the same base address in each lane's
+// Memory without aliasing.
+type BatchMems struct {
+	Mems  []*Memory // one per lane, sharing the slab-backed regions
+	lanes int
+}
+
+// NewBatchMems returns a BatchMems with the given number of lanes (one
+// empty Memory each).
+func NewBatchMems(lanes int) *BatchMems {
+	bm := &BatchMems{Mems: make([]*Memory, lanes), lanes: lanes}
+	for b := range bm.Mems {
+		bm.Mems[b] = NewMemory()
+	}
+	return bm
+}
+
+// AddRegion adds a region of the given size at the same base address to
+// every lane's memory, backed by one lane-strided slab.
+func (bm *BatchMems) AddRegion(name string, addr uint64, size int) {
+	data := make([]byte, bm.lanes*size)
+	poison := make([]bool, bm.lanes*size)
+	for b, m := range bm.Mems {
+		m.Regions = append(m.Regions, &Region{
+			Name: name, Addr: addr,
+			Data:   data[b*size : (b+1)*size : (b+1)*size],
+			Poison: poison[b*size : (b+1)*size : (b+1)*size],
+		})
+	}
+}
+
+// ResetLane restores lane b of region r to the given initial contents and
+// clears its poison shadow, preparing the lane for the next fill. The
+// lane's bytes are contiguous in the slab, so a reset is two small copies.
+func (bm *BatchMems) ResetLane(r, b int, data []byte) {
+	reg := bm.Mems[b].Regions[r]
+	copy(reg.Data, data)
+	for i := range reg.Poison {
+		reg.Poison[i] = false
+	}
+}
+
 // Clone returns a deep copy (used to run src and tgt on identical initial
 // memories and to diff the results).
 func (m *Memory) Clone() *Memory {

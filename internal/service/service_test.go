@@ -161,6 +161,13 @@ func TestServiceRestartResume(t *testing.T) {
 	if stats1.Engine.VerifyExecs == 0 {
 		t.Fatal("first campaign did no verification")
 	}
+	if got := stats1.Engine.BatchedExecs + stats1.Engine.FallbackExecs; got != stats1.Engine.VerifyExecs {
+		t.Fatalf("batched %d + fallback %d != verify execs %d",
+			stats1.Engine.BatchedExecs, stats1.Engine.FallbackExecs, stats1.Engine.VerifyExecs)
+	}
+	if stats1.Engine.BatchCoverage < 0.95 {
+		t.Fatalf("batch coverage %.3f over the service corpus, want >0.95", stats1.Engine.BatchCoverage)
+	}
 	if stats1.Store.Findings != len(corpus) {
 		t.Fatalf("store holds %d findings, want %d", stats1.Store.Findings, len(corpus))
 	}
