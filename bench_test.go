@@ -342,6 +342,14 @@ func BenchmarkInterpCompiled(b *testing.B) { experiments.BenchInterpCompiled(b) 
 // cost.
 func BenchmarkInterpBatch(b *testing.B) { experiments.BenchInterpBatch(b) }
 
+// BenchmarkWasmDecode decodes the embedded wasm fixture corpus per op (body
+// shared with the `lpo-bench -json` snapshot).
+func BenchmarkWasmDecode(b *testing.B) { experiments.BenchWasmDecode(b) }
+
+// BenchmarkWasmLift lifts the decoded fixture corpus to SSA IR per op (body
+// shared with the `lpo-bench -json` snapshot).
+func BenchmarkWasmLift(b *testing.B) { experiments.BenchWasmLift(b) }
+
 func BenchmarkMCAAnalyze(b *testing.B) {
 	f := parser.MustParseFunc(clampSrc)
 	model := mca.BTVer2()

@@ -1,9 +1,11 @@
-// Command lpo-extract runs the paper's Algorithm 2 on an .ll module and
-// prints each unique dependent instruction sequence as a wrapped function.
+// Command lpo-extract runs the paper's Algorithm 2 on an .ll module — or a
+// .wasm binary, lifted through the wasm frontend first — and prints each
+// unique dependent instruction sequence as a wrapped function.
 //
 // Usage:
 //
 //	lpo-extract file.ll
+//	lpo-extract file.wasm        (sniffed by the \0asm magic; -wasm forces it)
 package main
 
 import (
@@ -13,17 +15,22 @@ import (
 	"os"
 
 	"repro/internal/extract"
+	"repro/internal/ir"
 	"repro/internal/parser"
+	"repro/internal/wasm"
 )
 
 func main() {
 	minLen := flag.Int("min", 2, "minimum sequence length")
+	forceWasm := flag.Bool("wasm", false, "treat the input as a wasm binary (default: sniff the \\0asm magic)")
 	flag.Parse()
 
 	var src []byte
 	var err error
+	name := "stdin"
 	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
+		name = flag.Arg(0)
+		src, err = os.ReadFile(name)
 	} else {
 		src, err = io.ReadAll(os.Stdin)
 	}
@@ -31,10 +38,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	m, perr := parser.Parse(string(src))
-	if perr != nil {
-		fmt.Fprintln(os.Stderr, perr)
-		os.Exit(1)
+
+	var m *ir.Module
+	if *forceWasm || wasm.IsWasm(src) {
+		wm, werr := wasm.Decode(src)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		var st wasm.LiftStats
+		m, st = wasm.Lift(wm, name)
+		fmt.Printf("; wasm lift: %s\n", st)
+	} else {
+		var perr error
+		m, perr = parser.Parse(string(src))
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
 	}
 	// Stream: each kept sequence is printed as soon as Algorithm 2 finds it,
 	// without materializing the whole extraction.

@@ -8,8 +8,21 @@
 //
 // Usage:
 //
-//	lpo [-model Gemini2.0T] [-rounds 4] [-workers 8] [file.ll]
+//	lpo [-model Gemini2.0T] [-rounds 4] [-workers 8] [file.ll | file.wasm]
 //	lpo -corpus            run over the synthetic 14-project corpus
+//	lpo -wasm-corpus       run over the embedded wasm fixture corpus
+//
+// WebAssembly inputs (the wasm frontend, internal/wasm):
+//
+//	A file argument starting with the \0asm magic is decoded as a wasm
+//	binary and its functions are lifted to IR before extraction; -wasm
+//	forces that interpretation for files without the magic. Functions
+//	outside the lifter's integer subset are skipped and tallied — the
+//	-stats output reports per-module lift coverage with the top skip
+//	reasons. With -isolate DIR, every finding from a wasm input is traced
+//	back to its source function and a minimal module (that function plus
+//	its transitive callees, nothing else) is written to DIR as
+//	<function>.wasm — shrunken provenance for bug reports.
 //
 // Concurrency flags:
 //
@@ -43,6 +56,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
@@ -53,13 +67,35 @@ import (
 	"repro/internal/opt"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/wasm"
 )
+
+// isolateProvenance carves the named function (plus its transitive callees)
+// out of the input module and writes the shrunken module to dir.
+func isolateProvenance(m *wasm.Module, fn, dir string) (string, error) {
+	iso, err := wasm.IsolateByName(m, fn)
+	if err != nil {
+		return "", err
+	}
+	data, err := wasm.Encode(iso)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fn+".wasm")
+	return path, os.WriteFile(path, data, 0o644)
+}
 
 func main() {
 	model := flag.String("model", "Gemini2.0T", "model profile to simulate")
 	rounds := flag.Int("rounds", 4, "attempts (rounds) per sequence")
 	seed := flag.Uint64("seed", 1, "seed")
 	useCorpus := flag.Bool("corpus", false, "scan the synthetic corpus instead of a file")
+	useWasmCorpus := flag.Bool("wasm-corpus", false, "scan the embedded wasm fixture corpus")
+	forceWasm := flag.Bool("wasm", false, "treat the input file as a wasm binary (default: sniff the \\0asm magic)")
+	isolateDir := flag.String("isolate", "", "write an isolated .wasm per finding's source function to this directory (wasm inputs only)")
 	workers := flag.Int("workers", 0, "engine worker pool size (0 = one per CPU)")
 	queue := flag.Int("queue", 0, "bounded queue size (0 = 2*workers)")
 	stats := flag.Bool("stats", true, "print per-stage engine statistics")
@@ -109,18 +145,6 @@ func main() {
 			st.Dir(), sst.Findings, sst.Rules, loaded)
 	}
 
-	ex := extract.New(extract.Options{Opt: optOptions})
-	var src engine.Source
-	switch {
-	case *useCorpus:
-		src = engine.Corpus(corpus.Options{Seed: *seed}, ex)
-	case flag.NArg() > 0:
-		src = engine.File(flag.Arg(0), ex)
-	default:
-		fmt.Fprintln(os.Stderr, "usage: lpo [flags] file.ll  (or -corpus)")
-		os.Exit(2)
-	}
-
 	sim := llm.NewSim(*model, *seed)
 	cfg := engine.Config{
 		Workers:   *workers,
@@ -135,8 +159,43 @@ func main() {
 	}
 	eng := engine.New(sim, cfg)
 
+	ex := extract.New(extract.Options{Opt: optOptions})
+	var src engine.Source
+	// wasmMod holds the decoded input module when the input is a wasm
+	// binary, so findings can be traced back and isolated (-isolate).
+	var wasmMod *wasm.Module
+	switch {
+	case *useCorpus:
+		src = engine.Corpus(corpus.Options{Seed: *seed}, ex)
+	case *useWasmCorpus:
+		src = engine.WasmCorpus(ex, eng.Stats())
+	case flag.NArg() > 0:
+		path := flag.Arg(0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *forceWasm || wasm.IsWasm(data) {
+			wm, err := wasm.Decode(data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			wm.Name = path
+			wasmMod = wm
+			src = engine.WasmModules(ex, eng.Stats(), wm)
+		} else {
+			src = engine.File(path, ex)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: lpo [flags] file.ll|file.wasm  (or -corpus / -wasm-corpus)")
+		os.Exit(2)
+	}
+
 	results, engStats := eng.Run(ctx, src)
 	found, cached, persisted := 0, 0, 0
+	isolated := make(map[string]bool)
 	for res := range results {
 		switch res.Outcome {
 		case engine.Found:
@@ -144,6 +203,15 @@ func main() {
 			fmt.Printf("\n=== missed optimization (%d->%d instrs, %d->%d cycles, round %d) ===\n",
 				res.InstrsBefore, res.InstrsAfter, res.CyclesBefore, res.CyclesAfter, res.Round)
 			fmt.Printf("--- original ---\n%s--- optimized ---\n%s", res.Src, res.Cand)
+			if wasmMod != nil && *isolateDir != "" && res.Seq != nil && !isolated[res.Seq.Func] {
+				isolated[res.Seq.Func] = true
+				path, err := isolateProvenance(wasmMod, res.Seq.Func, *isolateDir)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "isolating %s: %v\n", res.Seq.Func, err)
+				} else {
+					fmt.Printf("provenance: %s\n", path)
+				}
+			}
 		case engine.Errored:
 			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)

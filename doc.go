@@ -190,9 +190,44 @@
 // snapshot as an artifact on every run and fails if any tracked workload
 // regresses past 2x ns/op or grows past 2x allocs/op against the committed
 // reference, or if the sweep's batched share drops below 95% (`lpo-bench
-// -json out.json -against BENCH_6.json`, tolerances via -tolerance /
-// -alloc-tolerance); BENCH_6.json in the repository root is the PR-6
-// reference point, BENCH_5.json the PR-5 one, BENCH_4.json the PR-4 one.
+// -json out.json -against BENCH_7.json`, tolerances via -tolerance /
+// -alloc-tolerance); BENCH_7.json in the repository root is the PR-7
+// reference point (schema lpo-bench-perf/4, which adds the wasm_decode /
+// wasm_lift frontend workloads), BENCH_6.json the PR-6 one, BENCH_5.json
+// the PR-5 one, BENCH_4.json the PR-4 one.
+//
+// # The WebAssembly Frontend
+//
+// internal/wasm gives the pipeline a second input language: compiled
+// WebAssembly binaries, hunted for missed optimizations with the same
+// engine that serves textual IR. The package is self-contained (leb128
+// varint codec, section and function-body decoder, canonical encoder) and
+// targets the MVP integer subset — i32/i64 arithmetic, bitwise and shift
+// ops, comparisons, conversions, select, locals, constants, structured
+// control flow (block/loop/if lowered to a CFG with phis), and linear
+// memory load/store, which map onto the interpreter's pointer/region
+// model as a trailing %mem pointer parameter. wasm.Lift reconstructs SSA
+// from the stack machine — the operand stack holds ir.Values, locals are
+// current-value bindings, and control-frame joins materialize phis only
+// where merging edges disagree — and every lifted function must pass
+// ir.VerifyFunc before it reaches extraction. Wasm's defined semantics
+// are mapped, not approximated: shift counts are masked to the operand
+// width, rotates become llvm.fshl/fshr, and bit counts become
+// ctlz/cttz/ctpop (traps are the one documented approximation — they
+// lift to IR whose corresponding UB the differential tests pin down).
+//
+// Functions outside the subset (floats, calls, globals, br_table,
+// multi-result, malformed bodies) are skipped, never errored: each skip is
+// tallied by reason, the per-module coverage lands in engine.Stats
+// (`lpo -stats`, GET /v1/stats), and decoding is hardened against
+// adversarial input (locals-count and instruction caps, a CI-fuzzed
+// decoder). Every entry point accepts the format: `lpo file.wasm` sniffs
+// the \0asm magic (-wasm forces it, -wasm-corpus scans the embedded
+// fixture corpus), lpo-extract lifts before extraction, and lpod accepts
+// raw binaries POSTed with Content-Type: application/wasm. For findings
+// from wasm inputs, wasm.Isolate carves the source function plus its
+// transitive callees out of the module into a minimal valid binary
+// (`lpo -isolate DIR`) — shrunken provenance for reporting upstream.
 //
 // # The lpod Service and the Content-Addressed Store
 //

@@ -1,0 +1,27 @@
+package corpus
+
+import "repro/internal/wasm"
+
+// WasmFixtures returns the embedded wasm binary corpus: deterministic
+// hand-assembled modules with planted missed-optimization windows plus
+// filler inside and outside the lifter's integer subset (see
+// wasm.Fixtures). The encoded bytes are what campaigns, the lpod service
+// tests, and the CI end-to-end smoke feed through the frontend.
+func WasmFixtures() []wasm.Fixture { return wasm.Fixtures() }
+
+// WasmModules decodes every embedded wasm fixture. The fixtures are
+// generated and must always decode; an error here means the frontend's
+// encoder and decoder disagree.
+func WasmModules() ([]*wasm.Module, error) {
+	fixtures := WasmFixtures()
+	mods := make([]*wasm.Module, 0, len(fixtures))
+	for _, fx := range fixtures {
+		m, err := wasm.Decode(fx.Data)
+		if err != nil {
+			return nil, err
+		}
+		m.Name = fx.Name
+		mods = append(mods, m)
+	}
+	return mods, nil
+}

@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/wasm"
+)
+
+func TestWasmFixturesDecode(t *testing.T) {
+	fixtures := WasmFixtures()
+	if len(fixtures) == 0 {
+		t.Fatal("empty wasm fixture corpus")
+	}
+	mods, err := WasmModules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != len(fixtures) {
+		t.Fatalf("%d modules from %d fixtures", len(mods), len(fixtures))
+	}
+	byName := make(map[string]*wasm.Module)
+	for i, m := range mods {
+		if m.Name != fixtures[i].Name {
+			t.Errorf("module %d named %q, fixture named %q", i, m.Name, fixtures[i].Name)
+		}
+		byName[m.Name] = m
+	}
+	// The planted module carries the windows campaigns must find.
+	planted := byName["planted.wasm"]
+	if planted == nil {
+		t.Fatal("planted.wasm missing from the corpus")
+	}
+	names := make(map[string]bool)
+	for _, f := range planted.Funcs {
+		names[f.Name] = true
+	}
+	if !names["masked_xor32"] || !names["masked_xor64"] {
+		t.Fatalf("planted windows missing: %v", names)
+	}
+	// Every fixture is deterministic: regenerating yields identical bytes.
+	again := WasmFixtures()
+	for i := range fixtures {
+		if string(fixtures[i].Data) != string(again[i].Data) {
+			t.Fatalf("fixture %s is not deterministic", fixtures[i].Name)
+		}
+	}
+}

@@ -282,6 +282,11 @@ func (e *Engine) Rulebook() *generalize.Rulebook {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Stats returns the engine's accumulating counters. The same object is
+// returned by Run; exposing it here lets sources that feed the engine
+// (e.g. the wasm lift sources) record coverage before Run is called.
+func (e *Engine) Stats() *Stats { return e.stats }
+
 // CEPool returns the campaign's shared counterexample pool (never nil after
 // New), for observability and cross-campaign reuse.
 func (e *Engine) CEPool() *alive.CEPool { return e.cfg.Verify.Pool }

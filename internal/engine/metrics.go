@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/alive"
 	"repro/internal/llm"
+	"repro/internal/wasm"
 )
 
 // StageMetrics is a snapshot of one pipeline stage's counters.
@@ -40,6 +41,11 @@ type Stats struct {
 	poolKills, specialKills, randomKills int
 	verifyExecs                          int
 	batchedExecs, fallbackExecs          int
+
+	// Lift-coverage counters (wasm frontend): how many functions the wasm
+	// lifter saw across submitted modules, how many made it into the
+	// engine, and why the rest were skipped.
+	lift wasm.LiftStats
 }
 
 // TierKills is a snapshot of the per-tier kill counters of the verify
@@ -114,6 +120,26 @@ func (s *Stats) recordVerify(checked int, tiers alive.TierStats) {
 	case alive.TierRandom:
 		s.randomKills++
 	}
+}
+
+// RecordLift folds one module's wasm lift coverage into the run's stats.
+// The wasm sources call it as they lift; services submitting lifted
+// functions directly call it themselves.
+func (s *Stats) RecordLift(st wasm.LiftStats) {
+	s.mu.Lock()
+	s.lift.Merge(st)
+	s.mu.Unlock()
+}
+
+// LiftCoverage returns a copy of the accumulated wasm lift-coverage
+// counters: functions seen, lifted, skipped, and the per-reason skip tally.
+// All zero when no wasm module fed this run.
+func (s *Stats) LiftCoverage() wasm.LiftStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := wasm.LiftStats{}
+	out.Merge(s.lift)
+	return out
 }
 
 // Sequences is the number of sequences that have completed the loop.
@@ -244,6 +270,7 @@ func (s *Stats) Reset() {
 	s.poolKills, s.specialKills, s.randomKills = 0, 0, 0
 	s.verifyExecs = 0
 	s.batchedExecs, s.fallbackExecs = 0, 0
+	s.lift = wasm.LiftStats{}
 }
 
 // Print renders a human-readable summary of the run.
@@ -277,6 +304,9 @@ func (s *Stats) Print(w io.Writer) {
 			s.verifyExecs, s.poolKills, s.specialKills, s.randomKills)
 		fmt.Fprintf(w, "batch coverage: %.1f%% (%d batched, %d per-vector fallback)\n",
 			100*float64(s.batchedExecs)/float64(s.verifyExecs), s.batchedExecs, s.fallbackExecs)
+	}
+	if s.lift.Funcs > 0 {
+		fmt.Fprintf(w, "wasm lift coverage: %s\n", s.lift.String())
 	}
 	if s.learned > 0 {
 		fmt.Fprintf(w, "findings backing learned rules: %d\n", s.learned)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/ir"
 	"repro/internal/parser"
+	"repro/internal/wasm"
 )
 
 // Source streams instruction sequences into the engine. Next returns the
@@ -141,6 +142,78 @@ func File(path string, ex *extract.Extractor) Source {
 			return err
 		}
 		ex.Stream(m, emit)
+		return nil
+	})
+}
+
+// WasmModules lifts decoded wasm modules to IR and streams the extraction
+// of every lifted function. Per-module lift coverage (functions lifted,
+// skipped, and why) is folded into stats when non-nil — pass the owning
+// engine's Stats so `lpo -stats` and /v1/stats report it.
+func WasmModules(ex *extract.Extractor, stats *Stats, mods ...*wasm.Module) Source {
+	return newStreamSource(func(ctx context.Context, emit func(*extract.Sequence) bool) error {
+		for _, wm := range mods {
+			if ctx.Err() != nil {
+				return nil
+			}
+			name := wm.Name
+			if name == "" {
+				name = "wasm"
+			}
+			m, st := wasm.Lift(wm, name)
+			if stats != nil {
+				stats.RecordLift(st)
+			}
+			ex.Stream(m, emit)
+		}
+		return nil
+	})
+}
+
+// WasmFile lazily reads and decodes a .wasm binary and streams the
+// extraction of its lifted functions.
+func WasmFile(path string, ex *extract.Extractor, stats *Stats) Source {
+	return newStreamSource(func(ctx context.Context, emit func(*extract.Sequence) bool) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		wm, err := wasm.Decode(data)
+		if err != nil {
+			return err
+		}
+		wm.Name = path
+		m, st := wasm.Lift(wm, path)
+		if stats != nil {
+			stats.RecordLift(st)
+		}
+		ex.Stream(m, emit)
+		return nil
+	})
+}
+
+// WasmCorpus streams the extraction of the embedded wasm fixture corpus
+// (corpus.WasmModules), recording lift coverage into stats when non-nil.
+func WasmCorpus(ex *extract.Extractor, stats *Stats) Source {
+	return newStreamSource(func(ctx context.Context, emit func(*extract.Sequence) bool) error {
+		mods, err := corpus.WasmModules()
+		if err != nil {
+			return err
+		}
+		for _, wm := range mods {
+			if ctx.Err() != nil {
+				return nil
+			}
+			name := wm.Name
+			if name == "" {
+				name = "wasm"
+			}
+			m, st := wasm.Lift(wm, name)
+			if stats != nil {
+				stats.RecordLift(st)
+			}
+			ex.Stream(m, emit)
+		}
 		return nil
 	})
 }

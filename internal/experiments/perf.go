@@ -14,6 +14,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/parser"
+	"repro/internal/wasm"
 )
 
 // PerfSchema names the snapshot format; bump on breaking changes.
@@ -21,8 +22,10 @@ import (
 // tier_kills counters of the tiered verification scheduler. Version 3 adds
 // the verify_multiblock / verify_memory workloads (batched execution of
 // control flow and load/store programs) and the batch_coverage record
-// measured over a corpus self-verification sweep.
-const PerfSchema = "lpo-bench-perf/3"
+// measured over a corpus self-verification sweep. Version 4 adds the
+// wasm_decode / wasm_lift workloads (the WebAssembly frontend over the
+// embedded fixture corpus).
+const PerfSchema = "lpo-bench-perf/4"
 
 // PerfBench is one measured workload of the perf snapshot (see doc.go,
 // "Performance", for the schema).
@@ -398,6 +401,45 @@ func BenchInterpBatch(b *testing.B) {
 	}
 }
 
+// BenchWasmDecode measures decoding the whole embedded wasm fixture corpus
+// from bytes to Module — the frontend's parse cost per campaign intake.
+func BenchWasmDecode(b *testing.B) {
+	fixtures := wasm.Fixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, fx := range fixtures {
+			if _, err := wasm.Decode(fx.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchWasmLift measures lifting the decoded fixture corpus to SSA IR —
+// stack-machine reconstruction, control-flow restructuring, and the
+// verifier pass over every lifted function.
+func BenchWasmLift(b *testing.B) {
+	fixtures := wasm.Fixtures()
+	mods := make([]*wasm.Module, len(fixtures))
+	for i, fx := range fixtures {
+		m, err := wasm.Decode(fx.Data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mods[i] = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range mods {
+			if _, st := wasm.Lift(m, "bench"); st.Lifted == 0 {
+				b.Fatal("lift regressed")
+			}
+		}
+	}
+}
+
 // BenchOptDispatchAllRules measures the opcode-indexed rewrite dispatch with
 // every registry rule enabled over a prebuilt RuleSet.
 func BenchOptDispatchAllRules(b *testing.B) {
@@ -434,6 +476,8 @@ var perfWorkloads = []struct {
 	{"interp_exec", BenchInterpExec},
 	{"interp_compiled", BenchInterpCompiled},
 	{"interp_batch", BenchInterpBatch},
+	{"wasm_decode", BenchWasmDecode},
+	{"wasm_lift", BenchWasmLift},
 	{"opt_dispatch_all_rules", BenchOptDispatchAllRules},
 	{"opt_run_o3", BenchOptRunO3},
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/llm"
 	"repro/internal/parser"
 	"repro/internal/store"
+	"repro/internal/wasm"
 )
 
 // Config assembles a discovery server.
@@ -171,7 +172,7 @@ func (s *Server) Close() error {
 // windowStatus is one per-window entry in a submit response.
 type windowStatus struct {
 	Window string `json:"window,omitempty"`
-	Status string `json:"status"` // cached | queued | pending | invalid
+	Status string `json:"status"` // cached | queued | pending | invalid | skipped
 	Error  string `json:"error,omitempty"`
 }
 
@@ -204,6 +205,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	var sources []string
 	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "wasm") || wasm.IsWasm(body) {
+		// A raw wasm binary: decode, lift every function in the lifter's
+		// subset, and submit each lifted function as a window. Skipped
+		// functions surface both as per-window statuses and in the
+		// lift-coverage counters of /v1/stats.
+		s.handleSubmitWasm(w, r, body)
+		return
+	}
 	if strings.Contains(ct, "json") {
 		var req submitRequest
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -235,6 +244,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			statuses = append(statuses, s.submitWindow(r.Context(), fn))
 		}
 	}
+	writeJSON(w, http.StatusOK, map[string]any{"windows": statuses})
+}
+
+// handleSubmitWasm lifts a raw wasm binary function by function: every
+// lifted function becomes a window submission, every skip becomes a
+// per-window status, and the module's lift coverage lands in the engine
+// stats (GET /v1/stats).
+func (s *Server) handleSubmitWasm(w http.ResponseWriter, r *http.Request, body []byte) {
+	wm, err := wasm.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding wasm module: %v", err)
+		return
+	}
+	st := wasm.LiftStats{Reasons: make(map[string]int)}
+	var statuses []windowStatus
+	for _, f := range wm.Funcs {
+		st.Funcs++
+		fn, err := wasm.LiftFunc(wm, f)
+		if err != nil {
+			st.Skipped++
+			st.Reasons[wasm.SkipReason(err)]++
+			statuses = append(statuses, windowStatus{Status: "skipped", Error: err.Error()})
+			continue
+		}
+		st.Lifted++
+		statuses = append(statuses, s.submitWindow(r.Context(), fn))
+	}
+	s.sub.Stats().RecordLift(st)
 	writeJSON(w, http.StatusOK, map[string]any{"windows": statuses})
 }
 
@@ -329,6 +366,10 @@ type statsReply struct {
 			Special int `json:"special"`
 			Random  int `json:"random"`
 		} `json:"tier_kills"`
+		// Lift is the wasm frontend's coverage over every module submitted
+		// to this server: functions seen, lifted into the engine, skipped,
+		// and the per-reason skip tally. All zero when no wasm was submitted.
+		Lift wasm.LiftStats `json:"lift"`
 	} `json:"engine"`
 	Store struct {
 		Records   int   `json:"records"`
@@ -377,6 +418,7 @@ func (s *Server) StatsSnapshot() any {
 	rep.Engine.TierKills.Pool = tk.Pool
 	rep.Engine.TierKills.Special = tk.Special
 	rep.Engine.TierKills.Random = tk.Random
+	rep.Engine.Lift = es.LiftCoverage()
 
 	ss := s.st.Stats()
 	rep.Store.Records = ss.Records

@@ -1,0 +1,140 @@
+package wasm
+
+// Fixture is one embedded wasm binary module.
+type Fixture struct {
+	Name string
+	Data []byte
+}
+
+// Fixtures returns the embedded wasm fixture corpus: deterministic,
+// hand-assembled binary modules spanning the supported integer subset —
+// including planted missed-optimization windows (the (x&y)^(x|y) family
+// the knowledge base closes) — plus functions outside the subset so
+// campaigns exercise skip accounting. Campaigns, service tests, and the
+// CI end-to-end smoke all hunt over these.
+func Fixtures() []Fixture {
+	planted := BuildModule(
+		FixtureFunc{
+			// (x&y)^(x|y) == x^y: the missed-optimization window the
+			// rulebook smoke closes at i16, planted here at i32.
+			Name: "masked_xor32", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Op(OpI32And),
+				LocalGet(0), LocalGet(1), Op(OpI32Or),
+				Op(OpI32Xor),
+			},
+		},
+		FixtureFunc{
+			Name: "masked_xor64", Params: []ValType{I64, I64}, Results: []ValType{I64},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Op(OpI64And),
+				LocalGet(0), LocalGet(1), Op(OpI64Or),
+				Op(OpI64Xor),
+			},
+		},
+		FixtureFunc{
+			// Filler arithmetic around the planted windows.
+			Name: "mix32", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Op(OpI32Add),
+				LocalGet(0), I32Const(13), Op(OpI32Mul),
+				Op(OpI32Sub),
+			},
+		},
+	)
+	arith := BuildModule(
+		FixtureFunc{
+			Name: "shifty", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Op(OpI32Shl),
+				LocalGet(0), LocalGet(1), Op(OpI32ShrU),
+				Op(OpI32Or),
+				LocalGet(1), Op(OpI32Popcnt),
+				Op(OpI32Add),
+			},
+		},
+		FixtureFunc{
+			Name: "rotsum", Params: []ValType{I64, I64}, Results: []ValType{I64},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Op(OpI64Rotl),
+				LocalGet(0), LocalGet(1), Op(OpI64Rotr),
+				Op(OpI64Xor),
+			},
+		},
+		FixtureFunc{
+			Name: "clamp", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1),
+				LocalGet(0), LocalGet(1), Op(OpI32LtS),
+				Op(OpSelect),
+			},
+		},
+		FixtureFunc{
+			Name: "widen", Params: []ValType{I32, I32}, Results: []ValType{I64},
+			Body: []Instr{
+				LocalGet(0), Op(OpI64ExtendI32S),
+				LocalGet(1), Op(OpI64ExtendI32U),
+				Op(OpI64Mul),
+			},
+		},
+	)
+	control := BuildModule(
+		FixtureFunc{
+			Name: "diamond", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), I32Const(16), Op(OpI32LtU),
+				If(ValTypeBlock(I32)),
+				LocalGet(0), I32Const(3), Op(OpI32Mul),
+				Else(),
+				LocalGet(0), I32Const(5), Op(OpI32Sub),
+				End(),
+			},
+		},
+		FixtureFunc{
+			Name: "sumto", Params: []ValType{I32}, Results: []ValType{I32},
+			Locals: []ValType{I32, I32},
+			Body: []Instr{
+				Block(BlockTypeEmpty),
+				Loop(BlockTypeEmpty),
+				LocalGet(1), LocalGet(0), Op(OpI32GeU), BrIf(1),
+				LocalGet(2), LocalGet(1), Op(OpI32Add), LocalSet(2),
+				LocalGet(1), I32Const(1), Op(OpI32Add), LocalSet(1),
+				Br(0),
+				End(),
+				End(),
+				LocalGet(2),
+			},
+		},
+	)
+	memory := BuildModule(
+		FixtureFunc{
+			Name: "swap_add", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), Mem(OpI32Load, 2, 0),
+				LocalGet(0), Mem(OpI32Load, 2, 4),
+				Op(OpI32Add),
+			},
+		},
+	)
+	mixed := BuildModule(
+		FixtureFunc{
+			Name: "ok", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), LocalGet(0), Op(OpI32And)},
+		},
+		FixtureFunc{
+			Name: "helper", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), Call(0)},
+		},
+		FixtureFunc{
+			Name: "fsrc", Params: []ValType{F32}, Results: []ValType{F32},
+			Body: []Instr{LocalGet(0)},
+		},
+	)
+	return []Fixture{
+		{Name: "planted.wasm", Data: MustEncode(planted)},
+		{Name: "arith.wasm", Data: MustEncode(arith)},
+		{Name: "control.wasm", Data: MustEncode(control)},
+		{Name: "memory.wasm", Data: MustEncode(memory)},
+		{Name: "mixed.wasm", Data: MustEncode(mixed)},
+	}
+}

@@ -1,0 +1,213 @@
+package wasm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLEB128RoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<32 - 1, 1<<64 - 1}
+	for _, v := range uvals {
+		enc := appendU(nil, v)
+		got, n, err := readU(enc, 64)
+		if err != nil || n != len(enc) || got != v {
+			t.Errorf("readU(appendU(%d)) = %d, %d, %v", v, got, n, err)
+		}
+	}
+	svals := []int64{0, 1, -1, 63, 64, -64, -65, 1<<31 - 1, -1 << 31, 1<<62 - 1, -1 << 62}
+	for _, v := range svals {
+		enc := appendS(nil, v)
+		got, n, err := readS(enc, 64)
+		if err != nil || n != len(enc) || got != v {
+			t.Errorf("readS(appendS(%d)) = %d, %d, %v", v, got, n, err)
+		}
+	}
+}
+
+func TestLEB128Malformed(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+		bits uint
+		sign bool
+	}{
+		{"truncated", []byte{0x80}, 32, false},
+		{"empty", nil, 32, false},
+		{"overlong-u32-6-bytes", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, 32, false},
+		{"u32-padding-bits", []byte{0x80, 0x80, 0x80, 0x80, 0x70}, 32, false},
+		{"overlong-s32", []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x7F}, 32, true},
+		{"s32-bad-padding", []byte{0x80, 0x80, 0x80, 0x80, 0x2F}, 32, true},
+		{"s-truncated", []byte{0xFF, 0xFF}, 33, true},
+	}
+	for _, c := range cases {
+		var err error
+		if c.sign {
+			_, _, err = readS(c.b, c.bits)
+		} else {
+			_, _, err = readU(c.b, c.bits)
+		}
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// testModule is a representative fixture with arithmetic, control flow,
+// memory, multiple signatures, and a call.
+func testModule() *Module {
+	return BuildModule(
+		FixtureFunc{
+			Name: "addmul", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), LocalGet(1), Op(OpI32Add), LocalGet(0), Op(OpI32Mul)},
+		},
+		FixtureFunc{
+			Name: "diamond", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{
+				LocalGet(0), I32Const(10), Op(OpI32LtS),
+				If(ValTypeBlock(I32)),
+				LocalGet(0), I32Const(2), Op(OpI32Mul),
+				Else(),
+				LocalGet(0), I32Const(1), Op(OpI32Add),
+				End(),
+			},
+		},
+		FixtureFunc{
+			Name: "memrw", Params: []ValType{I32, I64}, Results: []ValType{I64},
+			Body: []Instr{
+				LocalGet(0), LocalGet(1), Mem(OpI64Store, 3, 8),
+				LocalGet(0), Mem(OpI64Load, 3, 8),
+			},
+		},
+		FixtureFunc{
+			Name: "caller", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), LocalGet(0), Call(0)},
+		},
+	)
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	m := testModule()
+	enc := MustEncode(m)
+	if !IsWasm(enc) {
+		t.Fatal("encoded module does not sniff as wasm")
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(dec.Funcs) != len(m.Funcs) || len(dec.Types) != len(m.Types) ||
+		len(dec.Exports) != len(m.Exports) || len(dec.Mems) != len(m.Mems) {
+		t.Fatalf("structure mismatch: %+v", dec)
+	}
+	for i, f := range dec.Funcs {
+		if f.BodyErr != nil {
+			t.Fatalf("func %d: BodyErr %v", i, f.BodyErr)
+		}
+		if f.Name != m.Funcs[i].Name {
+			t.Errorf("func %d: name %q, want %q", i, f.Name, m.Funcs[i].Name)
+		}
+		if len(f.Body) != len(m.Funcs[i].Body) {
+			t.Errorf("func %d: %d instrs, want %d", i, len(f.Body), len(m.Funcs[i].Body))
+		}
+	}
+	enc2, err := Encode(dec)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("round trip not byte-identical:\n%x\n%x", enc, enc2)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	valid := MustEncode(testModule())
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad-magic", []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{"bad-version", mut(func(b []byte) []byte { b[4] = 9; return b })},
+		{"truncated-module", valid[:len(valid)-3]},
+		{"truncated-header", valid[:6]},
+		{"section-overrun", mut(func(b []byte) []byte { b[9] = 0x7F; return b })},
+		{"garbage-section-id", mut(func(b []byte) []byte { b[8] = 0x6F; return b })},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDecodeSectionOrder(t *testing.T) {
+	// type section after function section: out of order.
+	bad := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00,
+		3, 2, 1, 0, // function section first
+		1, 4, 1, 0x60, 0, 0, // then type section
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("expected section-order error")
+	}
+}
+
+func TestDecodeBodyErrTolerated(t *testing.T) {
+	m := BuildModule(
+		FixtureFunc{Name: "good", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0)}},
+		FixtureFunc{Name: "bad", Results: []ValType{I32},
+			Body: []Instr{I32Const(1)}},
+	)
+	enc := MustEncode(m)
+	// Corrupt the "bad" body: find its i32.const and replace with an
+	// unknown opcode. The const 1 is the byte pair 0x41 0x01.
+	idx := bytes.LastIndex(enc, []byte{OpI32Const, 0x01})
+	if idx < 0 {
+		t.Fatal("fixture encoding changed")
+	}
+	enc[idx] = 0xFE // not a valid MVP opcode
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode should tolerate per-body garbage, got %v", err)
+	}
+	if dec.Funcs[0].BodyErr != nil {
+		t.Errorf("good function poisoned: %v", dec.Funcs[0].BodyErr)
+	}
+	if dec.Funcs[1].BodyErr == nil {
+		t.Error("bad function should carry BodyErr")
+	}
+	_, st := Lift(dec, "m")
+	if st.Lifted != 1 || st.Skipped != 1 || st.Reasons["body-undecoded"] != 1 {
+		t.Errorf("lift stats = %+v, want 1 lifted / 1 body-undecoded", st)
+	}
+}
+
+func TestDecoderLocalsBomb(t *testing.T) {
+	// One function declaring 2^31 i32 locals in 6 bytes: must be rejected
+	// per-function (BodyErr), not ballooned into memory.
+	var body []byte
+	body = appendU(body, 1)          // one local run
+	body = appendU(body, 1<<31)      // count
+	body = append(body, byte(I32))   // type
+	body = append(body, byte(OpEnd)) // body
+	mod := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+	mod = append(mod, 1, 4, 1, 0x60, 0, 0) // type () -> ()
+	mod = append(mod, 3, 2, 1, 0)          // function section
+	var code []byte
+	code = appendU(code, 1)
+	code = appendU(code, uint64(len(body)))
+	code = append(code, body...)
+	mod = append(mod, 10)
+	mod = appendU(mod, uint64(len(code)))
+	mod = append(mod, code...)
+	dec, err := Decode(mod)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Funcs[0].BodyErr == nil {
+		t.Fatal("locals bomb not rejected")
+	}
+}

@@ -1,0 +1,167 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes a Module back to the wasm binary format. Functions
+// whose bodies failed to decode cannot be re-encoded.
+func Encode(m *Module) ([]byte, error) {
+	out := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+	if len(m.Types) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Types)))
+		for _, t := range m.Types {
+			b = append(b, 0x60)
+			b = appendU(b, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				b = append(b, byte(p))
+			}
+			b = appendU(b, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				b = append(b, byte(r))
+			}
+		}
+		out = appendSection(out, 1, b)
+	}
+
+	if len(m.Imports) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Imports)))
+		for _, im := range m.Imports {
+			b = appendName(b, im.Module)
+			b = appendName(b, im.Name)
+			b = append(b, 0x00)
+			b = appendU(b, uint64(im.TypeIdx))
+		}
+		out = appendSection(out, 2, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			b = appendU(b, uint64(f.TypeIdx))
+		}
+		out = appendSection(out, 3, b)
+	}
+
+	if len(m.Mems) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Mems)))
+		for _, mt := range m.Mems {
+			b = appendLimits(b, mt)
+		}
+		out = appendSection(out, 5, b)
+	}
+
+	if len(m.Exports) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendName(b, e.Name)
+			b = append(b, e.Kind)
+			b = appendU(b, uint64(e.Index))
+		}
+		out = appendSection(out, 7, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = appendU(b, uint64(len(m.Funcs)))
+		for i, f := range m.Funcs {
+			if f.BodyErr != nil {
+				return nil, fmt.Errorf("wasm: function %d: cannot re-encode undecoded body (%v)", i, f.BodyErr)
+			}
+			entry := encodeLocals(nil, f.Locals)
+			for _, in := range f.Body {
+				entry = appendInstr(entry, in)
+			}
+			b = appendU(b, uint64(len(entry)))
+			b = append(b, entry...)
+		}
+		out = appendSection(out, 10, b)
+	}
+	return out, nil
+}
+
+func appendSection(out []byte, id byte, body []byte) []byte {
+	out = append(out, id)
+	out = appendU(out, uint64(len(body)))
+	return append(out, body...)
+}
+
+func appendName(b []byte, s string) []byte {
+	b = appendU(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendLimits(b []byte, mt MemType) []byte {
+	if mt.HasMax {
+		b = append(b, 1)
+		b = appendU(b, uint64(mt.Min))
+		return appendU(b, uint64(mt.Max))
+	}
+	b = append(b, 0)
+	return appendU(b, uint64(mt.Min))
+}
+
+// encodeLocals run-length compresses the expanded local declarations.
+func encodeLocals(b []byte, locals []ValType) []byte {
+	type run struct {
+		t ValType
+		n uint64
+	}
+	var runs []run
+	for _, t := range locals {
+		if len(runs) > 0 && runs[len(runs)-1].t == t {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{t, 1})
+		}
+	}
+	b = appendU(b, uint64(len(runs)))
+	for _, r := range runs {
+		b = appendU(b, r.n)
+		b = append(b, byte(r.t))
+	}
+	return b
+}
+
+func appendInstr(b []byte, in Instr) []byte {
+	b = append(b, in.Op)
+	switch {
+	case in.Op == OpBlock || in.Op == OpLoop || in.Op == OpIf:
+		b = appendS(b, in.BlockType)
+	case in.Op == OpBr || in.Op == OpBrIf || in.Op == OpCall ||
+		(in.Op >= OpLocalGet && in.Op <= OpGlobalSet) ||
+		in.Op == OpMemorySize || in.Op == OpMemoryGrow:
+		b = appendU(b, in.X)
+	case in.Op == OpCallIndirect:
+		b = appendU(b, in.X)
+		b = appendU(b, 0) // table index
+	case in.Op == OpBrTable:
+		b = appendU(b, uint64(len(in.Table)-1))
+		for _, t := range in.Table {
+			b = appendU(b, uint64(t))
+		}
+	case in.Op >= OpI32Load && in.Op <= OpI64Store32:
+		b = appendU(b, uint64(in.Align))
+		b = appendU(b, uint64(in.Offset))
+	case in.Op == OpI32Const:
+		b = appendS(b, int64(int32(uint32(in.X))))
+	case in.Op == OpI64Const:
+		b = appendS(b, int64(in.X))
+	case in.Op == OpF32Const:
+		var le [4]byte
+		binary.LittleEndian.PutUint32(le[:], uint32(in.X))
+		b = append(b, le[:]...)
+	case in.Op == OpF64Const:
+		var le [8]byte
+		binary.LittleEndian.PutUint64(le[:], in.X)
+		b = append(b, le[:]...)
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package wasm
+
+// Hand-assembled fixture modules: deterministic wasm binaries used by the
+// embedded corpus, the differential tests, and the CI end-to-end smoke.
+// Everything is built through the instruction constructors below and
+// serialized with Encode, so the fixtures are real binary modules that
+// exercise the decoder, not just the lifter.
+
+// FixtureFunc describes one function of a fixture module.
+type FixtureFunc struct {
+	Name    string
+	Params  []ValType
+	Results []ValType
+	Locals  []ValType
+	Body    []Instr // without the final end; BuildModule appends it
+}
+
+// BuildModule assembles a module from fixture functions: signatures are
+// deduplicated into the type section, every named function is exported,
+// and a one-page memory is declared when any body touches linear memory.
+func BuildModule(funcs ...FixtureFunc) *Module {
+	m := &Module{}
+	touchesMem := false
+	for _, ff := range funcs {
+		sig := FuncType{Params: ff.Params, Results: ff.Results}
+		ti := -1
+		for i, t := range m.Types {
+			if t.Equal(sig) {
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			ti = len(m.Types)
+			m.Types = append(m.Types, sig)
+		}
+		body := append(append([]Instr(nil), ff.Body...), End())
+		for _, in := range body {
+			if in.Op >= OpI32Load && in.Op <= OpMemoryGrow {
+				touchesMem = true
+			}
+		}
+		idx := uint32(len(m.Funcs))
+		m.Funcs = append(m.Funcs, &Function{
+			TypeIdx: uint32(ti),
+			Name:    ff.Name,
+			Locals:  ff.Locals,
+			Body:    body,
+		})
+		if ff.Name != "" {
+			m.Exports = append(m.Exports, Export{Name: ff.Name, Kind: 0, Index: idx})
+		}
+	}
+	if touchesMem {
+		m.Mems = []MemType{{Min: 1}}
+	}
+	return m
+}
+
+// MustEncode serializes m, panicking on failure (fixtures are programmatic
+// and cannot legitimately fail to encode).
+func MustEncode(m *Module) []byte {
+	b, err := Encode(m)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Instruction constructors for fixture bodies.
+
+// Op builds an immediate-free instruction (arithmetic, compare, drop, ...).
+func Op(op byte) Instr { return Instr{Op: op} }
+
+// I32Const pushes a 32-bit constant.
+func I32Const(v int32) Instr { return Instr{Op: OpI32Const, X: uint64(int64(v))} }
+
+// I64Const pushes a 64-bit constant.
+func I64Const(v int64) Instr { return Instr{Op: OpI64Const, X: uint64(v)} }
+
+// LocalGet reads a local or parameter.
+func LocalGet(i uint32) Instr { return Instr{Op: OpLocalGet, X: uint64(i)} }
+
+// LocalSet writes a local.
+func LocalSet(i uint32) Instr { return Instr{Op: OpLocalSet, X: uint64(i)} }
+
+// LocalTee writes a local, keeping the value on the stack.
+func LocalTee(i uint32) Instr { return Instr{Op: OpLocalTee, X: uint64(i)} }
+
+// Block opens a block with the given block type (BlockTypeEmpty or a
+// ValTypeBlock).
+func Block(bt int64) Instr { return Instr{Op: OpBlock, BlockType: bt} }
+
+// Loop opens a loop.
+func Loop(bt int64) Instr { return Instr{Op: OpLoop, BlockType: bt} }
+
+// If opens an if.
+func If(bt int64) Instr { return Instr{Op: OpIf, BlockType: bt} }
+
+// Else separates the arms of an if.
+func Else() Instr { return Instr{Op: OpElse} }
+
+// End closes a block, loop, if, or function body.
+func End() Instr { return Instr{Op: OpEnd} }
+
+// Br branches unconditionally to relative depth d.
+func Br(d uint32) Instr { return Instr{Op: OpBr, X: uint64(d)} }
+
+// BrIf branches conditionally to relative depth d.
+func BrIf(d uint32) Instr { return Instr{Op: OpBrIf, X: uint64(d)} }
+
+// Call calls the function with the given absolute index.
+func Call(f uint32) Instr { return Instr{Op: OpCall, X: uint64(f)} }
+
+// Mem builds a load/store with the given memarg.
+func Mem(op byte, align, offset uint32) Instr {
+	return Instr{Op: op, Align: align, Offset: offset}
+}
+
+// ValTypeBlock converts a value type into its (negative) s33 block type.
+func ValTypeBlock(t ValType) int64 { return int64(int8(byte(t) | 0x80)) }

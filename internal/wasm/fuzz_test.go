@@ -1,0 +1,71 @@
+package wasm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the leb128 readers, the module decoder, and the lifter
+// with arbitrary bytes: malformed, truncated, and overlong inputs must
+// come back as errors (or per-function skips), never panics. For inputs
+// that decode cleanly it also checks the encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6D})
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add(MustEncode(testModule()))
+	f.Add(MustEncode(isolateFixture()))
+	for _, fx := range Fixtures() {
+		f.Add(fx.Data)
+	}
+	valid := MustEncode(testModule())
+	for cut := 1; cut < len(valid); cut += 7 {
+		f.Add(valid[:cut]) // truncations at varying section boundaries
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The varint readers must be total.
+		for _, bits := range []uint{1, 7, 32, 33, 64} {
+			readU(data, bits)
+			readS(data, bits)
+		}
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A decoded module must lift without panicking, and the stats must
+		// add up.
+		_, st := Lift(m, "fuzz")
+		if st.Lifted+st.Skipped != st.Funcs {
+			t.Fatalf("lift stats do not add up: %+v", st)
+		}
+		// Fully-decoded modules re-encode, and the re-encoding decodes to
+		// the same shape (byte-identity is not guaranteed for non-canonical
+		// varints in the input; shape identity is).
+		for _, fn := range m.Funcs {
+			if fn.BodyErr != nil {
+				return
+			}
+		}
+		enc, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode of fully-decoded module failed: %v", err)
+		}
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(m)) failed: %v\n%x", err, enc)
+		}
+		if len(m2.Funcs) != len(m.Funcs) || len(m2.Types) != len(m.Types) ||
+			len(m2.Imports) != len(m.Imports) || len(m2.Exports) != len(m.Exports) {
+			t.Fatalf("round trip changed module shape")
+		}
+		// And the canonical form is a fixed point.
+		enc2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package wasm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Isolate carves the defined function with the given absolute index (the
+// import-inclusive wasm index space) plus its transitive callees out of m,
+// producing a minimal self-contained module: only the types, imports,
+// functions, and memory the slice needs, with every call immediate and
+// type index remapped, and the target function exported. This is the
+// wasm-isolate trick: shrink a finding's provenance from a whole module to
+// the one function (plus deps) that produced the window.
+func Isolate(m *Module, fnIdx uint32) (*Module, error) {
+	imported := uint32(len(m.Imports))
+	if fnIdx < imported {
+		return nil, fmt.Errorf("wasm: isolate: function %d is imported", fnIdx)
+	}
+	if fnIdx-imported >= uint32(len(m.Funcs)) {
+		return nil, fmt.Errorf("wasm: isolate: function index %d out of range", fnIdx)
+	}
+
+	// Transitive closure over direct call edges.
+	keep := map[uint32]bool{}
+	work := []uint32{fnIdx}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		if keep[idx] {
+			continue
+		}
+		keep[idx] = true
+		if idx < imported {
+			continue
+		}
+		f := m.Funcs[idx-imported]
+		if f.BodyErr != nil {
+			return nil, fmt.Errorf("wasm: isolate: function %d has an undecoded body: %v", idx, f.BodyErr)
+		}
+		for _, in := range f.Body {
+			switch in.Op {
+			case OpCall:
+				callee := uint32(in.X)
+				if _, ok := m.TypeOf(callee); !ok {
+					return nil, fmt.Errorf("wasm: isolate: function %d calls out-of-range function %d", idx, callee)
+				}
+				work = append(work, callee)
+			case OpCallIndirect:
+				return nil, fmt.Errorf("wasm: isolate: function %d uses call_indirect (tables not modeled)", idx)
+			}
+		}
+	}
+
+	// New index space: kept imports first, kept defined functions after,
+	// both in original order.
+	var kept []uint32
+	for idx := range keep {
+		kept = append(kept, idx)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	fnMap := map[uint32]uint32{}
+	out := &Module{}
+	typeMap := map[uint32]uint32{}
+	mapType := func(ti uint32) uint32 {
+		if nt, ok := typeMap[ti]; ok {
+			return nt
+		}
+		nt := uint32(len(out.Types))
+		typeMap[ti] = nt
+		out.Types = append(out.Types, m.Types[ti])
+		return nt
+	}
+	for _, idx := range kept {
+		if idx < imported {
+			im := m.Imports[idx]
+			fnMap[idx] = uint32(len(out.Imports))
+			out.Imports = append(out.Imports, Import{
+				Module: im.Module, Name: im.Name, TypeIdx: mapType(im.TypeIdx),
+			})
+		}
+	}
+	touchesMem := false
+	for _, idx := range kept {
+		if idx < imported {
+			continue
+		}
+		f := m.Funcs[idx-imported]
+		fnMap[idx] = uint32(len(out.Imports) + len(out.Funcs))
+		nf := &Function{
+			TypeIdx: mapType(f.TypeIdx),
+			Name:    f.Name,
+			Locals:  append([]ValType(nil), f.Locals...),
+			Body:    append([]Instr(nil), f.Body...),
+		}
+		for _, in := range nf.Body {
+			if in.Op >= OpI32Load && in.Op <= OpMemoryGrow {
+				touchesMem = true
+			}
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	// Remap call immediates now that every kept function has a new index.
+	for _, nf := range out.Funcs {
+		for i, in := range nf.Body {
+			if in.Op == OpCall {
+				nf.Body[i].X = uint64(fnMap[uint32(in.X)])
+			}
+		}
+	}
+	if touchesMem {
+		if len(m.Mems) > 0 {
+			out.Mems = append(out.Mems, m.Mems...)
+		} else {
+			out.Mems = []MemType{{Min: 1}}
+		}
+	}
+	name := m.Funcs[fnIdx-imported].Name
+	if name == "" {
+		name = "isolated"
+	}
+	out.Exports = []Export{{Name: name, Kind: 0, Index: fnMap[fnIdx]}}
+	return out, nil
+}
+
+// IsolateByName isolates the defined function with the given lifted name.
+func IsolateByName(m *Module, name string) (*Module, error) {
+	for i, f := range m.Funcs {
+		if f.Name == name {
+			return Isolate(m, uint32(len(m.Imports)+i))
+		}
+	}
+	return nil, fmt.Errorf("wasm: isolate: no function named %q", name)
+}

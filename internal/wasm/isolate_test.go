@@ -1,0 +1,121 @@
+package wasm
+
+import "testing"
+
+func isolateFixture() *Module {
+	return BuildModule(
+		FixtureFunc{Name: "leaf", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), I32Const(1), Op(OpI32Add)}},
+		FixtureFunc{Name: "mid", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), Call(0)}},
+		FixtureFunc{Name: "top", Params: []ValType{I32, I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), Call(1), LocalGet(1), Op(OpI32Mul)}},
+		FixtureFunc{Name: "unrelated", Params: []ValType{I64}, Results: []ValType{I64},
+			Body: []Instr{LocalGet(0), LocalGet(0), Op(OpI64Mul)}},
+	)
+}
+
+func TestIsolateTransitive(t *testing.T) {
+	m := isolateFixture()
+	iso, err := Isolate(m, 2) // "top"
+	if err != nil {
+		t.Fatalf("Isolate: %v", err)
+	}
+	if len(iso.Funcs) != 3 {
+		t.Fatalf("kept %d functions, want 3 (top + mid + leaf)", len(iso.Funcs))
+	}
+	for _, f := range iso.Funcs {
+		if f.Name == "unrelated" {
+			t.Fatal("unrelated function survived isolation")
+		}
+	}
+	if len(iso.Exports) != 1 || iso.Exports[0].Name != "top" {
+		t.Fatalf("exports = %+v, want just top", iso.Exports)
+	}
+	// The isolated module must be encodable, decodable, and internally
+	// consistent (remapped call immediates in range).
+	enc := MustEncode(iso)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("isolated module does not round-trip: %v", err)
+	}
+	for _, f := range dec.Funcs {
+		for _, in := range f.Body {
+			if in.Op == OpCall && in.X >= uint64(len(dec.Imports)+len(dec.Funcs)) {
+				t.Fatalf("call immediate %d out of range after remap", in.X)
+			}
+		}
+	}
+	// The isolated module is smaller than the original: that is the whole
+	// point of provenance shrinking.
+	if orig := MustEncode(m); len(enc) >= len(orig) {
+		t.Errorf("isolated module (%d bytes) not smaller than original (%d bytes)", len(enc), len(orig))
+	}
+}
+
+func TestIsolateLeafDropsEverythingElse(t *testing.T) {
+	m := isolateFixture()
+	iso, err := Isolate(m, 0) // "leaf"
+	if err != nil {
+		t.Fatalf("Isolate: %v", err)
+	}
+	if len(iso.Funcs) != 1 || iso.Funcs[0].Name != "leaf" {
+		t.Fatalf("funcs = %+v, want just leaf", iso.Funcs)
+	}
+	if len(iso.Mems) != 0 {
+		t.Errorf("leaf touches no memory but Mems = %+v", iso.Mems)
+	}
+	// The lifted isolated function still verifies and carries the name.
+	lifted, st := Lift(iso, "iso")
+	if st.Lifted != 1 || lifted.FuncByName("leaf") == nil {
+		t.Fatalf("lift after isolate: %s", st)
+	}
+}
+
+func TestIsolateByName(t *testing.T) {
+	m := isolateFixture()
+	if _, err := IsolateByName(m, "mid"); err != nil {
+		t.Errorf("IsolateByName(mid): %v", err)
+	}
+	if _, err := IsolateByName(m, "nope"); err == nil {
+		t.Error("IsolateByName(nope): expected error")
+	}
+}
+
+func TestIsolateKeepsMemory(t *testing.T) {
+	m := BuildModule(
+		FixtureFunc{Name: "touches", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), Mem(OpI32Load, 2, 0)}},
+		FixtureFunc{Name: "pure", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0)}},
+	)
+	iso, err := Isolate(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iso.Mems) != 1 {
+		t.Fatalf("memory not kept: %+v", iso.Mems)
+	}
+	iso2, err := Isolate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iso2.Mems) != 0 {
+		t.Fatalf("memory kept for pure function: %+v", iso2.Mems)
+	}
+}
+
+func TestIsolateRejectsCallIndirect(t *testing.T) {
+	m := BuildModule(FixtureFunc{Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Body: []Instr{LocalGet(0), Instr{Op: OpCallIndirect, X: 0}}})
+	if _, err := Isolate(m, 0); err == nil {
+		t.Fatal("expected call_indirect error")
+	}
+}
+
+func TestIsolateOutOfRange(t *testing.T) {
+	m := isolateFixture()
+	if _, err := Isolate(m, 99); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}

@@ -1,0 +1,109 @@
+// Package wasm is a self-contained WebAssembly binary-module frontend: a
+// LEB128 varint codec, a section/function-body decoder for the MVP integer
+// subset, a lifter that turns stack-machine bodies into SSA internal/ir
+// functions, a module re-encoder, and a function-isolation reducer that
+// carves one function plus its transitive dependencies out of a module.
+//
+// The package depends only on internal/ir; everything upstream (extract,
+// engine, service, cmds) consumes the lifted ir.Module unchanged.
+package wasm
+
+import "fmt"
+
+// ErrTruncated is wrapped by varint reads that run out of bytes.
+var errTruncated = fmt.Errorf("wasm: truncated varint")
+
+// readU decodes an unsigned LEB128 integer of at most bits bits. It returns
+// the value and the number of bytes consumed. Overlong encodings (more bytes
+// than ceil(bits/7), or set bits beyond the width in the final byte) and
+// truncated input are errors.
+func readU(b []byte, bits uint) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	maxBytes := int((bits + 6) / 7)
+	for i := 0; i < len(b); i++ {
+		if i >= maxBytes {
+			return 0, 0, fmt.Errorf("wasm: overlong u%d varint", bits)
+		}
+		c := b[i]
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			if i == maxBytes-1 {
+				// Bits of the final byte beyond the declared width must
+				// be clear (e.g. a u32 fifth byte may only use 4 bits).
+				if used := bits - 7*uint(i); used < 7 && (c&0x7f)>>used != 0 {
+					return 0, 0, fmt.Errorf("wasm: overlong u%d varint (non-zero padding)", bits)
+				}
+			}
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, errTruncated
+}
+
+// readS decodes a signed LEB128 integer of at most bits bits (33 for block
+// types, 32/64 for constants). The final byte's padding bits must agree with
+// the sign bit, per the spec's canonical-encoding requirement.
+func readS(b []byte, bits uint) (int64, int, error) {
+	var v int64
+	var shift uint
+	maxBytes := int((bits + 6) / 7)
+	for i := 0; i < len(b); i++ {
+		if i >= maxBytes {
+			return 0, 0, fmt.Errorf("wasm: overlong s%d varint", bits)
+		}
+		c := b[i]
+		v |= int64(c&0x7f) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 64 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			if i == maxBytes-1 {
+				if used := bits - 7*uint(i); used < 7 {
+					// The payload bits above the width must all equal the
+					// sign bit (bit used-1 of this byte).
+					pad := (c & 0x7f) >> (used - 1) // sign bit + padding
+					all := byte(1)<<(7-used+1) - 1
+					if pad != 0 && pad != all {
+						return 0, 0, fmt.Errorf("wasm: overlong s%d varint (bad padding)", bits)
+					}
+				}
+			}
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, errTruncated
+}
+
+// appendU appends the canonical unsigned LEB128 encoding of v.
+func appendU(dst []byte, v uint64) []byte {
+	for {
+		c := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if v == 0 {
+			return dst
+		}
+	}
+}
+
+// appendS appends the canonical signed LEB128 encoding of v.
+func appendS(dst []byte, v int64) []byte {
+	for {
+		c := byte(v & 0x7f)
+		v >>= 7
+		done := (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0)
+		if !done {
+			c |= 0x80
+		}
+		dst = append(dst, c)
+		if done {
+			return dst
+		}
+	}
+}

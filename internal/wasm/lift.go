@@ -1,0 +1,989 @@
+package wasm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// LiftStats counts per-module lift coverage: how many functions lifted,
+// how many were skipped, and why. Skips are never errors — a module with
+// one exotic function still contributes every other function.
+type LiftStats struct {
+	Funcs   int            `json:"funcs"`
+	Lifted  int            `json:"lifted"`
+	Skipped int            `json:"skipped"`
+	Reasons map[string]int `json:"reasons,omitempty"`
+}
+
+// Merge accumulates o into s.
+func (s *LiftStats) Merge(o LiftStats) {
+	s.Funcs += o.Funcs
+	s.Lifted += o.Lifted
+	s.Skipped += o.Skipped
+	for r, n := range o.Reasons {
+		if s.Reasons == nil {
+			s.Reasons = make(map[string]int)
+		}
+		s.Reasons[r] += n
+	}
+}
+
+// ReasonCount is one skip reason with its count.
+type ReasonCount struct {
+	Reason string
+	Count  int
+}
+
+// TopReasons returns up to n skip reasons, most frequent first (ties
+// alphabetical, for deterministic output).
+func (s LiftStats) TopReasons(n int) []ReasonCount {
+	out := make([]ReasonCount, 0, len(s.Reasons))
+	for r, c := range s.Reasons {
+		out = append(out, ReasonCount{r, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Reason < out[j].Reason
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// String renders "12 lifted, 3 skipped (calls 2, float-op 1)".
+func (s LiftStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d lifted, %d skipped", s.Lifted, s.Skipped)
+	if top := s.TopReasons(3); len(top) > 0 {
+		b.WriteString(" (")
+		for i, rc := range top {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %d", rc.Reason, rc.Count)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// SkipError explains why one function was not lifted.
+type SkipError struct {
+	Reason string // stable, countable bucket
+	Detail string
+}
+
+func (e *SkipError) Error() string {
+	if e.Detail == "" {
+		return "wasm: skip: " + e.Reason
+	}
+	return "wasm: skip: " + e.Reason + ": " + e.Detail
+}
+
+func skip(reason, format string, args ...any) error {
+	return &SkipError{Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
+// SkipReason extracts the countable bucket from a lift error.
+func SkipReason(err error) string {
+	if se, ok := err.(*SkipError); ok {
+		return se.Reason
+	}
+	return "internal"
+}
+
+// liftInstrCap bounds the emitted IR per function; pathological bodies
+// (e.g. a loop over tens of thousands of locals, each needing a header
+// phi) are skipped rather than inflated.
+const liftInstrCap = 1 << 16
+
+// Lift lifts every defined function of m into an ir.Module. Functions that
+// use features outside the MVP integer subset are skipped with a counted
+// reason; lifting itself never fails.
+func Lift(m *Module, modName string) (*ir.Module, LiftStats) {
+	out := &ir.Module{Name: modName}
+	st := LiftStats{Reasons: make(map[string]int)}
+	for _, f := range m.Funcs {
+		st.Funcs++
+		fn, err := LiftFunc(m, f)
+		if err != nil {
+			st.Skipped++
+			st.Reasons[SkipReason(err)]++
+			continue
+		}
+		st.Lifted++
+		out.Funcs = append(out.Funcs, fn)
+	}
+	return out, st
+}
+
+func mapValType(t ValType) (ir.Type, bool) {
+	switch t {
+	case I32:
+		return ir.I32, true
+	case I64:
+		return ir.I64, true
+	}
+	return nil, false
+}
+
+// LiftFunc lifts one defined function into SSA form: the operand stack
+// becomes virtual registers, locals become per-path value bindings merged
+// with phis at control-flow joins, and structured control flow (block,
+// loop, if/else, br, br_if) becomes an explicit ir.Block CFG. The result
+// is validated by ir.VerifyFunc before being returned.
+func LiftFunc(m *Module, f *Function) (*ir.Func, error) {
+	if f.BodyErr != nil {
+		return nil, skip("body-undecoded", "%v", f.BodyErr)
+	}
+	if int(f.TypeIdx) >= len(m.Types) {
+		return nil, skip("stack-shape", "type index out of range")
+	}
+	sig := m.Types[f.TypeIdx]
+	if len(sig.Results) > 1 {
+		return nil, skip("multi-result", "%d results", len(sig.Results))
+	}
+	ret := ir.Type(ir.Void)
+	if len(sig.Results) == 1 {
+		t, ok := mapValType(sig.Results[0])
+		if !ok {
+			return nil, skip("float-type", "result %s", sig.Results[0])
+		}
+		ret = t
+	}
+	l := &lifter{m: m, f: f, sig: sig}
+	l.out = &ir.Func{Name: f.Name, Ret: ret}
+	l.newBlock("entry")
+	for i, p := range sig.Params {
+		t, ok := mapValType(p)
+		if !ok {
+			return nil, skip("float-type", "param %d is %s", i, p)
+		}
+		prm := &ir.Param{Nm: fmt.Sprintf("p%d", i), Ty: t}
+		l.out.Params = append(l.out.Params, prm)
+		l.locals = append(l.locals, prm)
+	}
+	for i, lt := range f.Locals {
+		t, ok := mapValType(lt)
+		if !ok {
+			return nil, skip("float-type", "local %d is %s", i, lt)
+		}
+		l.locals = append(l.locals, ir.CInt(t.(ir.IntType), 0))
+	}
+	l.frames = []*frame{{kind: frameFunc, results: sig.Results}}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	if err := ir.VerifyFunc(l.out); err != nil {
+		return nil, skip("verifier", "%v", err)
+	}
+	return l.out, nil
+}
+
+const frameFunc = 0xFF
+
+// frame is one entry of the control-flow stack.
+type frame struct {
+	kind      byte // OpBlock, OpLoop, OpIf, or frameFunc
+	results   []ValType
+	stackBase int
+	joinLabel string // br target: loop header, or the block/if join
+
+	// block/if: edges into the join, collected from br/br_if/fallthrough.
+	edges []edge
+
+	// loop: one header phi per local; back edges append incomings.
+	headerPhis []*ir.Instr
+
+	// if bookkeeping.
+	condBr      *ir.Instr  // false target patched when else appears
+	condLabel   string     // block holding condBr (implicit false edge)
+	entryLocals []ir.Value // locals at if entry, restored for the else arm
+	sawElse     bool
+}
+
+// edge is one control-flow edge into a join: the predecessor block, the
+// frame's result values on that path, and the local bindings on that path.
+type edge struct {
+	pred   string
+	vals   []ir.Value
+	locals []ir.Value
+}
+
+type lifter struct {
+	m      *Module
+	f      *Function
+	sig    FuncType
+	out    *ir.Func
+	cur    *ir.Block // nil while lifting unreachable code
+	stack  []ir.Value
+	locals []ir.Value
+	frames []*frame
+	nval   int
+	nblk   int
+	ninstr int
+	memP   *ir.Param
+
+	// skipDepth counts block/loop/if nesting entered while unreachable.
+	skipDepth int
+}
+
+func (l *lifter) fresh() string { l.nval++; return fmt.Sprintf("t%d", l.nval-1) }
+func (l *lifter) blkName() string {
+	l.nblk++
+	return fmt.Sprintf("b%d", l.nblk)
+}
+
+func (l *lifter) newBlock(name string) *ir.Block {
+	b := &ir.Block{Name: name}
+	l.out.Blocks = append(l.out.Blocks, b)
+	l.cur = b
+	return b
+}
+
+func (l *lifter) emit(in *ir.Instr) ir.Value {
+	l.cur.Instrs = append(l.cur.Instrs, in)
+	l.ninstr++
+	return in
+}
+
+func (l *lifter) push(v ir.Value) { l.stack = append(l.stack, v) }
+
+func (l *lifter) pop() (ir.Value, error) {
+	if len(l.stack) <= l.frames[len(l.frames)-1].stackBase {
+		return nil, skip("stack-shape", "operand stack underflow")
+	}
+	v := l.stack[len(l.stack)-1]
+	l.stack = l.stack[:len(l.stack)-1]
+	return v, nil
+}
+
+func (l *lifter) popT(t ir.Type) (ir.Value, error) {
+	v, err := l.pop()
+	if err != nil {
+		return nil, err
+	}
+	if !ir.Equal(v.Type(), t) {
+		return nil, skip("stack-shape", "expected %s, have %s", t, v.Type())
+	}
+	return v, nil
+}
+
+// topN returns the top n stack values without popping them.
+func (l *lifter) topN(n int) ([]ir.Value, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if len(l.stack)-n < l.frames[len(l.frames)-1].stackBase {
+		return nil, skip("stack-shape", "operand stack underflow")
+	}
+	out := make([]ir.Value, n)
+	copy(out, l.stack[len(l.stack)-n:])
+	return out, nil
+}
+
+func (l *lifter) snapLocals() []ir.Value {
+	out := make([]ir.Value, len(l.locals))
+	copy(out, l.locals)
+	return out
+}
+
+// mem returns the linear-memory base pointer parameter, adding it to the
+// function signature on first use.
+func (l *lifter) mem() ir.Value {
+	if l.memP == nil {
+		l.memP = &ir.Param{Nm: "mem", Ty: ir.Ptr}
+		l.out.Params = append(l.out.Params, l.memP)
+	}
+	return l.memP
+}
+
+// addr lowers a wasm effective address: zero-extend the 32-bit address to
+// i64, add the static offset, and index the memory base pointer bytewise.
+// Alignment is always 1: wasm memargs are hints, not guarantees.
+func (l *lifter) addr(a ir.Value, off uint32) ir.Value {
+	idx := l.emit(ir.Conv(ir.OpZExt, l.fresh(), a, ir.I64, ir.NoFlags))
+	if off != 0 {
+		idx = l.emit(ir.Bin(ir.OpAdd, l.fresh(), ir.NUW, idx, ir.CInt(ir.I64, int64(off))))
+	}
+	return l.emit(ir.GEPI(l.fresh(), ir.I8, l.mem(), idx, ir.NoFlags))
+}
+
+// blockResults maps a decoded block type onto frame result types.
+func (l *lifter) blockResults(bt int64) ([]ValType, error) {
+	if bt == BlockTypeEmpty {
+		return nil, nil
+	}
+	if bt >= 0 {
+		return nil, skip("block-params", "type-index block type %d", bt)
+	}
+	vt := ValType(byte(bt & 0x7f))
+	if _, ok := mapValType(vt); !ok {
+		return nil, skip("float-type", "block result %s", vt)
+	}
+	return []ValType{vt}, nil
+}
+
+// run walks the decoded body, maintaining the operand stack, local
+// bindings, and control-flow frame stack.
+func (l *lifter) run() error {
+	for _, in := range l.f.Body {
+		if l.ninstr > liftInstrCap {
+			return skip("too-large", "more than %d lifted instructions", liftInstrCap)
+		}
+		if len(l.frames) == 0 {
+			return skip("stack-shape", "code after function end")
+		}
+		if l.cur == nil {
+			// Unreachable code: skip until the else/end that reactivates us.
+			switch in.Op {
+			case OpBlock, OpLoop, OpIf:
+				l.skipDepth++
+			case OpElse:
+				if l.skipDepth == 0 {
+					if err := l.startElse(); err != nil {
+						return err
+					}
+				}
+			case OpEnd:
+				if l.skipDepth > 0 {
+					l.skipDepth--
+				} else if err := l.endFrame(false); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := l.step(in); err != nil {
+			return err
+		}
+	}
+	if len(l.frames) != 0 {
+		return skip("stack-shape", "unbalanced control frames")
+	}
+	return nil
+}
+
+// step lifts one instruction in reachable code.
+func (l *lifter) step(in Instr) error {
+	switch in.Op {
+	case OpNop:
+	case OpUnreachable:
+		l.emit(&ir.Instr{Op: ir.OpUnreachable, Ty: ir.Void})
+		l.cur = nil
+
+	case OpBlock:
+		results, err := l.blockResults(in.BlockType)
+		if err != nil {
+			return err
+		}
+		l.frames = append(l.frames, &frame{
+			kind: OpBlock, results: results,
+			stackBase: len(l.stack), joinLabel: l.blkName(),
+		})
+
+	case OpLoop:
+		results, err := l.blockResults(in.BlockType)
+		if err != nil {
+			return err
+		}
+		header := l.blkName()
+		pred := l.cur.Name
+		l.emit(ir.BrI(header))
+		hb := l.newBlock(header)
+		fr := &frame{
+			kind: OpLoop, results: results,
+			stackBase: len(l.stack), joinLabel: header,
+		}
+		fr.headerPhis = make([]*ir.Instr, len(l.locals))
+		for i, v := range l.locals {
+			phi := ir.PhiI(l.fresh(), v.Type(), []ir.Value{v}, []string{pred})
+			hb.Instrs = append(hb.Instrs, phi)
+			l.ninstr++
+			fr.headerPhis[i] = phi
+			l.locals[i] = phi
+		}
+		l.frames = append(l.frames, fr)
+
+	case OpIf:
+		results, err := l.blockResults(in.BlockType)
+		if err != nil {
+			return err
+		}
+		c, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		cond := l.emit(ir.ICmpI(l.fresh(), ir.NE, c, ir.CInt(ir.I32, 0)))
+		thenL, joinL := l.blkName(), l.blkName()
+		fr := &frame{
+			kind: OpIf, results: results,
+			stackBase: len(l.stack), joinLabel: joinL,
+			condLabel: l.cur.Name, entryLocals: l.snapLocals(),
+		}
+		br := ir.CondBrI(cond, thenL, joinL)
+		l.emit(br)
+		fr.condBr = br
+		l.frames = append(l.frames, fr)
+		l.newBlock(thenL)
+
+	case OpElse:
+		return l.startElse()
+
+	case OpEnd:
+		return l.endFrame(true)
+
+	case OpBr:
+		return l.br(in.X, true)
+
+	case OpBrIf:
+		c, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		cond := l.emit(ir.ICmpI(l.fresh(), ir.NE, c, ir.CInt(ir.I32, 0)))
+		return l.brIf(in.X, cond)
+
+	case OpReturn:
+		if err := l.emitReturn(); err != nil {
+			return err
+		}
+		l.cur = nil
+
+	case OpDrop:
+		_, err := l.pop()
+		return err
+
+	case OpSelect:
+		c, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		fv, err := l.pop()
+		if err != nil {
+			return err
+		}
+		tv, err := l.popT(fv.Type())
+		if err != nil {
+			return err
+		}
+		cond := l.emit(ir.ICmpI(l.fresh(), ir.NE, c, ir.CInt(ir.I32, 0)))
+		l.push(l.emit(ir.Sel(l.fresh(), cond, tv, fv)))
+
+	case OpLocalGet:
+		if in.X >= uint64(len(l.locals)) {
+			return skip("stack-shape", "local %d out of range", in.X)
+		}
+		l.push(l.locals[in.X])
+	case OpLocalSet:
+		if in.X >= uint64(len(l.locals)) {
+			return skip("stack-shape", "local %d out of range", in.X)
+		}
+		v, err := l.pop()
+		if err != nil {
+			return err
+		}
+		l.locals[in.X] = v
+	case OpLocalTee:
+		if in.X >= uint64(len(l.locals)) {
+			return skip("stack-shape", "local %d out of range", in.X)
+		}
+		v, err := l.topN(1)
+		if err != nil {
+			return err
+		}
+		l.locals[in.X] = v[0]
+
+	case OpGlobalGet, OpGlobalSet:
+		return skip("globals", "global %d", in.X)
+	case OpCall, OpCallIndirect:
+		return skip("calls", "")
+	case OpBrTable:
+		return skip("br-table", "")
+	case OpMemorySize, OpMemoryGrow:
+		return skip("memory-size", "")
+
+	case OpI32Const:
+		l.push(ir.CInt(ir.I32, int64(in.X)))
+	case OpI64Const:
+		l.push(ir.CInt(ir.I64, int64(in.X)))
+
+	default:
+		return l.stepNumeric(in)
+	}
+	return nil
+}
+
+// emitReturn emits ret with the function's result taken from the stack top
+// (without popping: br_if-to-function keeps values live on fallthrough).
+func (l *lifter) emitReturn() error {
+	if len(l.sig.Results) == 0 {
+		l.emit(ir.RetVoid())
+		return nil
+	}
+	vs, err := l.topN(1)
+	if err != nil {
+		return err
+	}
+	l.emit(ir.RetI(vs[0]))
+	return nil
+}
+
+// br lifts an unconditional branch to relative depth d. When uncond is
+// false the caller handles the control transfer itself.
+func (l *lifter) br(d uint64, uncond bool) error {
+	fr, err := l.targetFrame(d)
+	if err != nil {
+		return err
+	}
+	switch fr.kind {
+	case frameFunc:
+		if err := l.emitReturn(); err != nil {
+			return err
+		}
+	case OpLoop:
+		l.addLoopBackedge(fr)
+		l.emit(ir.BrI(fr.joinLabel))
+	default:
+		vals, err := l.topN(len(fr.results))
+		if err != nil {
+			return err
+		}
+		fr.edges = append(fr.edges, edge{pred: l.cur.Name, vals: vals, locals: l.snapLocals()})
+		l.emit(ir.BrI(fr.joinLabel))
+	}
+	l.cur = nil
+	return nil
+}
+
+// brIf lifts a conditional branch: the taken edge goes to the target
+// frame, the fallthrough continues in a fresh block with values intact.
+func (l *lifter) brIf(d uint64, cond ir.Value) error {
+	fr, err := l.targetFrame(d)
+	if err != nil {
+		return err
+	}
+	next := l.blkName()
+	switch fr.kind {
+	case frameFunc:
+		// Branch to a block that returns; fallthrough keeps the stack.
+		thenL := l.blkName()
+		l.emit(ir.CondBrI(cond, thenL, next))
+		l.newBlock(thenL)
+		if err := l.emitReturn(); err != nil {
+			return err
+		}
+	case OpLoop:
+		l.addLoopBackedge(fr)
+		l.emit(ir.CondBrI(cond, fr.joinLabel, next))
+	default:
+		vals, err := l.topN(len(fr.results))
+		if err != nil {
+			return err
+		}
+		fr.edges = append(fr.edges, edge{pred: l.cur.Name, vals: vals, locals: l.snapLocals()})
+		l.emit(ir.CondBrI(cond, fr.joinLabel, next))
+	}
+	l.newBlock(next)
+	return nil
+}
+
+func (l *lifter) targetFrame(d uint64) (*frame, error) {
+	if d >= uint64(len(l.frames)) {
+		return nil, skip("stack-shape", "branch depth %d out of range", d)
+	}
+	return l.frames[len(l.frames)-1-int(d)], nil
+}
+
+// addLoopBackedge appends the current local bindings to the loop header
+// phis for the edge from the current block.
+func (l *lifter) addLoopBackedge(fr *frame) {
+	for i, phi := range fr.headerPhis {
+		phi.Args = append(phi.Args, l.locals[i])
+		phi.Labels = append(phi.Labels, l.cur.Name)
+	}
+}
+
+// startElse switches an if frame from its then arm to its else arm.
+func (l *lifter) startElse() error {
+	fr := l.frames[len(l.frames)-1]
+	if fr.kind != OpIf || fr.sawElse {
+		return skip("stack-shape", "else outside if")
+	}
+	if l.cur != nil {
+		vals, err := l.topN(len(fr.results))
+		if err != nil {
+			return err
+		}
+		fr.edges = append(fr.edges, edge{pred: l.cur.Name, vals: vals, locals: l.snapLocals()})
+		l.emit(ir.BrI(fr.joinLabel))
+	}
+	fr.sawElse = true
+	elseL := l.blkName()
+	fr.condBr.Labels[1] = elseL
+	l.stack = l.stack[:fr.stackBase]
+	l.locals = append(l.locals[:0:0], fr.entryLocals...)
+	l.skipDepth = 0
+	l.newBlock(elseL)
+	return nil
+}
+
+// endFrame pops the top control frame at its end instruction. reachable
+// says whether execution can fall through into the join.
+func (l *lifter) endFrame(reachable bool) error {
+	if len(l.frames) == 0 {
+		return skip("stack-shape", "unbalanced end")
+	}
+	// Collect the fallthrough edge while the frame is still pushed, so the
+	// operand-stack underflow checks run against this frame's base.
+	fr := l.frames[len(l.frames)-1]
+
+	switch fr.kind {
+	case frameFunc:
+		var err error
+		if reachable {
+			err = l.emitReturn()
+		}
+		l.frames = l.frames[:len(l.frames)-1]
+		return err
+
+	case OpLoop:
+		// Fallthrough out of a loop: results stay on the stack, the
+		// current bindings flow on. Nothing joins here — br to a loop
+		// goes backwards, never forwards.
+		if !reachable {
+			l.stack = l.stack[:fr.stackBase]
+			l.cur = nil
+		}
+		l.frames = l.frames[:len(l.frames)-1]
+		return nil
+	}
+
+	// block / if.
+	if reachable {
+		vals, err := l.topN(len(fr.results))
+		if err != nil {
+			return err
+		}
+		fr.edges = append(fr.edges, edge{pred: l.cur.Name, vals: vals, locals: l.snapLocals()})
+		l.emit(ir.BrI(fr.joinLabel))
+	}
+	l.frames = l.frames[:len(l.frames)-1]
+	if fr.kind == OpIf && !fr.sawElse {
+		// The condBr's false target still points at the join: that path
+		// carries the if-entry bindings and, in valid modules, no values.
+		if len(fr.results) != 0 {
+			return skip("stack-shape", "if without else yields a value")
+		}
+		fr.edges = append(fr.edges, edge{pred: fr.condLabel, locals: fr.entryLocals})
+	}
+	l.stack = l.stack[:fr.stackBase]
+	if len(fr.edges) == 0 {
+		// Nothing reaches the join; code after end stays unreachable.
+		l.cur = nil
+		return nil
+	}
+	join := l.newBlock(fr.joinLabel)
+	// Merge result values and local bindings across the incoming edges,
+	// creating phis only where the edges disagree.
+	for k := range fr.results {
+		t, _ := mapValType(fr.results[k])
+		l.push(l.mergeSlot(join, t, fr.edges, func(e edge) ir.Value { return e.vals[k] }))
+	}
+	for i := range l.locals {
+		i := i
+		l.locals[i] = l.mergeSlot(join, fr.edges[0].locals[i].Type(), fr.edges,
+			func(e edge) ir.Value { return e.locals[i] })
+	}
+	return nil
+}
+
+// mergeSlot merges one value slot across edges: the value itself when all
+// edges agree, otherwise a phi in the join block.
+func (l *lifter) mergeSlot(join *ir.Block, t ir.Type, edges []edge, get func(edge) ir.Value) ir.Value {
+	first := get(edges[0])
+	same := true
+	for _, e := range edges[1:] {
+		if get(e) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		return first
+	}
+	vals := make([]ir.Value, len(edges))
+	labels := make([]string, len(edges))
+	for i, e := range edges {
+		vals[i] = get(e)
+		labels[i] = e.pred
+	}
+	phi := ir.PhiI(l.fresh(), t, vals, labels)
+	join.Instrs = append(join.Instrs, phi)
+	l.ninstr++
+	return phi
+}
+
+// stepNumeric lifts the numeric (arithmetic, comparison, conversion,
+// memory) instruction set.
+func (l *lifter) stepNumeric(in Instr) error {
+	type binDesc struct {
+		t  ir.IntType
+		op ir.Opcode
+	}
+	if d, ok := map[byte]binDesc{
+		OpI32Add: {ir.I32, ir.OpAdd}, OpI32Sub: {ir.I32, ir.OpSub},
+		OpI32Mul: {ir.I32, ir.OpMul}, OpI32DivS: {ir.I32, ir.OpSDiv},
+		OpI32DivU: {ir.I32, ir.OpUDiv}, OpI32RemS: {ir.I32, ir.OpSRem},
+		OpI32RemU: {ir.I32, ir.OpURem}, OpI32And: {ir.I32, ir.OpAnd},
+		OpI32Or: {ir.I32, ir.OpOr}, OpI32Xor: {ir.I32, ir.OpXor},
+		OpI64Add: {ir.I64, ir.OpAdd}, OpI64Sub: {ir.I64, ir.OpSub},
+		OpI64Mul: {ir.I64, ir.OpMul}, OpI64DivS: {ir.I64, ir.OpSDiv},
+		OpI64DivU: {ir.I64, ir.OpUDiv}, OpI64RemS: {ir.I64, ir.OpSRem},
+		OpI64RemU: {ir.I64, ir.OpURem}, OpI64And: {ir.I64, ir.OpAnd},
+		OpI64Or: {ir.I64, ir.OpOr}, OpI64Xor: {ir.I64, ir.OpXor},
+	}[in.Op]; ok {
+		b, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		a, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		l.push(l.emit(ir.Bin(d.op, l.fresh(), ir.NoFlags, a, b)))
+		return nil
+	}
+
+	type shiftDesc struct {
+		t  ir.IntType
+		op ir.Opcode
+	}
+	if d, ok := map[byte]shiftDesc{
+		OpI32Shl: {ir.I32, ir.OpShl}, OpI32ShrS: {ir.I32, ir.OpAShr},
+		OpI32ShrU: {ir.I32, ir.OpLShr},
+		OpI64Shl:  {ir.I64, ir.OpShl}, OpI64ShrS: {ir.I64, ir.OpAShr},
+		OpI64ShrU: {ir.I64, ir.OpLShr},
+	}[in.Op]; ok {
+		b, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		a, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		// Wasm shifts are mod-width; IR shifts past the width are poison,
+		// so mask the count explicitly.
+		mb := l.emit(ir.Bin(ir.OpAnd, l.fresh(), ir.NoFlags, b, ir.CInt(d.t, int64(d.t.W-1))))
+		l.push(l.emit(ir.Bin(d.op, l.fresh(), ir.NoFlags, a, mb)))
+		return nil
+	}
+
+	if d, ok := map[byte]struct {
+		base string
+		t    ir.IntType
+	}{
+		OpI32Rotl: {"fshl", ir.I32}, OpI32Rotr: {"fshr", ir.I32},
+		OpI64Rotl: {"fshl", ir.I64}, OpI64Rotr: {"fshr", ir.I64},
+	}[in.Op]; ok {
+		// rotl(x, y) == fshl(x, x, y); the funnel-shift kernels already
+		// reduce the shift amount mod width, exactly wasm's semantics.
+		b, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		a, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		l.push(l.emit(ir.CallI(l.fresh(), ir.IntrinsicName(d.base, d.t), d.t, a, a, b)))
+		return nil
+	}
+
+	if base, ok := map[byte]struct {
+		name string
+		t    ir.IntType
+		flag bool
+	}{
+		OpI32Clz: {"ctlz", ir.I32, true}, OpI32Ctz: {"cttz", ir.I32, true},
+		OpI32Popcnt: {"ctpop", ir.I32, false},
+		OpI64Clz:    {"ctlz", ir.I64, true}, OpI64Ctz: {"cttz", ir.I64, true},
+		OpI64Popcnt: {"ctpop", ir.I64, false},
+	}[in.Op]; ok {
+		a, err := l.popT(base.t)
+		if err != nil {
+			return err
+		}
+		args := []ir.Value{a}
+		if base.flag {
+			// Wasm clz/ctz are defined on zero, so the is-zero-poison
+			// flag is always false.
+			args = append(args, ir.CBool(false))
+		}
+		l.push(l.emit(ir.CallI(l.fresh(), ir.IntrinsicName(base.name, base.t), base.t, args...)))
+		return nil
+	}
+
+	if t, ok := map[byte]ir.IntType{OpI32Eqz: ir.I32, OpI64Eqz: ir.I64}[in.Op]; ok {
+		a, err := l.popT(t)
+		if err != nil {
+			return err
+		}
+		c := l.emit(ir.ICmpI(l.fresh(), ir.EQ, a, ir.CInt(t, 0)))
+		l.push(l.emit(ir.Conv(ir.OpZExt, l.fresh(), c, ir.I32, ir.NoFlags)))
+		return nil
+	}
+
+	type cmpDesc struct {
+		t ir.IntType
+		p ir.IPred
+	}
+	if d, ok := map[byte]cmpDesc{
+		OpI32Eq: {ir.I32, ir.EQ}, OpI32Ne: {ir.I32, ir.NE},
+		OpI32LtS: {ir.I32, ir.SLT}, OpI32LtU: {ir.I32, ir.ULT},
+		OpI32GtS: {ir.I32, ir.SGT}, OpI32GtU: {ir.I32, ir.UGT},
+		OpI32LeS: {ir.I32, ir.SLE}, OpI32LeU: {ir.I32, ir.ULE},
+		OpI32GeS: {ir.I32, ir.SGE}, OpI32GeU: {ir.I32, ir.UGE},
+		OpI64Eq: {ir.I64, ir.EQ}, OpI64Ne: {ir.I64, ir.NE},
+		OpI64LtS: {ir.I64, ir.SLT}, OpI64LtU: {ir.I64, ir.ULT},
+		OpI64GtS: {ir.I64, ir.SGT}, OpI64GtU: {ir.I64, ir.UGT},
+		OpI64LeS: {ir.I64, ir.SLE}, OpI64LeU: {ir.I64, ir.ULE},
+		OpI64GeS: {ir.I64, ir.SGE}, OpI64GeU: {ir.I64, ir.UGE},
+	}[in.Op]; ok {
+		b, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		a, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		c := l.emit(ir.ICmpI(l.fresh(), d.p, a, b))
+		l.push(l.emit(ir.Conv(ir.OpZExt, l.fresh(), c, ir.I32, ir.NoFlags)))
+		return nil
+	}
+
+	switch in.Op {
+	case OpI32WrapI64:
+		a, err := l.popT(ir.I64)
+		if err != nil {
+			return err
+		}
+		l.push(l.emit(ir.Conv(ir.OpTrunc, l.fresh(), a, ir.I32, ir.NoFlags)))
+		return nil
+	case OpI64ExtendI32S:
+		a, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		l.push(l.emit(ir.Conv(ir.OpSExt, l.fresh(), a, ir.I64, ir.NoFlags)))
+		return nil
+	case OpI64ExtendI32U:
+		a, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		l.push(l.emit(ir.Conv(ir.OpZExt, l.fresh(), a, ir.I64, ir.NoFlags)))
+		return nil
+	}
+
+	if d, ok := map[byte]struct {
+		t   ir.IntType
+		via ir.IntType
+	}{
+		OpI32Extend8S: {ir.I32, ir.I8}, OpI32Extend16S: {ir.I32, ir.I16},
+		OpI64Extend8S: {ir.I64, ir.I8}, OpI64Extend16S: {ir.I64, ir.I16},
+		OpI64Extend32S: {ir.I64, ir.I32},
+	}[in.Op]; ok {
+		a, err := l.popT(d.t)
+		if err != nil {
+			return err
+		}
+		tr := l.emit(ir.Conv(ir.OpTrunc, l.fresh(), a, d.via, ir.NoFlags))
+		l.push(l.emit(ir.Conv(ir.OpSExt, l.fresh(), tr, d.t, ir.NoFlags)))
+		return nil
+	}
+
+	if err := l.stepMemory(in); err != errNotMemory {
+		return err
+	}
+
+	if isFloatOp(in.Op) {
+		return skip("float-op", "opcode 0x%02X", in.Op)
+	}
+	return skip("unsupported", "opcode 0x%02X", in.Op)
+}
+
+var errNotMemory = fmt.Errorf("not a memory op")
+
+// stepMemory lifts loads and stores against the linear-memory pointer.
+func (l *lifter) stepMemory(in Instr) error {
+	type loadDesc struct {
+		mem ir.IntType // in-memory width
+		res ir.IntType // result type
+		ext ir.Opcode  // widening op, 0 when mem == res
+	}
+	if d, ok := map[byte]loadDesc{
+		OpI32Load:    {ir.I32, ir.I32, 0},
+		OpI64Load:    {ir.I64, ir.I64, 0},
+		OpI32Load8S:  {ir.I8, ir.I32, ir.OpSExt},
+		OpI32Load8U:  {ir.I8, ir.I32, ir.OpZExt},
+		OpI32Load16S: {ir.I16, ir.I32, ir.OpSExt},
+		OpI32Load16U: {ir.I16, ir.I32, ir.OpZExt},
+		OpI64Load8S:  {ir.I8, ir.I64, ir.OpSExt},
+		OpI64Load8U:  {ir.I8, ir.I64, ir.OpZExt},
+		OpI64Load16S: {ir.I16, ir.I64, ir.OpSExt},
+		OpI64Load16U: {ir.I16, ir.I64, ir.OpZExt},
+		OpI64Load32S: {ir.I32, ir.I64, ir.OpSExt},
+		OpI64Load32U: {ir.I32, ir.I64, ir.OpZExt},
+	}[in.Op]; ok {
+		a, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		p := l.addr(a, in.Offset)
+		v := l.emit(ir.LoadI(l.fresh(), d.mem, p, 1))
+		if d.ext != 0 {
+			v = l.emit(ir.Conv(d.ext, l.fresh(), v, d.res, ir.NoFlags))
+		}
+		l.push(v)
+		return nil
+	}
+
+	type storeDesc struct {
+		val ir.IntType // operand type
+		mem ir.IntType // in-memory width (truncated when narrower)
+	}
+	if d, ok := map[byte]storeDesc{
+		OpI32Store:   {ir.I32, ir.I32},
+		OpI64Store:   {ir.I64, ir.I64},
+		OpI32Store8:  {ir.I32, ir.I8},
+		OpI32Store16: {ir.I32, ir.I16},
+		OpI64Store8:  {ir.I64, ir.I8},
+		OpI64Store16: {ir.I64, ir.I16},
+		OpI64Store32: {ir.I64, ir.I32},
+	}[in.Op]; ok {
+		v, err := l.popT(d.val)
+		if err != nil {
+			return err
+		}
+		a, err := l.popT(ir.I32)
+		if err != nil {
+			return err
+		}
+		p := l.addr(a, in.Offset)
+		if d.mem != d.val {
+			v = l.emit(ir.Conv(ir.OpTrunc, l.fresh(), v, d.mem, ir.NoFlags))
+		}
+		l.emit(ir.StoreI(v, p, 1))
+		return nil
+	}
+	return errNotMemory
+}

@@ -1,0 +1,505 @@
+package wasm
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// liftOne builds, encodes, decodes, and lifts a fixture module, returning
+// the named lifted function. Going through the binary round trip means the
+// differential tests cover the decoder too, not just the lifter.
+func liftOne(t *testing.T, m *Module, name string) *ir.Func {
+	t.Helper()
+	dec, err := Decode(MustEncode(m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	lifted, st := Lift(dec, "test")
+	fn := lifted.FuncByName(name)
+	if fn == nil {
+		t.Fatalf("function %q not lifted (stats: %s)", name, st)
+	}
+	return fn
+}
+
+// memBase is where the linear-memory region lives in the differential
+// executions; memSize bytes are mapped.
+const (
+	memBase = 0x10000
+	memSize = 64
+)
+
+// diffExec runs the lifted and the directly-constructed function on the
+// same inputs and requires identical outcomes: same UB verdict, same
+// completion, same value/poison. withMem appends a fresh linear-memory
+// region (and its base pointer argument) to each execution.
+func diffExec(t *testing.T, lifted, manual *ir.Func, argRows [][]uint64, withMem bool) {
+	t.Helper()
+	if len(lifted.Params) != len(manual.Params) {
+		t.Fatalf("param mismatch: lifted %d, manual %d", len(lifted.Params), len(manual.Params))
+	}
+	for _, row := range argRows {
+		run := func(fn *ir.Func) interp.Result {
+			env := interp.Env{}
+			nargs := len(fn.Params)
+			if withMem {
+				nargs-- // the trailing %mem pointer is appended below
+			}
+			for i := 0; i < nargs; i++ {
+				env.Args = append(env.Args, interp.Scalar(fn.Params[i].Ty, row[i]))
+			}
+			if withMem {
+				env.Mem = interp.NewMemory()
+				env.Mem.AddRegion("mem", memBase, memSize)
+				env.Args = append(env.Args, interp.Scalar(ir.Ptr, memBase))
+			}
+			return interp.Exec(fn, env)
+		}
+		got, want := run(lifted), run(manual)
+		if got.UB != want.UB {
+			t.Fatalf("args %v: UB mismatch: lifted %v (%s), manual %v (%s)\nlifted:\n%s",
+				row, got.UB, got.UBReason, want.UB, want.UBReason, lifted)
+		}
+		if got.UB {
+			continue
+		}
+		if got.Completed != want.Completed {
+			t.Fatalf("args %v: completion mismatch", row)
+		}
+		if !got.Ret.Equal(want.Ret) {
+			t.Fatalf("args %v: result mismatch: lifted %s, manual %s\nlifted:\n%s",
+				row, got.Ret.Format(), want.Ret.Format(), lifted)
+		}
+	}
+}
+
+func params(ts ...ir.Type) []*ir.Param {
+	out := make([]*ir.Param, len(ts))
+	for i, t := range ts {
+		out[i] = &ir.Param{Nm: "p" + string(rune('0'+i)), Ty: t}
+	}
+	return out
+}
+
+var i32Rows = [][]uint64{
+	{0, 0}, {1, 1}, {2, 3}, {7, 31}, {41, 1}, {13, 40},
+	{0x7FFFFFFF, 1}, {0x80000000, 0xFFFFFFFF}, {0xFFFFFFFF, 2},
+	{0xDEADBEEF, 0x12345678}, {5, 0},
+}
+
+func TestLiftArith(t *testing.T) {
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI32Add),
+			LocalGet(0), Op(OpI32Mul),
+			LocalGet(1), Op(OpI32Sub),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	add := ir.Bin(ir.OpAdd, "a", ir.NoFlags, ps[0], ps[1])
+	mul := ir.Bin(ir.OpMul, "m", ir.NoFlags, add, ps[0])
+	sub := ir.Bin(ir.OpSub, "s", ir.NoFlags, mul, ps[1])
+	manual := ir.NewFunc("f", ir.I32, ps, []*ir.Instr{add, mul, sub, ir.RetI(sub)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftBitwise(t *testing.T) {
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI32And),
+			LocalGet(0), LocalGet(1), Op(OpI32Or),
+			Op(OpI32Xor),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	and := ir.Bin(ir.OpAnd, "a", ir.NoFlags, ps[0], ps[1])
+	or := ir.Bin(ir.OpOr, "o", ir.NoFlags, ps[0], ps[1])
+	xor := ir.Bin(ir.OpXor, "x", ir.NoFlags, and, or)
+	manual := ir.NewFunc("f", ir.I32, ps, []*ir.Instr{and, or, xor, ir.RetI(xor)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftShiftsAreModWidth(t *testing.T) {
+	// Wasm shifts reduce the count mod width; the lift must mask so that a
+	// count of 40 shifts by 8 instead of producing poison.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI32Shl),
+			LocalGet(0), LocalGet(1), Op(OpI32ShrU),
+			Op(OpI32Xor),
+			LocalGet(0), LocalGet(1), Op(OpI32ShrS),
+			Op(OpI32Add),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	mask := ir.Bin(ir.OpAnd, "m", ir.NoFlags, ps[1], ir.CInt(ir.I32, 31))
+	shl := ir.Bin(ir.OpShl, "sl", ir.NoFlags, ps[0], mask)
+	shr := ir.Bin(ir.OpLShr, "sr", ir.NoFlags, ps[0], mask)
+	xor := ir.Bin(ir.OpXor, "x", ir.NoFlags, shl, shr)
+	ashr := ir.Bin(ir.OpAShr, "sa", ir.NoFlags, ps[0], mask)
+	sum := ir.Bin(ir.OpAdd, "s", ir.NoFlags, xor, ashr)
+	manual := ir.NewFunc("f", ir.I32, ps,
+		[]*ir.Instr{mask, shl, shr, xor, ashr, sum, ir.RetI(sum)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftRotatesAndBitcounts(t *testing.T) {
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I64, I64}, Results: []ValType{I64},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI64Rotl),
+			LocalGet(0), Op(OpI64Clz), Op(OpI64Add),
+			LocalGet(0), Op(OpI64Ctz), Op(OpI64Xor),
+			LocalGet(1), Op(OpI64Popcnt), Op(OpI64Add),
+			LocalGet(0), LocalGet(1), Op(OpI64Rotr), Op(OpI64Sub),
+		},
+	})
+	ps := params(ir.I64, ir.I64)
+	rotl := ir.CallI("rl", ir.IntrinsicName("fshl", ir.I64), ir.I64, ps[0], ps[0], ps[1])
+	clz := ir.CallI("cl", ir.IntrinsicName("ctlz", ir.I64), ir.I64, ps[0], ir.CBool(false))
+	a1 := ir.Bin(ir.OpAdd, "a1", ir.NoFlags, rotl, clz)
+	ctz := ir.CallI("ct", ir.IntrinsicName("cttz", ir.I64), ir.I64, ps[0], ir.CBool(false))
+	x1 := ir.Bin(ir.OpXor, "x1", ir.NoFlags, a1, ctz)
+	pop := ir.CallI("pc", ir.IntrinsicName("ctpop", ir.I64), ir.I64, ps[1])
+	a2 := ir.Bin(ir.OpAdd, "a2", ir.NoFlags, x1, pop)
+	rotr := ir.CallI("rr", ir.IntrinsicName("fshr", ir.I64), ir.I64, ps[0], ps[0], ps[1])
+	s1 := ir.Bin(ir.OpSub, "s1", ir.NoFlags, a2, rotr)
+	manual := ir.NewFunc("f", ir.I64, ps,
+		[]*ir.Instr{rotl, clz, a1, ctz, x1, pop, a2, rotr, s1, ir.RetI(s1)})
+	rows := [][]uint64{
+		{0, 0}, {1, 1}, {1, 63}, {1, 64}, {1, 200}, {0x8000000000000000, 1},
+		{0xFFFFFFFFFFFFFFFF, 7}, {0x0123456789ABCDEF, 33},
+	}
+	diffExec(t, liftOne(t, m, "f"), manual, rows, false)
+}
+
+func TestLiftComparesAndSelect(t *testing.T) {
+	// min(x, y) plus an equality bit, built from icmp/zext/select.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1),
+			LocalGet(0), LocalGet(1), Op(OpI32LtS),
+			Op(OpSelect),
+			LocalGet(0), Op(OpI32Eqz),
+			Op(OpI32Add),
+			LocalGet(0), LocalGet(1), Op(OpI32GeU),
+			Op(OpI32Add),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	lt := ir.ICmpI("lt", ir.SLT, ps[0], ps[1])
+	ltw := ir.Conv(ir.OpZExt, "ltw", lt, ir.I32, ir.NoFlags)
+	cnz := ir.ICmpI("cnz", ir.NE, ltw, ir.CInt(ir.I32, 0))
+	sel := ir.Sel("sel", cnz, ps[0], ps[1])
+	ez := ir.ICmpI("ez", ir.EQ, ps[0], ir.CInt(ir.I32, 0))
+	ezw := ir.Conv(ir.OpZExt, "ezw", ez, ir.I32, ir.NoFlags)
+	a1 := ir.Bin(ir.OpAdd, "a1", ir.NoFlags, sel, ezw)
+	ge := ir.ICmpI("ge", ir.UGE, ps[0], ps[1])
+	gew := ir.Conv(ir.OpZExt, "gew", ge, ir.I32, ir.NoFlags)
+	a2 := ir.Bin(ir.OpAdd, "a2", ir.NoFlags, a1, gew)
+	manual := ir.NewFunc("f", ir.I32, ps,
+		[]*ir.Instr{lt, ltw, cnz, sel, ez, ezw, a1, ge, gew, a2, ir.RetI(a2)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftConversions(t *testing.T) {
+	// i64 widening (signed and unsigned), wrapping, and in-place sign
+	// extension.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), Op(OpI64ExtendI32S),
+			LocalGet(1), Op(OpI64ExtendI32U),
+			Op(OpI64Mul),
+			Op(OpI32WrapI64),
+			Op(OpI32Extend8S),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	sx := ir.Conv(ir.OpSExt, "sx", ps[0], ir.I64, ir.NoFlags)
+	zx := ir.Conv(ir.OpZExt, "zx", ps[1], ir.I64, ir.NoFlags)
+	mul := ir.Bin(ir.OpMul, "m", ir.NoFlags, sx, zx)
+	wr := ir.Conv(ir.OpTrunc, "w", mul, ir.I32, ir.NoFlags)
+	t8 := ir.Conv(ir.OpTrunc, "t8", wr, ir.I8, ir.NoFlags)
+	x8 := ir.Conv(ir.OpSExt, "x8", t8, ir.I32, ir.NoFlags)
+	manual := ir.NewFunc("f", ir.I32, ps,
+		[]*ir.Instr{sx, zx, mul, wr, t8, x8, ir.RetI(x8)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftDivRemUB(t *testing.T) {
+	// Division lifts to sdiv/urem; trap inputs (divide by zero) must be UB
+	// in both the lifted and the directly-constructed function.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI32DivS),
+			LocalGet(0), LocalGet(1), Op(OpI32RemU),
+			Op(OpI32Add),
+		},
+	})
+	ps := params(ir.I32, ir.I32)
+	div := ir.Bin(ir.OpSDiv, "d", ir.NoFlags, ps[0], ps[1])
+	rem := ir.Bin(ir.OpURem, "r", ir.NoFlags, ps[0], ps[1])
+	add := ir.Bin(ir.OpAdd, "a", ir.NoFlags, div, rem)
+	manual := ir.NewFunc("f", ir.I32, ps, []*ir.Instr{div, rem, add, ir.RetI(add)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows, false)
+}
+
+func TestLiftIfElsePhi(t *testing.T) {
+	// Value-producing if/else plus a local mutated on one arm only: both
+	// the result and the local need a phi at the join.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Locals: []ValType{I32},
+		Body: []Instr{
+			I32Const(7), LocalSet(1),
+			LocalGet(0), I32Const(10), Op(OpI32LtS),
+			If(ValTypeBlock(I32)),
+			LocalGet(0), I32Const(2), Op(OpI32Mul),
+			I32Const(100), LocalSet(1),
+			Else(),
+			LocalGet(0), I32Const(1), Op(OpI32Add),
+			End(),
+			LocalGet(1), Op(OpI32Add),
+		},
+	})
+	// Equivalent straight-line form: both arms are pure, so select works.
+	ps := params(ir.I32)
+	lt := ir.ICmpI("lt", ir.SLT, ps[0], ir.CInt(ir.I32, 10))
+	ltw := ir.Conv(ir.OpZExt, "ltw", lt, ir.I32, ir.NoFlags)
+	c := ir.ICmpI("c", ir.NE, ltw, ir.CInt(ir.I32, 0))
+	dbl := ir.Bin(ir.OpMul, "d", ir.NoFlags, ps[0], ir.CInt(ir.I32, 2))
+	inc := ir.Bin(ir.OpAdd, "i", ir.NoFlags, ps[0], ir.CInt(ir.I32, 1))
+	selv := ir.Sel("sv", c, dbl, inc)
+	sell := ir.Sel("sl", c, ir.CInt(ir.I32, 100), ir.CInt(ir.I32, 7))
+	sum := ir.Bin(ir.OpAdd, "s", ir.NoFlags, selv, sell)
+	manual := ir.NewFunc("f", ir.I32, ps,
+		[]*ir.Instr{lt, ltw, c, dbl, inc, selv, sell, sum, ir.RetI(sum)})
+	rows := [][]uint64{{0}, {5}, {9}, {10}, {11}, {0x7FFFFFFF}, {0x80000000}, {0xFFFFFFFF}}
+	diffExec(t, liftOne(t, m, "f"), manual, rows, false)
+}
+
+func TestLiftLoop(t *testing.T) {
+	// sum(0..n-1) via a block/loop/br_if nest with two mutable locals,
+	// against a directly-constructed phi loop.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Locals: []ValType{I32, I32}, // 1: i, 2: acc
+		Body: []Instr{
+			Block(BlockTypeEmpty),
+			Loop(BlockTypeEmpty),
+			LocalGet(1), LocalGet(0), Op(OpI32GeS), BrIf(1),
+			LocalGet(2), LocalGet(1), Op(OpI32Add), LocalSet(2),
+			LocalGet(1), I32Const(1), Op(OpI32Add), LocalSet(1),
+			Br(0),
+			End(),
+			End(),
+			LocalGet(2),
+		},
+	})
+	ps := params(ir.I32)
+	iphi := ir.PhiI("i", ir.I32, nil, nil)
+	aphi := ir.PhiI("acc", ir.I32, nil, nil)
+	cmp := ir.ICmpI("c", ir.SLT, iphi, ps[0])
+	a2 := ir.Bin(ir.OpAdd, "a2", ir.NoFlags, aphi, iphi)
+	i2 := ir.Bin(ir.OpAdd, "i2", ir.NoFlags, iphi, ir.CInt(ir.I32, 1))
+	iphi.Args = []ir.Value{ir.CInt(ir.I32, 0), i2}
+	iphi.Labels = []string{"entry", "body"}
+	aphi.Args = []ir.Value{ir.CInt(ir.I32, 0), a2}
+	aphi.Labels = []string{"entry", "body"}
+	manual := &ir.Func{
+		Name: "f", Ret: ir.I32, Params: ps,
+		Blocks: []*ir.Block{
+			{Name: "entry", Instrs: []*ir.Instr{ir.BrI("head")}},
+			{Name: "head", Instrs: []*ir.Instr{iphi, aphi, cmp, ir.CondBrI(cmp, "body", "exit")}},
+			{Name: "body", Instrs: []*ir.Instr{a2, i2, ir.BrI("head")}},
+			{Name: "exit", Instrs: []*ir.Instr{ir.RetI(aphi)}},
+		},
+	}
+	if err := ir.VerifyFunc(manual); err != nil {
+		t.Fatalf("manual loop does not verify: %v", err)
+	}
+	rows := [][]uint64{{0}, {1}, {2}, {5}, {17}, {100}}
+	diffExec(t, liftOne(t, m, "f"), manual, rows, false)
+}
+
+func TestLiftMemory(t *testing.T) {
+	// Store an i64 at p0+8, load it back, narrow store/load mixing widths.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I64}, Results: []ValType{I64},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Mem(OpI64Store, 3, 8),
+			LocalGet(0), LocalGet(1), Op(OpI32WrapI64), Mem(OpI32Store8, 0, 2),
+			LocalGet(0), Mem(OpI64Load, 3, 8),
+			LocalGet(0), Mem(OpI64Load8U, 0, 2),
+			Op(OpI64Add),
+		},
+	})
+	ps := params(ir.I32, ir.I64)
+	mp := &ir.Param{Nm: "mem", Ty: ir.Ptr}
+	all := append(ps, mp)
+	addr := func(pfx string, off int64) (ins []*ir.Instr, p ir.Value) {
+		zx := ir.Conv(ir.OpZExt, pfx+"z", ps[0], ir.I64, ir.NoFlags)
+		ad := ir.Bin(ir.OpAdd, pfx+"a", ir.NUW, zx, ir.CInt(ir.I64, off))
+		g := ir.GEPI(pfx+"g", ir.I8, mp, ad, ir.NoFlags)
+		return []*ir.Instr{zx, ad, g}, g
+	}
+	var ins []*ir.Instr
+	a1, p1 := addr("s1", 8)
+	ins = append(ins, a1...)
+	ins = append(ins, ir.StoreI(ps[1], p1, 1))
+	wr := ir.Conv(ir.OpTrunc, "w", ps[1], ir.I32, ir.NoFlags)
+	tr := ir.Conv(ir.OpTrunc, "t", wr, ir.I8, ir.NoFlags)
+	a2, p2 := addr("s2", 2)
+	ins = append(ins, wr)
+	ins = append(ins, a2...)
+	ins = append(ins, tr, ir.StoreI(tr, p2, 1))
+	a3, p3 := addr("l1", 8)
+	ld1 := ir.LoadI("ld1", ir.I64, p3, 1)
+	ins = append(ins, a3...)
+	ins = append(ins, ld1)
+	a4, p4 := addr("l2", 2)
+	ld2 := ir.LoadI("ld2", ir.I8, p4, 1)
+	zx2 := ir.Conv(ir.OpZExt, "zx2", ld2, ir.I64, ir.NoFlags)
+	sum := ir.Bin(ir.OpAdd, "s", ir.NoFlags, ld1, zx2)
+	ins = append(ins, a4...)
+	ins = append(ins, ld2, zx2, sum, ir.RetI(sum))
+	manual := ir.NewFunc("f", ir.I64, all, ins)
+	rows := [][]uint64{
+		{0, 0}, {0, 0x1122334455667788}, {8, 0xFFFFFFFFFFFFFFFF},
+		{40, 7}, {100, 1}, // 100+8+8 > 64: OOB, UB in both
+	}
+	diffExec(t, liftOne(t, m, "f"), manual, rows, true)
+}
+
+func TestLiftBrFromLoopBody(t *testing.T) {
+	// A br_if that exits across the loop to the enclosing block while a
+	// value-producing block result is live.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Locals: []ValType{I32},
+		Body: []Instr{
+			Block(ValTypeBlock(I32)),
+			Loop(BlockTypeEmpty),
+			LocalGet(1), I32Const(1), Op(OpI32Add), LocalSet(1),
+			LocalGet(1), LocalGet(1), Op(OpI32Mul),
+			LocalGet(1), LocalGet(0), Op(OpI32GeS),
+			BrIf(1), // exits the block carrying i*i
+			Op(OpDrop),
+			Br(0),
+			End(),
+			I32Const(-1), // unreachable filler so the block yields a value
+			End(),
+		},
+	})
+	// Equivalent: first k in 1.. with k >= n, return k*k.
+	ps := params(ir.I32)
+	kphi := ir.PhiI("k", ir.I32, nil, nil)
+	k2 := ir.Bin(ir.OpAdd, "k2", ir.NoFlags, kphi, ir.CInt(ir.I32, 1))
+	sq := ir.Bin(ir.OpMul, "sq", ir.NoFlags, k2, k2)
+	ge := ir.ICmpI("ge", ir.SGE, k2, ps[0])
+	kphi.Args = []ir.Value{ir.CInt(ir.I32, 0), k2}
+	kphi.Labels = []string{"entry", "head"}
+	manual := &ir.Func{
+		Name: "f", Ret: ir.I32, Params: ps,
+		Blocks: []*ir.Block{
+			{Name: "entry", Instrs: []*ir.Instr{ir.BrI("head")}},
+			{Name: "head", Instrs: []*ir.Instr{kphi, k2, sq, ge, ir.CondBrI(ge, "exit", "head")}},
+			{Name: "exit", Instrs: []*ir.Instr{ir.RetI(sq)}},
+		},
+	}
+	if err := ir.VerifyFunc(manual); err != nil {
+		t.Fatalf("manual does not verify: %v", err)
+	}
+	rows := [][]uint64{{0}, {1}, {2}, {5}, {30}}
+	diffExec(t, liftOne(t, m, "f"), manual, rows, false)
+}
+
+func TestLiftLocalTee(t *testing.T) {
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Locals: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), I32Const(3), Op(OpI32Mul), LocalTee(1),
+			LocalGet(1), Op(OpI32Add),
+		},
+	})
+	ps := params(ir.I32)
+	mul := ir.Bin(ir.OpMul, "m", ir.NoFlags, ps[0], ir.CInt(ir.I32, 3))
+	add := ir.Bin(ir.OpAdd, "a", ir.NoFlags, mul, mul)
+	manual := ir.NewFunc("f", ir.I32, ps, []*ir.Instr{mul, add, ir.RetI(add)})
+	diffExec(t, liftOne(t, m, "f"), manual, i32Rows[:6], false)
+}
+
+func TestLiftSkipReasons(t *testing.T) {
+	m := BuildModule(
+		FixtureFunc{Name: "ok", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0)}},
+		FixtureFunc{Name: "callee", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{LocalGet(0), LocalGet(0), Call(0)}},
+		FixtureFunc{Name: "floaty", Params: []ValType{F64}, Results: []ValType{F64},
+			Body: []Instr{LocalGet(0)}},
+		FixtureFunc{Name: "floatop", Results: []ValType{I32},
+			Body: []Instr{Instr{Op: OpF32Const, X: 0}, Op(0xB8 /* f32->i32 path unused; reinterpret-ish */), Op(OpDrop), I32Const(0)}},
+		FixtureFunc{Name: "globals", Results: []ValType{I32},
+			Body: []Instr{Instr{Op: OpGlobalGet, X: 0}}},
+		FixtureFunc{Name: "multi", Params: []ValType{I32}, Results: []ValType{I32, I32},
+			Body: []Instr{LocalGet(0), LocalGet(0)}},
+		FixtureFunc{Name: "brtable", Params: []ValType{I32}, Results: []ValType{I32},
+			Body: []Instr{
+				Block(BlockTypeEmpty),
+				LocalGet(0), Instr{Op: OpBrTable, Table: []uint32{0, 0}},
+				End(), I32Const(1),
+			}},
+		FixtureFunc{Name: "memsize", Results: []ValType{I32},
+			Body: []Instr{Instr{Op: OpMemorySize, X: 0}}},
+	)
+	dec, err := Decode(MustEncode(m))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	lifted, st := Lift(dec, "skips")
+	if st.Funcs != 8 || st.Lifted != 1 || st.Skipped != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	want := map[string]int{
+		"calls": 1, "float-type": 1, "float-op": 1, "globals": 1,
+		"multi-result": 1, "br-table": 1, "memory-size": 1,
+	}
+	for r, n := range want {
+		if st.Reasons[r] != n {
+			t.Errorf("reason %q = %d, want %d (all: %v)", r, st.Reasons[r], n, st.Reasons)
+		}
+	}
+	if lifted.FuncByName("ok") == nil {
+		t.Error("supported sibling function was not lifted")
+	}
+	if s := st.String(); s == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestLiftedVerifies(t *testing.T) {
+	// Every lifted fixture function must pass the IR verifier (Lift already
+	// enforces this; the test guards the guarantee).
+	dec, err := Decode(MustEncode(testModule()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, st := Lift(dec, "m")
+	if st.Reasons["verifier"] != 0 {
+		t.Fatalf("verifier skips: %+v", st)
+	}
+	for _, fn := range lifted.Funcs {
+		if err := ir.VerifyFunc(fn); err != nil {
+			t.Errorf("%s: %v\n%s", fn.Name, err, fn)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package wasm
+
+import "fmt"
+
+// ValType is a wasm value type byte.
+type ValType byte
+
+// The MVP value types. Only I32 and I64 are liftable; float types decode
+// fine but cause the containing function to be skipped with a counted
+// reason.
+const (
+	I32 ValType = 0x7F
+	I64 ValType = 0x7E
+	F32 ValType = 0x7D
+	F64 ValType = 0x7C
+)
+
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	}
+	return fmt.Sprintf("valtype(0x%02X)", byte(t))
+}
+
+func validValType(b byte) bool {
+	return b == byte(I32) || b == byte(I64) || b == byte(F32) || b == byte(F64)
+}
+
+// FuncType is a wasm function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports structural equality of two signatures.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Import is an imported function (the only import kind the frontend models
+// beyond structural skipping).
+type Import struct {
+	Module  string
+	Name    string
+	TypeIdx uint32
+}
+
+// Export is an exported entity; Kind 0 is a function.
+type Export struct {
+	Name  string
+	Kind  byte
+	Index uint32
+}
+
+// MemType is a linear-memory limit declaration.
+type MemType struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// Instr is one decoded instruction. Immediates are stored flat: X carries
+// indices and integer constants (sign-extended constants as their bit
+// pattern), Align/Offset carry memargs, BlockType the s33 block type, and
+// Table the br_table target vector (default target last).
+type Instr struct {
+	Op        byte
+	X         uint64
+	Align     uint32
+	Offset    uint32
+	BlockType int64
+	Table     []uint32
+}
+
+// Function is one defined (non-imported) function.
+type Function struct {
+	TypeIdx uint32
+	Name    string    // export name when exported, else "fnN"
+	Locals  []ValType // declared locals, expanded from run-length pairs
+	Body    []Instr   // decoded body, including the terminating end
+	BodyErr error     // non-nil when the body failed to decode (lift skips)
+}
+
+// Module is a decoded wasm module (the subset of sections the frontend
+// models; unknown sections are skipped structurally).
+type Module struct {
+	// Name labels the module for provenance (a file or fixture name). It is
+	// not part of the binary format; Decode leaves it empty.
+	Name    string
+	Types   []FuncType
+	Imports []Import // imported functions, in index-space order
+	Funcs   []*Function
+	Mems    []MemType
+	Exports []Export
+}
+
+// NumImportedFuncs returns the number of imported functions; defined
+// function i has absolute index NumImportedFuncs()+i.
+func (m *Module) NumImportedFuncs() int { return len(m.Imports) }
+
+// TypeOf returns the signature of the function with the given absolute
+// index (imports first, then defined functions).
+func (m *Module) TypeOf(fnIdx uint32) (FuncType, bool) {
+	n := uint32(len(m.Imports))
+	var ti uint32
+	if fnIdx < n {
+		ti = m.Imports[fnIdx].TypeIdx
+	} else if d := fnIdx - n; d < uint32(len(m.Funcs)) {
+		ti = m.Funcs[d].TypeIdx
+	} else {
+		return FuncType{}, false
+	}
+	if ti >= uint32(len(m.Types)) {
+		return FuncType{}, false
+	}
+	return m.Types[ti], true
+}
+
+// The block type for blocks that produce no value.
+const BlockTypeEmpty = -0x40
+
+// Opcodes of the MVP integer subset (plus the structural and skipped ones
+// the decoder recognizes).
+const (
+	OpUnreachable  = 0x00
+	OpNop          = 0x01
+	OpBlock        = 0x02
+	OpLoop         = 0x03
+	OpIf           = 0x04
+	OpElse         = 0x05
+	OpEnd          = 0x0B
+	OpBr           = 0x0C
+	OpBrIf         = 0x0D
+	OpBrTable      = 0x0E
+	OpReturn       = 0x0F
+	OpCall         = 0x10
+	OpCallIndirect = 0x11
+	OpDrop         = 0x1A
+	OpSelect       = 0x1B
+	OpLocalGet     = 0x20
+	OpLocalSet     = 0x21
+	OpLocalTee     = 0x22
+	OpGlobalGet    = 0x23
+	OpGlobalSet    = 0x24
+
+	OpI32Load    = 0x28
+	OpI64Load    = 0x29
+	OpF32Load    = 0x2A
+	OpF64Load    = 0x2B
+	OpI32Load8S  = 0x2C
+	OpI32Load8U  = 0x2D
+	OpI32Load16S = 0x2E
+	OpI32Load16U = 0x2F
+	OpI64Load8S  = 0x30
+	OpI64Load8U  = 0x31
+	OpI64Load16S = 0x32
+	OpI64Load16U = 0x33
+	OpI64Load32S = 0x34
+	OpI64Load32U = 0x35
+	OpI32Store   = 0x36
+	OpI64Store   = 0x37
+	OpF32Store   = 0x38
+	OpF64Store   = 0x39
+	OpI32Store8  = 0x3A
+	OpI32Store16 = 0x3B
+	OpI64Store8  = 0x3C
+	OpI64Store16 = 0x3D
+	OpI64Store32 = 0x3E
+	OpMemorySize = 0x3F
+	OpMemoryGrow = 0x40
+
+	OpI32Const = 0x41
+	OpI64Const = 0x42
+	OpF32Const = 0x43
+	OpF64Const = 0x44
+
+	OpI32Eqz = 0x45
+	OpI32Eq  = 0x46
+	OpI32Ne  = 0x47
+	OpI32LtS = 0x48
+	OpI32LtU = 0x49
+	OpI32GtS = 0x4A
+	OpI32GtU = 0x4B
+	OpI32LeS = 0x4C
+	OpI32LeU = 0x4D
+	OpI32GeS = 0x4E
+	OpI32GeU = 0x4F
+	OpI64Eqz = 0x50
+	OpI64Eq  = 0x51
+	OpI64Ne  = 0x52
+	OpI64LtS = 0x53
+	OpI64LtU = 0x54
+	OpI64GtS = 0x55
+	OpI64GtU = 0x56
+	OpI64LeS = 0x57
+	OpI64LeU = 0x58
+	OpI64GeS = 0x59
+	OpI64GeU = 0x5A
+
+	OpI32Clz    = 0x67
+	OpI32Ctz    = 0x68
+	OpI32Popcnt = 0x69
+	OpI32Add    = 0x6A
+	OpI32Sub    = 0x6B
+	OpI32Mul    = 0x6C
+	OpI32DivS   = 0x6D
+	OpI32DivU   = 0x6E
+	OpI32RemS   = 0x6F
+	OpI32RemU   = 0x70
+	OpI32And    = 0x71
+	OpI32Or     = 0x72
+	OpI32Xor    = 0x73
+	OpI32Shl    = 0x74
+	OpI32ShrS   = 0x75
+	OpI32ShrU   = 0x76
+	OpI32Rotl   = 0x77
+	OpI32Rotr   = 0x78
+	OpI64Clz    = 0x79
+	OpI64Ctz    = 0x7A
+	OpI64Popcnt = 0x7B
+	OpI64Add    = 0x7C
+	OpI64Sub    = 0x7D
+	OpI64Mul    = 0x7E
+	OpI64DivS   = 0x7F
+	OpI64DivU   = 0x80
+	OpI64RemS   = 0x81
+	OpI64RemU   = 0x82
+	OpI64And    = 0x83
+	OpI64Or     = 0x84
+	OpI64Xor    = 0x85
+	OpI64Shl    = 0x86
+	OpI64ShrS   = 0x87
+	OpI64ShrU   = 0x88
+	OpI64Rotl   = 0x89
+	OpI64Rotr   = 0x8A
+
+	OpI32WrapI64    = 0xA7
+	OpI64ExtendI32S = 0xAC
+	OpI64ExtendI32U = 0xAD
+
+	OpI32Extend8S  = 0xC0
+	OpI32Extend16S = 0xC1
+	OpI64Extend8S  = 0xC2
+	OpI64Extend16S = 0xC3
+	OpI64Extend32S = 0xC4
+)
+
+// isFloatOp reports whether op is part of the MVP floating-point
+// instruction set (decodable immediate-wise, but never lifted).
+func isFloatOp(op byte) bool {
+	switch {
+	case op == OpF32Load || op == OpF64Load || op == OpF32Store || op == OpF64Store:
+		return true
+	case op == OpF32Const || op == OpF64Const:
+		return true
+	case op >= 0x5B && op <= 0x66: // f32/f64 comparisons
+		return true
+	case op >= 0x8B && op <= 0xA6: // f32/f64 arithmetic
+		return true
+	case op >= 0xA8 && op <= 0xAB: // i32.trunc_f*
+		return true
+	case op >= 0xAE && op <= 0xC4 && !(op >= OpI32Extend8S && op <= OpI64Extend32S):
+		return true // i64.trunc_f*, convert/demote/promote/reinterpret
+	}
+	return false
+}
