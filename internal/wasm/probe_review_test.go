@@ -1,0 +1,142 @@
+package wasm
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// execLifted lifts fn from m and runs it on args, returning the i32 result.
+func execLifted(t *testing.T, m *Module, name string, args []uint64) interp.Result {
+	t.Helper()
+	fn := liftOne(t, m, name)
+	env := interp.Env{}
+	for i := range args {
+		env.Args = append(env.Args, interp.Scalar(fn.Params[i].Ty, args[i]))
+	}
+	return interp.Exec(fn, env)
+}
+
+// Nested loops: sum += i*j for i in [0,p0), j in [0,p1).
+func TestProbeNestedLoops(t *testing.T) {
+	// locals: 2 params (p0,p1), locals: i(2), j(3), sum(4)
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
+		Locals: []ValType{I32, I32, I32},
+		Body: []Instr{
+			Block(BlockTypeEmpty), // outer exit
+			Loop(BlockTypeEmpty),  // outer loop
+			LocalGet(2), LocalGet(0), Op(OpI32GeU), BrIf(2), // i >= p0 -> exit
+			I32Const(0), LocalSet(3), // j = 0
+			Block(BlockTypeEmpty),
+			Loop(BlockTypeEmpty),
+			LocalGet(3), LocalGet(1), Op(OpI32GeU), BrIf(2), // j >= p1 -> inner exit
+			LocalGet(4), LocalGet(2), LocalGet(3), Op(OpI32Mul), Op(OpI32Add), LocalSet(4),
+			LocalGet(3), I32Const(1), Op(OpI32Add), LocalSet(3),
+			Br(0),
+			End(), End(), // inner loop, inner block
+			LocalGet(2), I32Const(1), Op(OpI32Add), LocalSet(2),
+			Br(0),
+			End(), End(), // outer loop, outer block
+			LocalGet(4),
+		},
+	})
+	for _, tc := range [][3]uint64{{0, 0, 0}, {1, 1, 0}, {3, 4, 18}, {5, 5, 100}} {
+		res := execLifted(t, m, "f", []uint64{tc[0], tc[1]})
+		if res.UB || !res.Completed {
+			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
+		}
+		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[2] {
+			t.Fatalf("args %v: got %d want %d", tc, got, tc[2])
+		}
+	}
+}
+
+// If inside a loop modifying a local on one arm only; local merged at join.
+func TestProbeIfInLoop(t *testing.T) {
+	// count odd numbers in [0, p0): local1=i, local2=acc
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Locals: []ValType{I32, I32},
+		Body: []Instr{
+			Block(BlockTypeEmpty),
+			Loop(BlockTypeEmpty),
+			LocalGet(1), LocalGet(0), Op(OpI32GeU), BrIf(2),
+			LocalGet(1), I32Const(1), Op(OpI32And),
+			If(BlockTypeEmpty),
+			LocalGet(2), I32Const(1), Op(OpI32Add), LocalSet(2),
+			End(),
+			LocalGet(1), I32Const(1), Op(OpI32Add), LocalSet(1),
+			Br(0),
+			End(), End(),
+			LocalGet(2),
+		},
+	})
+	for _, tc := range [][2]uint64{{0, 0}, {1, 0}, {2, 1}, {7, 3}, {10, 5}} {
+		res := execLifted(t, m, "f", []uint64{tc[0]})
+		if res.UB || !res.Completed {
+			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
+		}
+		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
+		}
+	}
+}
+
+// Block with a result fed by both a br_if edge and fallthrough, plus an
+// if/else that returns from one arm.
+func TestProbeBlockResultAndEarlyReturn(t *testing.T) {
+	// f(p) = p==0 ? 42 : (p > 10 ? 99 : p+1)
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Body: []Instr{
+			LocalGet(0), Op(OpI32Eqz),
+			If(BlockTypeEmpty),
+			I32Const(42), Instr{Op: OpReturn},
+			End(),
+			Block(ValTypeBlock(I32)),
+			I32Const(99),
+			LocalGet(0), I32Const(10), Op(OpI32GtU), BrIf(0), // p>10 -> 99
+			Op(OpDrop),
+			LocalGet(0), I32Const(1), Op(OpI32Add),
+			End(),
+		},
+	})
+	for _, tc := range [][2]uint64{{0, 42}, {1, 2}, {10, 11}, {11, 99}, {0xFFFFFFFF, 99}} {
+		res := execLifted(t, m, "f", []uint64{tc[0]})
+		if res.UB || !res.Completed {
+			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
+		}
+		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
+		}
+	}
+}
+
+// Unreachable-code handling: code after br skipped, including nested
+// structures, then reactivation at the enclosing end.
+func TestProbeUnreachableSkip(t *testing.T) {
+	// f(p) = p+1, with dead code after an unconditional br containing a
+	// nested if/else and loop.
+	m := BuildModule(FixtureFunc{
+		Name: "f", Params: []ValType{I32}, Results: []ValType{I32},
+		Body: []Instr{
+			Block(BlockTypeEmpty),
+			Br(0),
+			Loop(BlockTypeEmpty), Br(0), End(),
+			I32Const(7), If(BlockTypeEmpty), Else(), End(),
+			End(),
+			LocalGet(0), I32Const(1), Op(OpI32Add),
+		},
+	})
+	for _, tc := range [][2]uint64{{0, 1}, {41, 42}} {
+		res := execLifted(t, m, "f", []uint64{tc[0]})
+		if res.UB || !res.Completed {
+			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
+		}
+		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
+		}
+	}
+}
