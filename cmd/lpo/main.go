@@ -215,6 +215,10 @@ func main() {
 		case engine.Errored:
 			fmt.Fprintln(os.Stderr, res.Err)
 			os.Exit(1)
+		case engine.Panicked:
+			// The engine isolated the panic to this window; report it and
+			// keep the campaign going instead of failing the whole run.
+			fmt.Fprintf(os.Stderr, "window quarantined after panic: %v\n", res.Err)
 		}
 		if res.Cached {
 			cached++

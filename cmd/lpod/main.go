@@ -45,6 +45,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "engine worker pool size (0 = GOMAXPROCS)")
 		rounds   = flag.Int("rounds", 1, "provider rounds per window")
 		queue    = flag.Int("queue", 0, "submit queue depth (0 = 2*workers)")
+		maxBody  = flag.Int64("max-body", 4<<20, "request body size limit in bytes (413 above)")
+		stageTO  = flag.Duration("stage-timeout", 0, "per-stage deadline inside the engine (0 = unbounded)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -65,13 +67,15 @@ func main() {
 	}
 
 	srv, err := service.New(service.Config{
-		Store: st,
-		Model: *model,
-		Seed:  *seed,
+		Store:        st,
+		Model:        *model,
+		Seed:         *seed,
+		MaxBodyBytes: *maxBody,
 		Engine: engine.Config{
-			Workers:   *workers,
-			Rounds:    *rounds,
-			QueueSize: *queue,
+			Workers:      *workers,
+			Rounds:       *rounds,
+			QueueSize:    *queue,
+			StageTimeout: *stageTO,
 		},
 	})
 	if err != nil {
@@ -82,7 +86,16 @@ func main() {
 		log.Printf("lpod: warm-loaded %d counterexample vectors into the pool", n)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow or stalled clients cannot hold connections (and their
+		// handler goroutines) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("lpod: listening on %s", *addr)
@@ -91,10 +104,17 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("lpod: %s: draining", sig)
+		log.Printf("lpod: %s: draining (signal again to force exit)", sig)
 	case err := <-errc:
 		log.Printf("lpod: server error: %v", err)
 	}
+	// A second signal skips the graceful drain — the escape hatch when the
+	// drain itself is wedged (e.g. a pathological window mid-verification).
+	go func() {
+		sig := <-sigc
+		log.Printf("lpod: %s: forcing exit", sig)
+		os.Exit(1)
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -276,6 +276,62 @@
 // through one-shot batch runs, so batch campaigns, the daemon and future
 // runs all share one accumulated store.
 //
+// # Fault Tolerance and Degraded Modes
+//
+// Every seam the pipeline crosses — provider, store, HTTP — can fail, and
+// the layer behind each seam has a defined degraded mode rather than a
+// crash path. The invariant tying them together: faults change *when* a
+// result is computed and served, never *what* is ultimately persisted. A
+// campaign that suffered provider outages, fsync failures and handler
+// panics converges, once the faults clear, to a store byte-identical with
+// a fault-free run of the same seed (pinned by the seeded chaos test in
+// internal/service, which injects faults at every seam at once).
+//
+// Provider: llm.NewRetrying wraps any llm.Client with bounded retries —
+// exponential backoff with deterministic seeded jitter, a per-request
+// deadline, and transient-vs-permanent classification (an error's
+// `Transient() bool` method opts it in; context cancellation is always
+// permanent). Retry counts flow into llm.Usage. Behind the retrier sits a
+// consecutive-failure circuit breaker: once it opens, Complete fails fast
+// with llm.ErrCircuitOpen (letting every Nth request through as a probe),
+// and the engine switches that sequence to the degraded knowledge-base
+// proposer — opt.Run with the engine's accumulated learned rules stands in
+// for the provider, so rulebook-driven discovery continues through an
+// outage. Degraded results are marked (Result.Degraded), tallied
+// (Stats.DegradedSeqs), served from the service's volatile memory, and
+// never persisted — the window stays recomputable so the store converges.
+//
+// Engine: each window runs panic-isolated. A panicking stage (or provider)
+// quarantines that window alone — the worker recovers, emits a Panicked
+// result carrying the panic as an error, records the window hash in the
+// engine's quarantine list (engine.Quarantined, GET /v1/stats), bumps
+// Stats.Panics, and the campaign continues. The verify cache propagates a
+// panic to every waiter of the same (source, candidate) pair rather than
+// handing them a zero verdict. Config.StageTimeout bounds each stage:
+// propose inherits a context deadline; verify and learn, which are
+// CPU-bound and not context-aware, run under a watchdog that abandons the
+// stage (ErrStageTimeout) without killing the worker.
+//
+// Store: Put is memory-only; Commit serializes the dirty batch at the
+// durable offset, fsyncs, and only then advances it. A failed commit rolls
+// the file back to the durable boundary and keeps the batch pending —
+// Stats.Pending and Stats.CommitFails surface the backlog, every later
+// commit retries it, and nothing accepted is ever lost (records stay
+// servable from the in-memory index meanwhile: degraded-but-serving).
+// store.OpenWith injects a write-layer shim, which is how the fault and
+// chaos tests drive torn writes and fsync failures deterministically.
+//
+// Service: request bodies above Config.MaxBodyBytes answer 413 instead of
+// being silently truncated; a full engine queue answers 429 with
+// Retry-After instead of blocking the handler (engine.Queue.TrySubmit /
+// engine.ErrQueueFull); a recovery middleware turns any handler panic into
+// a 500 JSON error; GET /v1/healthz reports ok, degraded (commit backlog)
+// or stopped for probes; and cmd/lpod sets server read/write timeouts,
+// drains gracefully on the first SIGINT/SIGTERM and force-exits on the
+// second. internal/fault is the shared chaos harness behind all of this: a
+// seedable injector with per-site probabilities and budgets whose client,
+// file and middleware wrappers replay identically under a fixed seed.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and the
 // substitutions made for offline reproduction, and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure. The root-level

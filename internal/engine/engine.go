@@ -63,6 +63,12 @@ type Config struct {
 	// Generalize bounds the learn stage (zero value = generalize defaults).
 	Generalize generalize.Options
 
+	// StageTimeout bounds each propose, verify and generalize invocation
+	// (0 = unbounded). The propose bound rides the request context; the
+	// CPU-bound stages are bounded from outside and a timed-out stage fails
+	// its sequence with ErrStageTimeout instead of stalling the pool.
+	StageTimeout time.Duration
+
 	// Lookup optionally short-circuits sequences whose outcome a previous
 	// campaign already computed: it is consulted once per sequence (after
 	// per-run dedup, before any provider round), and a hit is returned as
@@ -117,6 +123,7 @@ const (
 	Errored       Outcome = "error"         // provider or source error
 	Canceled      Outcome = "canceled"      // context ended mid-sequence
 	Duplicate     Outcome = "duplicate"     // engine-level dedup hit
+	Panicked      Outcome = "panicked"      // sequence panicked; window quarantined
 )
 
 // Attempt records one iteration of the loop for reporting and tests.
@@ -162,6 +169,12 @@ type Result struct {
 	// stored outcome) rather than computed by this run — consumers that
 	// persist results use it to avoid re-writing what the store gave them.
 	Cached bool
+
+	// Degraded marks a result computed without the provider: the circuit
+	// breaker was open, so the knowledge base played the proposer (see
+	// degradedSeq). Degraded results are servable but not persisted — a
+	// resubmission after the provider recovers recomputes them for real.
+	Degraded bool
 }
 
 // String renders a result for logs.
@@ -195,6 +208,12 @@ type Engine struct {
 	lmu     sync.Mutex
 	lcache  map[uint64]*learnEntry
 	learned map[string]*generalize.Rule
+
+	// Quarantine: windows whose processing panicked, keyed by 16-hex window
+	// hash (see runSeqIsolated). A quarantined window produced an
+	// OutcomePanicked result and is never retried within this engine's life.
+	qmu         sync.Mutex
+	quarantined []string
 }
 
 // learnEntry is a singleflight slot for one witness pair: the first worker
@@ -208,10 +227,14 @@ type learnEntry struct {
 type verifyKey struct{ src, cand uint64 }
 
 // verifyEntry is a singleflight cache slot: the first worker to claim the
-// key computes the verdict inside once; later workers block on it.
+// key computes the verdict inside once; later workers block on it. A panic
+// during the computation is captured in panicked and re-raised for every
+// waiter — the zero alive.Result would otherwise read as a Correct verdict,
+// silently accepting an unverified candidate.
 type verifyEntry struct {
-	once sync.Once
-	res  alive.Result
+	once     sync.Once
+	res      alive.Result
+	panicked any
 }
 
 // New builds an engine with the given client and config defaults applied.
@@ -354,7 +377,10 @@ func (e *Engine) Run(ctx context.Context, src Source) (<-chan Result, *Stats) {
 					res = Result{Index: it.idx, Seq: it.seq, Src: it.seq.Fn,
 						Outcome: Canceled, Err: ctx.Err()}
 				} else {
-					res = e.runSeq(ctx, it)
+					// runSeqIsolated is the panic boundary: a panicking
+					// window yields OutcomePanicked and a quarantine entry
+					// instead of killing the pool.
+					res = e.runSeqIsolated(ctx, it)
 				}
 				e.stats.recordResult(res)
 				select {
@@ -487,9 +513,13 @@ func (e *Engine) learn(src, cand *ir.Func, seq *extract.Sequence) *generalize.Ru
 	e.lmu.Unlock()
 	ent.once.Do(func() {
 		start := time.Now()
-		res := generalize.Generalize(src, cand, e.cfg.Generalize)
+		var res generalize.Result
+		err := e.runBounded(StageGeneralize, func() {
+			res = generalize.Generalize(src, cand, e.cfg.Generalize)
+		})
 		e.stats.recordStage(StageGeneralize, time.Since(start).Seconds())
-		if res.Rule == nil {
+		if err != nil || res.Rule == nil {
+			// A timed-out sweep learns nothing; the finding itself stands.
 			return
 		}
 		e.lmu.Lock()

@@ -33,6 +33,8 @@ type Stats struct {
 	storeHits int
 	ruleHits  map[string]int
 	learned   int
+	panics    int // sequences recovered from a worker panic (quarantined)
+	degraded  int // sequences answered by the KB proposer (circuit open)
 
 	// Tiered-verification counters (see alive.TierStats): how many refuted
 	// candidates each scheduler tier killed, and the total input vectors
@@ -99,6 +101,18 @@ func (s *Stats) recordCacheHit() {
 func (s *Stats) recordStoreHit() {
 	s.mu.Lock()
 	s.storeHits++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordPanic() {
+	s.mu.Lock()
+	s.panics++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordDegraded() {
+	s.mu.Lock()
+	s.degraded++
 	s.mu.Unlock()
 }
 
@@ -211,6 +225,23 @@ func (s *Stats) StoreHits() int {
 	return s.storeHits
 }
 
+// Panics is the number of sequences recovered from a worker panic — each
+// one produced an OutcomePanicked result and a quarantine entry
+// (Engine.Quarantined) instead of crashing the campaign.
+func (s *Stats) Panics() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.panics
+}
+
+// DegradedSeqs is the number of sequences answered by the knowledge-base
+// proposer while the provider's circuit breaker was open.
+func (s *Stats) DegradedSeqs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
 // TierKills returns how many refuted candidates each verification tier
 // killed (actual verifications only; cache hits don't re-count).
 func (s *Stats) TierKills() TierKills {
@@ -267,6 +298,8 @@ func (s *Stats) Reset() {
 	s.storeHits = 0
 	s.ruleHits = make(map[string]int)
 	s.learned = 0
+	s.panics = 0
+	s.degraded = 0
 	s.poolKills, s.specialKills, s.randomKills = 0, 0, 0
 	s.verifyExecs = 0
 	s.batchedExecs, s.fallbackExecs = 0, 0
@@ -307,6 +340,12 @@ func (s *Stats) Print(w io.Writer) {
 	}
 	if s.lift.Funcs > 0 {
 		fmt.Fprintf(w, "wasm lift coverage: %s\n", s.lift.String())
+	}
+	if s.panics > 0 {
+		fmt.Fprintf(w, "panics recovered (windows quarantined): %d\n", s.panics)
+	}
+	if s.degraded > 0 {
+		fmt.Fprintf(w, "degraded sequences (KB proposer, circuit open): %d\n", s.degraded)
 	}
 	if s.learned > 0 {
 		fmt.Fprintf(w, "findings backing learned rules: %d\n", s.learned)

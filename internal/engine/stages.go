@@ -7,6 +7,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/alive"
@@ -42,8 +43,15 @@ func prompt(src *ir.Func) string {
 
 // propose is stage 1: one provider round trip. Its stage latency is the
 // response's *virtual* latency (the profile's throughput model), not wall
-// time, matching the rest of the reproduction's accounting.
+// time, matching the rest of the reproduction's accounting. Config.
+// StageTimeout rides the request context — providers are context-aware, so
+// no outside enforcement is needed.
 func (e *Engine) propose(ctx context.Context, messages []llm.Message, round int) (llm.Response, error) {
+	if e.cfg.StageTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.StageTimeout)
+		defer cancel()
+	}
 	resp, err := e.client.Complete(ctx, llm.Request{
 		Model:    e.client.Profile().Name,
 		Messages: messages,
@@ -106,9 +114,21 @@ func (e *Engine) verify(src, cand *ir.Func) alive.Result {
 	// Singleflight: concurrent workers hitting the same pair wait for one
 	// verification instead of racing to compute it twice.
 	ent.once.Do(func() {
+		defer func() {
+			if pv := recover(); pv != nil {
+				// Park the panic on the entry and re-raise: once.Do marks the
+				// slot done even on panic, so every waiter must re-raise too —
+				// the zero ent.res would otherwise read as a Correct verdict.
+				ent.panicked = pv
+				panic(pv)
+			}
+		}()
 		ent.res = alive.Verify(src, cand, e.cfg.Verify)
 		e.stats.recordVerify(ent.res.Checked, ent.res.Tiers)
 	})
+	if ent.panicked != nil {
+		panic(ent.panicked)
+	}
 	return ent.res
 }
 
@@ -131,6 +151,11 @@ func (e *Engine) OptimizeSeq(ctx context.Context, src *ir.Func, round int) Resul
 	for attempt := 0; attempt < e.cfg.AttemptLimit; attempt++ {
 		resp, err := e.propose(ctx, messages, round)
 		if err != nil {
+			if errors.Is(err, llm.ErrCircuitOpen) {
+				// Provider down for good (breaker open): fall back to the
+				// knowledge-base proposer instead of failing the sequence.
+				return e.degradedSeq(res, src)
+			}
 			res.Outcome = Errored
 			if ctx.Err() != nil {
 				res.Outcome = Canceled
@@ -159,7 +184,12 @@ func (e *Engine) OptimizeSeq(ctx context.Context, src *ir.Func, round int) Resul
 			}
 			return res // Alg. 1 line 16: abandon the sequence.
 		}
-		verdict := e.verify(src, cand)
+		verdict, verr := e.verifyBounded(src, cand)
+		if verr != nil {
+			res.Attempts = append(res.Attempts, att)
+			res.Outcome, res.Err = Errored, verr
+			return res
+		}
 		switch verdict.Verdict {
 		case alive.Correct:
 			att.Verified = true

@@ -19,6 +19,11 @@ import (
 // ErrQueueClosed is returned by Submit after Close.
 var ErrQueueClosed = errors.New("engine: submit queue closed")
 
+// ErrQueueFull is returned by TrySubmit when the queue's buffer is full —
+// the non-blocking admission signal a service turns into 429 Too Many
+// Requests instead of letting slow engine workers wedge its handlers.
+var ErrQueueFull = errors.New("engine: submit queue full")
+
 // Queue is a Source fed incrementally by Submit instead of drained from a
 // fixed corpus. The engine's feeder pulls from it like any other Source;
 // Close marks the end of the stream, after which already-submitted items
@@ -56,6 +61,24 @@ func (q *Queue) Submit(ctx context.Context, seq *extract.Sequence) error {
 		return ErrQueueClosed
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// TrySubmit enqueues one sequence without blocking: it fails with
+// ErrQueueFull when the buffer is full and ErrQueueClosed after Close.
+func (q *Queue) TrySubmit(seq *extract.Sequence) error {
+	select {
+	case <-q.closed:
+		return ErrQueueClosed
+	default:
+	}
+	select {
+	case q.ch <- seq:
+		return nil
+	case <-q.closed:
+		return ErrQueueClosed
+	default:
+		return ErrQueueFull
 	}
 }
 
@@ -119,6 +142,13 @@ func (s *Submitter) Submit(ctx context.Context, fn *ir.Func) error {
 // SubmitSeq enqueues an already-extracted sequence.
 func (s *Submitter) SubmitSeq(ctx context.Context, seq *extract.Sequence) error {
 	return s.q.Submit(ctx, seq)
+}
+
+// TrySubmit is the non-blocking Submit: ErrQueueFull when the engine's
+// queue has no room, so a service can shed load with 429 instead of
+// blocking its handler.
+func (s *Submitter) TrySubmit(fn *ir.Func) error {
+	return s.q.TrySubmit(&extract.Sequence{Fn: fn, Len: fn.NumInstrs(true)})
 }
 
 // Results is the engine's ordered result stream: one Result per submission,

@@ -1,0 +1,249 @@
+// Package fault is the deterministic fault-injection harness behind the
+// chaos tests: a seedable Injector draws error/panic/latency decisions per
+// injection site, and thin wrappers thread those decisions into the three
+// I/O seams of the pipeline — the LLM provider (Client), the store's record
+// log (File), and the HTTP service (Middleware).
+//
+// Determinism is the point. Every site has its own seeded random sequence,
+// so the n-th call at a site always draws the same decision for a fixed
+// seed; a chaos campaign that drives each site with a deterministic call
+// order replays its faults identically. Budgets bound the blast radius
+// (at most Budget faults per site), and Disable turns every wrapper into a
+// pass-through mid-run — the "faults clear" phase of a chaos test.
+//
+// Injected errors are transient by design: they implement Transient() bool,
+// so llm.Retrying classifies them as retryable, exactly like a real
+// provider's 429/5xx. Injected panics carry the site and call number so an
+// escaped one is immediately attributable.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Site names one injection point. The wrappers in this package use the
+// Site* constants; custom call sites may use any string.
+type Site string
+
+// The standard injection sites.
+const (
+	// SiteLLM is the provider seam: Client injects into llm.Client.Complete.
+	SiteLLM Site = "llm"
+	// SiteStoreWrite is the record-log write seam: File injects short writes
+	// (an ENOSPC-style partial append) into the store's commit path.
+	SiteStoreWrite Site = "store.write"
+	// SiteStoreSync is the fsync seam: File fails the durability barrier.
+	SiteStoreSync Site = "store.sync"
+	// SiteStoreTruncate is the torn-tail cleanup seam: failing it simulates
+	// a crash between a partial append and the rollback truncate.
+	SiteStoreTruncate Site = "store.truncate"
+	// SiteHTTP is the service seam: Middleware injects 503s, latency and
+	// handler panics in front of the API mux.
+	SiteHTTP Site = "http"
+)
+
+// SitePlan tunes one site. Rates stack in decision order panic → error →
+// latency: one uniform draw per call selects at most one fault, so
+// PanicRate+ErrorRate+LatencyRate should stay ≤ 1.
+type SitePlan struct {
+	PanicRate   float64       // probability of an injected panic
+	ErrorRate   float64       // probability of an injected error
+	LatencyRate float64       // probability of an injected delay
+	Latency     time.Duration // the injected delay (default 1ms)
+	// Budget caps how many faults (of any kind) this site injects; 0 means
+	// unlimited. Latency injections count toward the budget too.
+	Budget int
+}
+
+// Plan maps sites to their fault mix. Sites absent from the plan never fault.
+type Plan map[Site]SitePlan
+
+// Counts is a per-site tally of what the injector actually did.
+type Counts struct {
+	Calls     int // decisions drawn (including clean passes and disabled calls)
+	Errors    int
+	Panics    int
+	Latencies int
+}
+
+// Injected reports the total number of faults this site injected.
+func (c Counts) Injected() int { return c.Errors + c.Panics + c.Latencies }
+
+// Error is an injected failure. It is transient — llm.Retrying and any other
+// classifier that honors the Transient() convention will retry it.
+type Error struct {
+	Site Site
+	N    int // 1-based call number at the site
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected error at %s call %d", e.Site, e.N)
+}
+
+// Transient marks injected errors as retryable.
+func (e *Error) Transient() bool { return true }
+
+// kind is the decision drawn for one call.
+type kind int
+
+const (
+	passThrough kind = iota
+	injectError
+	injectPanic
+	injectLatency
+)
+
+// decision is one site call's verdict.
+type decision struct {
+	kind    kind
+	n       int // 1-based call number at the site
+	latency time.Duration
+}
+
+type siteState struct {
+	rng      *rand.Rand
+	calls    int
+	counts   Counts
+	injected int
+}
+
+// Injector draws deterministic fault decisions. Safe for concurrent use; the
+// per-site decision sequence is fixed by the seed, so replays with the same
+// seed and the same per-site call order inject identical faults.
+type Injector struct {
+	mu       sync.Mutex
+	seed     uint64
+	plan     Plan
+	sites    map[Site]*siteState
+	disabled bool
+}
+
+// New builds an injector for the given seed and plan.
+func New(seed uint64, plan Plan) *Injector {
+	return &Injector{seed: seed, plan: plan, sites: make(map[Site]*siteState)}
+}
+
+// Disable stops all fault injection: every wrapper becomes a pass-through.
+// Call counters keep advancing so Counts stays meaningful.
+func (in *Injector) Disable() { in.setDisabled(true) }
+
+// Enable resumes fault injection after Disable.
+func (in *Injector) Enable() { in.setDisabled(false) }
+
+func (in *Injector) setDisabled(v bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.disabled = v
+	in.mu.Unlock()
+}
+
+// Counts snapshots the per-site tallies.
+func (in *Injector) Counts() map[Site]Counts {
+	out := make(map[Site]Counts)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for site, st := range in.sites {
+		out[site] = st.counts
+	}
+	return out
+}
+
+// Injected reports the total number of faults injected across all sites.
+func (in *Injector) Injected() int {
+	n := 0
+	for _, c := range in.Counts() {
+		n += c.Injected()
+	}
+	return n
+}
+
+// String renders a per-site summary, sites sorted, for logs and test output.
+func (in *Injector) String() string {
+	counts := in.Counts()
+	sites := make([]string, 0, len(counts))
+	for s := range counts {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		c := counts[Site(s)]
+		fmt.Fprintf(&b, "%s: %d calls, %d errors, %d panics, %d delays",
+			s, c.Calls, c.Errors, c.Panics, c.Latencies)
+	}
+	return b.String()
+}
+
+// site returns (creating if needed) the state for one site. Caller holds mu.
+func (in *Injector) site(s Site) *siteState {
+	st := in.sites[s]
+	if st == nil {
+		f := fnv.New64a()
+		fmt.Fprintf(f, "%d|%s", in.seed, s)
+		st = &siteState{rng: rand.New(rand.NewSource(int64(f.Sum64())))}
+		in.sites[s] = st
+	}
+	return st
+}
+
+// decide draws the next decision for a site. A nil injector never faults, so
+// wrappers can be installed unconditionally and armed only in chaos runs.
+func (in *Injector) decide(s Site) decision {
+	if in == nil {
+		return decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.site(s)
+	st.calls++
+	st.counts.Calls++
+	d := decision{n: st.calls}
+	plan, ok := in.plan[s]
+	if !ok || in.disabled {
+		return d
+	}
+	if plan.Budget > 0 && st.injected >= plan.Budget {
+		return d
+	}
+	// One uniform draw per call keeps the per-site sequence deterministic
+	// regardless of which fault kinds are enabled.
+	u := st.rng.Float64()
+	switch {
+	case u < plan.PanicRate:
+		d.kind = injectPanic
+		st.injected++
+		st.counts.Panics++
+	case u < plan.PanicRate+plan.ErrorRate:
+		d.kind = injectError
+		st.injected++
+		st.counts.Errors++
+	case u < plan.PanicRate+plan.ErrorRate+plan.LatencyRate:
+		d.kind = injectLatency
+		d.latency = plan.Latency
+		if d.latency <= 0 {
+			d.latency = time.Millisecond
+		}
+		st.injected++
+		st.counts.Latencies++
+	}
+	return d
+}
+
+// panicValue renders the payload of an injected panic.
+func panicValue(s Site, n int) string {
+	return fmt.Sprintf("fault: injected panic at %s call %d", s, n)
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// drawKinds replays n decisions at a site and returns the drawn kinds.
+func drawKinds(in *Injector, site Site, n int) []kind {
+	out := make([]kind, n)
+	for i := range out {
+		out[i] = in.decide(site).kind
+	}
+	return out
+}
+
+// TestDeterministicReplay pins the core contract: the same seed and plan
+// draw the same per-site decision sequence, and a different seed draws a
+// different one.
+func TestDeterministicReplay(t *testing.T) {
+	plan := Plan{
+		SiteLLM:  {PanicRate: 0.1, ErrorRate: 0.3, LatencyRate: 0.2},
+		SiteHTTP: {ErrorRate: 0.5},
+	}
+	const n = 200
+	a := New(42, plan)
+	b := New(42, plan)
+	for _, site := range []Site{SiteLLM, SiteHTTP} {
+		ka, kb := drawKinds(a, site, n), drawKinds(b, site, n)
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("%s call %d: seed-42 replicas disagree (%v vs %v)", site, i+1, ka[i], kb[i])
+			}
+		}
+	}
+	c := New(43, plan)
+	if kc := drawKinds(c, SiteLLM, n); equalKinds(kc, drawKinds(New(42, plan), SiteLLM, n)) {
+		t.Fatal("different seeds drew identical fault sequences")
+	}
+	// Sites are independent streams: llm's sequence is not http's.
+	d := New(42, Plan{SiteLLM: plan[SiteLLM], SiteHTTP: plan[SiteLLM]})
+	if equalKinds(drawKinds(d, SiteLLM, n), drawKinds(d, SiteHTTP, n)) {
+		t.Fatal("distinct sites share one random stream")
+	}
+}
+
+func equalKinds(a, b []kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBudgetAndDisable pins the blast-radius controls: budgets cap injected
+// faults per site, Disable stops injection entirely, Enable resumes it.
+func TestBudgetAndDisable(t *testing.T) {
+	in := New(1, Plan{SiteLLM: {ErrorRate: 1, Budget: 3}})
+	for i := 0; i < 10; i++ {
+		in.decide(SiteLLM)
+	}
+	c := in.Counts()[SiteLLM]
+	if c.Errors != 3 || c.Calls != 10 {
+		t.Fatalf("budget 3: got %d errors over %d calls", c.Errors, c.Calls)
+	}
+
+	in = New(1, Plan{SiteLLM: {ErrorRate: 1}})
+	in.Disable()
+	if d := in.decide(SiteLLM); d.kind != passThrough {
+		t.Fatal("disabled injector still faulted")
+	}
+	in.Enable()
+	if d := in.decide(SiteLLM); d.kind != injectError {
+		t.Fatal("re-enabled injector did not fault at rate 1")
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1", in.Injected())
+	}
+}
+
+// TestNilInjectorPassThrough: wrappers built with a nil injector never fault,
+// so production code can install them unconditionally.
+func TestNilInjectorPassThrough(t *testing.T) {
+	var in *Injector
+	if d := in.decide(SiteLLM); d.kind != passThrough {
+		t.Fatal("nil injector faulted")
+	}
+	in.Disable() // must not crash
+	if len(in.Counts()) != 0 {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+// echoClient is a minimal llm.Client for wrapper tests.
+type echoClient struct{}
+
+func (echoClient) Profile() llm.Profile { return llm.Profile{Name: "echo"} }
+func (echoClient) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	return llm.Response{Text: "ok"}, nil
+}
+
+// TestClientWrapper pins the llm seam: injected errors are transient and
+// carry the site, injected panics carry the call number, clean calls pass
+// through.
+func TestClientWrapper(t *testing.T) {
+	in := New(1, Plan{SiteLLM: {ErrorRate: 1, Budget: 1}})
+	c := NewClient(echoClient{}, in)
+	_, err := c.Complete(context.Background(), llm.Request{})
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != SiteLLM || !fe.Transient() {
+		t.Fatalf("injected error wrong: %v", err)
+	}
+	if resp, err := c.Complete(context.Background(), llm.Request{}); err != nil || resp.Text != "ok" {
+		t.Fatalf("post-budget call did not pass through: %v %v", resp, err)
+	}
+
+	in = New(1, Plan{SiteLLM: {PanicRate: 1, Budget: 1}})
+	c = NewClient(echoClient{}, in)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injected panic did not fire")
+			}
+		}()
+		c.Complete(context.Background(), llm.Request{})
+	}()
+}
+
+// TestClientLatencyHonorsContext: an injected delay aborts when the request
+// context ends.
+func TestClientLatencyHonorsContext(t *testing.T) {
+	in := New(1, Plan{SiteLLM: {LatencyRate: 1, Latency: time.Minute}})
+	c := NewClient(echoClient{}, in)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := c.Complete(ctx, llm.Request{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("latency ignored context: %v", err)
+	}
+}
+
+// TestMiddleware pins the HTTP seam: injected 503s carry Retry-After and a
+// JSON error body; clean requests reach the handler.
+func TestMiddleware(t *testing.T) {
+	in := New(1, Plan{SiteHTTP: {ErrorRate: 1, Budget: 1}})
+	h := Middleware(in, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("injected 503 wrong: %d %v", rec.Code, rec.Header())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("post-budget request did not pass through: %d", rec.Code)
+	}
+}

@@ -1,0 +1,162 @@
+package fault
+
+// The seam wrappers: one per I/O boundary the pipeline must survive. Each
+// consults the injector before delegating; a nil injector (or a site absent
+// from the plan) makes every wrapper a zero-cost pass-through.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/llm"
+)
+
+// Client wraps an llm.Client with fault injection at SiteLLM: transient
+// errors (retryable through llm.Retrying), deterministic latency, and
+// panics (exercising the engine's per-window panic isolation).
+type Client struct {
+	inner llm.Client
+	inj   *Injector
+}
+
+// NewClient wraps inner with the injector.
+func NewClient(inner llm.Client, inj *Injector) *Client {
+	return &Client{inner: inner, inj: inj}
+}
+
+// Profile passes through to the wrapped client.
+func (c *Client) Profile() llm.Profile { return c.inner.Profile() }
+
+// Complete injects the drawn fault (if any) and otherwise delegates.
+func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, error) {
+	switch d := c.inj.decide(SiteLLM); d.kind {
+	case injectPanic:
+		panic(panicValue(SiteLLM, d.n))
+	case injectError:
+		return llm.Response{}, &Error{Site: SiteLLM, N: d.n}
+	case injectLatency:
+		if err := sleep(ctx, d.latency); err != nil {
+			return llm.Response{}, err
+		}
+	}
+	return c.inner.Complete(ctx, req)
+}
+
+// OSFile is the slice of *os.File the store's record log needs — the same
+// method set as store.File, declared independently so neither package
+// imports the other.
+type OSFile interface {
+	Write(p []byte) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// File wraps a store log file with write-path fault injection: short writes
+// at SiteStoreWrite (half the bytes land, then an error — the ENOSPC
+// shape), failed fsyncs at SiteStoreSync, and failed truncates at
+// SiteStoreTruncate (simulating a crash between a torn append and its
+// rollback). The read path — recovery, scans — is never faulted, and a
+// panic verdict is downgraded to an error: the store runs under locks
+// where a panic would corrupt invariants rather than test resilience.
+type File struct {
+	inner OSFile
+	inj   *Injector
+}
+
+// NewFile wraps inner with the injector.
+func NewFile(inner OSFile, inj *Injector) *File {
+	return &File{inner: inner, inj: inj}
+}
+
+// Write appends, injecting a short write on an error/panic verdict.
+func (f *File) Write(p []byte) (int, error) {
+	switch d := f.inj.decide(SiteStoreWrite); d.kind {
+	case injectError, injectPanic:
+		n, _ := f.inner.Write(p[:len(p)/2])
+		return n, &Error{Site: SiteStoreWrite, N: d.n}
+	case injectLatency:
+		time.Sleep(d.latency)
+	}
+	return f.inner.Write(p)
+}
+
+// Sync fsyncs, injecting a failed durability barrier on a fault verdict.
+func (f *File) Sync() error {
+	switch d := f.inj.decide(SiteStoreSync); d.kind {
+	case injectError, injectPanic:
+		return &Error{Site: SiteStoreSync, N: d.n}
+	case injectLatency:
+		time.Sleep(d.latency)
+	}
+	return f.inner.Sync()
+}
+
+// Truncate shrinks the log, injecting a failure on a fault verdict.
+func (f *File) Truncate(size int64) error {
+	switch d := f.inj.decide(SiteStoreTruncate); d.kind {
+	case injectError, injectPanic:
+		return &Error{Site: SiteStoreTruncate, N: d.n}
+	case injectLatency:
+		time.Sleep(d.latency)
+	}
+	return f.inner.Truncate(size)
+}
+
+// ReadAt passes through: recovery must observe exactly what the faulty
+// writes left on disk.
+func (f *File) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+// Seek passes through.
+func (f *File) Seek(offset int64, whence int) (int64, error) { return f.inner.Seek(offset, whence) }
+
+// Stat passes through.
+func (f *File) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+
+// Close passes through.
+func (f *File) Close() error { return f.inner.Close() }
+
+// Middleware wraps an HTTP handler with fault injection at SiteHTTP:
+// injected 503 JSON errors (with Retry-After so well-behaved clients back
+// off), deterministic latency, and handler panics — which the service's
+// recovery middleware must convert into 500s instead of dropping the
+// connection. Mount it between the recovery wrapper and the API mux.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch d := inj.decide(SiteHTTP); d.kind {
+		case injectPanic:
+			panic(panicValue(SiteHTTP, d.n))
+		case injectError:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": (&Error{Site: SiteHTTP, N: d.n}).Error(),
+			})
+			return
+		case injectLatency:
+			if err := sleep(r.Context(), d.latency); err != nil {
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sleep waits for d or until ctx ends, whichever is first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -35,6 +35,10 @@ type Usage struct {
 	OutputTokens   int
 	VirtualSeconds float64
 	CostUSD        float64
+	// Retries counts extra provider attempts spent by the Retrying wrapper
+	// recovering from transient failures (0 when every request succeeds
+	// first try).
+	Retries int
 }
 
 // Add accumulates v into u field by field.
@@ -43,6 +47,7 @@ func (u *Usage) Add(v Usage) {
 	u.OutputTokens += v.OutputTokens
 	u.VirtualSeconds += v.VirtualSeconds
 	u.CostUSD += v.CostUSD
+	u.Retries += v.Retries
 }
 
 // Response is a chat completion.

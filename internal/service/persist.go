@@ -75,11 +75,16 @@ func ResultFromFinding(f *store.Finding) (engine.Result, error) {
 // SaveResult persists one computed result: the finding record plus, when
 // the result carries a learned rule, the rulebook entry. Results served
 // from the store (res.Cached) and per-run Duplicate outcomes are skipped —
-// there is nothing new to record. It reports whether a new finding record
-// was appended; call store.Commit to make the batch durable.
+// there is nothing new to record. Degraded and Panicked results are skipped
+// too: persisting a fault-shaped outcome would make the store diverge from
+// a fault-free same-seed campaign, so those windows stay recomputable (the
+// service serves degraded outcomes from memory meanwhile). It reports
+// whether a new finding record was appended; call store.Commit to make the
+// batch durable.
 func SaveResult(st *store.Store, res engine.Result) (added bool, err error) {
-	if res.Cached || res.Src == nil || res.Outcome == engine.Duplicate ||
-		res.Outcome == engine.Canceled || res.Outcome == engine.Errored {
+	if res.Cached || res.Src == nil || res.Degraded ||
+		res.Outcome == engine.Duplicate || res.Outcome == engine.Canceled ||
+		res.Outcome == engine.Errored || res.Outcome == engine.Panicked {
 		return false, nil
 	}
 	f := FindingFromResult(res)

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,6 +36,9 @@ type Config struct {
 	// a store-backed Lookup, and threads one persistent CEPool through
 	// Verify — everything else passes through.
 	Engine engine.Config
+	// MaxBodyBytes bounds request bodies; oversized submissions get 413
+	// with a JSON error instead of a silent truncation (default 4 MiB).
+	MaxBodyBytes int64
 }
 
 // Server is the lpod discovery service: one warm engine behind an HTTP/JSON
@@ -45,18 +49,29 @@ type Config struct {
 // results drain, so a restarted server resumes exactly where the last one
 // stopped.
 type Server struct {
-	st   *store.Store
-	pool *alive.CEPool
-	eng  *engine.Engine
-	sub  *engine.Submitter
+	st      *store.Store
+	pool    *alive.CEPool
+	eng     *engine.Engine
+	sub     *engine.Submitter
+	maxBody int64
 
 	cancel context.CancelFunc
 	drain  sync.WaitGroup
+	// done closes when the result drain loop exits — the engine-liveness
+	// signal behind GET /v1/healthz.
+	done chan struct{}
 
 	mu        sync.Mutex
 	inflight  map[uint64]bool
 	submitted int64
 	persisted int64
+	// volatileFindings serves results the store must not persist (degraded,
+	// knowledge-base-proposed outcomes computed while the provider's circuit
+	// was open), keyed by window hash. Resubmitting a window after the
+	// provider recovers replaces the volatile entry with a real, durable
+	// finding — which is what lets a faulted campaign converge byte-for-byte
+	// with a fault-free same-seed run.
+	volatileFindings map[uint64][]byte
 
 	closeOnce sync.Once
 	closeErr  error
@@ -95,10 +110,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	ecfg.Lookup = StoreLookup(cfg.Store)
 
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+
 	s := &Server{
-		st:       cfg.Store,
-		pool:     pool,
-		inflight: make(map[uint64]bool),
+		st:               cfg.Store,
+		pool:             pool,
+		maxBody:          cfg.MaxBodyBytes,
+		done:             make(chan struct{}),
+		inflight:         make(map[uint64]bool),
+		volatileFindings: make(map[uint64][]byte),
 	}
 	n, err := LoadPool(cfg.Store, pool)
 	if err != nil {
@@ -120,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 // which is what lets a crashed-and-restarted daemon serve identical bytes.
 func (s *Server) drainResults() {
 	defer s.drain.Done()
+	defer close(s.done)
 	for res := range s.sub.Results() {
 		s.persist(res)
 	}
@@ -130,6 +153,17 @@ func (s *Server) persist(res engine.Result) {
 		return
 	}
 	h := ir.Hash(res.Src)
+	if res.Degraded {
+		// A degraded (KB-proposed) outcome is servable but never durable:
+		// SaveResult skips it below, and this volatile copy answers
+		// /v1/findings until a post-recovery resubmission computes the
+		// window for real.
+		if data, err := FindingFromResult(res).Encode(); err == nil {
+			s.mu.Lock()
+			s.volatileFindings[h] = data
+			s.mu.Unlock()
+		}
+	}
 	added, err := SaveResult(s.st, res)
 	if err == nil {
 		if _, ferr := FlushPool(s.st, s.pool); ferr != nil {
@@ -188,19 +222,44 @@ type submitRequest struct {
 //	GET  /v1/findings/{hash}  a stored finding, verbatim bytes
 //	GET  /v1/rulebook         the store's assembled rulebook
 //	GET  /v1/stats            engine + store + pool + server counters
+//	GET  /v1/healthz          liveness + degraded-durability signal
+//
+// Every route sits behind a recovery middleware: a panicking handler
+// answers 500 with a JSON error instead of killing the daemon's connection
+// handling.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/windows", s.handleSubmit)
 	mux.HandleFunc("GET /v1/findings/{hash}", s.handleFinding)
 	mux.HandleFunc("GET /v1/rulebook", s.handleRulebook)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the service's outermost panic boundary.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if pv := recover(); pv != nil {
+				httpError(w, http.StatusInternalServerError, "internal error: %v", pv)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	// Read one byte past the limit so truncation is detectable: a body that
+	// exceeds MaxBodyBytes gets a 413, never a silently clipped submission.
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", s.maxBody)
 		return
 	}
 	var sources []string
@@ -241,10 +300,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		for _, fn := range mod.Funcs {
-			statuses = append(statuses, s.submitWindow(r.Context(), fn))
+			statuses = append(statuses, s.submitWindow(fn))
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"windows": statuses})
+	respondStatuses(w, statuses)
+}
+
+// respondStatuses writes a submit reply: 200 normally, 429 with Retry-After
+// when the engine queue rejected any window — the caller sees every
+// per-window status either way and retries only the rejected ones.
+func respondStatuses(w http.ResponseWriter, statuses []windowStatus) {
+	code := http.StatusOK
+	for _, ws := range statuses {
+		if ws.Status == "rejected" {
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			break
+		}
+	}
+	writeJSON(w, code, map[string]any{"windows": statuses})
 }
 
 // handleSubmitWasm lifts a raw wasm binary function by function: every
@@ -269,15 +343,15 @@ func (s *Server) handleSubmitWasm(w http.ResponseWriter, r *http.Request, body [
 			continue
 		}
 		st.Lifted++
-		statuses = append(statuses, s.submitWindow(r.Context(), fn))
+		statuses = append(statuses, s.submitWindow(fn))
 	}
 	s.sub.Stats().RecordLift(st)
-	writeJSON(w, http.StatusOK, map[string]any{"windows": statuses})
+	respondStatuses(w, statuses)
 }
 
 // submitWindow dedups one window against the store and the inflight set,
 // scheduling it on the engine only when it is genuinely novel.
-func (s *Server) submitWindow(ctx context.Context, fn *ir.Func) windowStatus {
+func (s *Server) submitWindow(fn *ir.Func) windowStatus {
 	h := ir.Hash(fn)
 	key := store.WindowKey(h)
 	ws := windowStatus{Window: key}
@@ -295,12 +369,19 @@ func (s *Server) submitWindow(ctx context.Context, fn *ir.Func) windowStatus {
 	s.submitted++
 	s.mu.Unlock()
 
-	if err := s.sub.Submit(ctx, fn); err != nil {
+	// Non-blocking admission: a full engine queue sheds the window as
+	// "rejected" (the handler turns that into 429 + Retry-After) instead of
+	// wedging the HTTP handler behind slow workers.
+	if err := s.sub.TrySubmit(fn); err != nil {
 		s.mu.Lock()
 		delete(s.inflight, h)
 		s.submitted--
 		s.mu.Unlock()
-		ws.Status = "invalid"
+		if errors.Is(err, engine.ErrQueueFull) {
+			ws.Status = "rejected"
+		} else {
+			ws.Status = "invalid"
+		}
 		ws.Error = err.Error()
 		return ws
 	}
@@ -325,12 +406,52 @@ func (s *Server) handleFinding(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	pending := s.inflight[h]
+	volatile, degraded := s.volatileFindings[h]
 	s.mu.Unlock()
 	if pending {
 		writeJSON(w, http.StatusAccepted, windowStatus{Window: key, Status: "pending"})
 		return
 	}
+	if degraded {
+		// A degraded (KB-proposed) outcome: servable from memory, never
+		// durable. The header flags it so clients know a resubmission after
+		// the provider recovers yields the authoritative answer.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Lpod-Degraded", "true")
+		w.WriteHeader(http.StatusOK)
+		w.Write(volatile)
+		return
+	}
 	writeJSON(w, http.StatusNotFound, windowStatus{Window: key, Status: "unknown"})
+}
+
+// handleHealthz is the liveness and durability probe: 200 while the engine's
+// result drain is alive (status "ok", or "degraded" when the store has a
+// commit backlog — accepted records not yet durable), 503 once the drain has
+// stopped.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := true
+	select {
+	case <-s.done:
+		live = false
+	default:
+	}
+	ss := s.st.Stats()
+	degraded := ss.CommitFails > 0 && ss.Pending > 0
+	status, code := "ok", http.StatusOK
+	if degraded {
+		status = "degraded"
+	}
+	if !live {
+		status, code = "stopped", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":             status,
+		"engine_live":        live,
+		"degraded":           degraded,
+		"store_pending":      ss.Pending,
+		"store_commit_fails": ss.CommitFails,
+	})
 }
 
 func (s *Server) handleRulebook(w http.ResponseWriter, r *http.Request) {
@@ -361,7 +482,14 @@ type statsReply struct {
 		VerifyCacheHits int            `json:"verify_cache_hits"`
 		StoreHits       int            `json:"store_hits"`
 		LearnedFindings int            `json:"learned_findings"`
-		TierKills       struct {
+		// Panics counts worker panics the engine recovered from;
+		// Quarantined lists the 16-hex window hashes it isolated.
+		Panics      int      `json:"panics"`
+		Quarantined []string `json:"quarantined,omitempty"`
+		// DegradedSeqs counts sequences answered by the knowledge-base
+		// proposer while the provider's circuit breaker was open.
+		DegradedSeqs int `json:"degraded_seqs"`
+		TierKills    struct {
 			Pool    int `json:"pool"`
 			Special int `json:"special"`
 			Random  int `json:"random"`
@@ -382,6 +510,11 @@ type statsReply struct {
 		GetHits   int64 `json:"get_hits"`
 		GetMisses int64 `json:"get_misses"`
 		Recovered int64 `json:"recovered_bytes"`
+		// Pending and CommitFails are the degraded-durability signal:
+		// records accepted but not yet durable, and how many Commit batches
+		// have failed (each rolled back and retried).
+		Pending     int   `json:"pending"`
+		CommitFails int64 `json:"commit_fails"`
 	} `json:"store"`
 	Pool struct {
 		Windows   int   `json:"windows"`
@@ -396,6 +529,13 @@ type statsReply struct {
 		Persisted     int64 `json:"persisted"`
 		Inflight      int   `json:"inflight"`
 		LoadedVectors int   `json:"loaded_vectors"`
+		// Degraded mirrors /v1/healthz: the store has a commit backlog, so
+		// recent findings are servable but not yet durable.
+		Degraded bool `json:"degraded"`
+		// VolatileFindings counts degraded (KB-proposed) results held only
+		// in memory — never persisted, replaced by real findings when their
+		// windows are resubmitted after the provider recovers.
+		VolatileFindings int `json:"volatile_findings"`
 	} `json:"server"`
 }
 
@@ -414,6 +554,9 @@ func (s *Server) StatsSnapshot() any {
 	rep.Engine.VerifyCacheHits = es.VerifyCacheHits()
 	rep.Engine.StoreHits = es.StoreHits()
 	rep.Engine.LearnedFindings = es.LearnedFindings()
+	rep.Engine.Panics = es.Panics()
+	rep.Engine.Quarantined = s.eng.Quarantined()
+	rep.Engine.DegradedSeqs = es.DegradedSeqs()
 	tk := es.TierKills()
 	rep.Engine.TierKills.Pool = tk.Pool
 	rep.Engine.TierKills.Special = tk.Special
@@ -431,6 +574,8 @@ func (s *Server) StatsSnapshot() any {
 	rep.Store.GetHits = ss.GetHits
 	rep.Store.GetMisses = ss.GetMisses
 	rep.Store.Recovered = ss.Recovered
+	rep.Store.Pending = ss.Pending
+	rep.Store.CommitFails = ss.CommitFails
 
 	ps := s.pool.Stats()
 	rep.Pool.Windows = ps.Windows
@@ -444,8 +589,10 @@ func (s *Server) StatsSnapshot() any {
 	rep.Server.Submitted = s.submitted
 	rep.Server.Persisted = s.persisted
 	rep.Server.Inflight = len(s.inflight)
+	rep.Server.VolatileFindings = len(s.volatileFindings)
 	s.mu.Unlock()
 	rep.Server.LoadedVectors = s.loadedVectors
+	rep.Server.Degraded = ss.CommitFails > 0 && ss.Pending > 0
 	return rep
 }
 

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// wrapFault adapts fault.NewFile to OpenWith's shim signature.
+func wrapFault(inj *fault.Injector) func(File) File {
+	return func(f File) File { return fault.NewFile(f, inj) }
+}
+
+// TestCommitFailureRetry pins the degraded-durability contract: a failed
+// Commit loses nothing — the record stays readable, pending, and the next
+// Commit makes it durable.
+func TestCommitFailureRetry(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.New(7, fault.Plan{
+		fault.SiteStoreSync: {ErrorRate: 1, Budget: 1},
+	})
+	// recover() on an empty file syncs the header; spend no budget there.
+	inj.Disable()
+	s, err := OpenWith(dir, wrapFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindFinding, "aaaa", []byte("finding-a")); err != nil {
+		t.Fatal(err)
+	}
+	inj.Enable()
+
+	if err := s.Commit(); err == nil {
+		t.Fatal("Commit succeeded despite injected fsync failure")
+	}
+	st := s.Stats()
+	if st.CommitFails != 1 || st.Pending != 1 {
+		t.Fatalf("after failed commit: CommitFails=%d Pending=%d", st.CommitFails, st.Pending)
+	}
+	// The record is still servable from memory.
+	if v, ok := s.Get(KindFinding, "aaaa"); !ok || !bytes.Equal(v, []byte("finding-a")) {
+		t.Fatalf("accepted record lost after failed commit: %q %v", v, ok)
+	}
+	// A duplicate Put is still deduplicated while pending.
+	if added, _ := s.Put(KindFinding, "aaaa", []byte("finding-a")); added {
+		t.Fatal("pending record not visible to dedup")
+	}
+
+	// Budget exhausted: the retry succeeds and drains the batch.
+	if err := s.Commit(); err != nil {
+		t.Fatalf("retry commit failed: %v", err)
+	}
+	st = s.Stats()
+	if st.Pending != 0 || st.CommitFails != 1 {
+		t.Fatalf("after retry: Pending=%d CommitFails=%d", st.Pending, st.CommitFails)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean reopen sees the record: durability really happened.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get(KindFinding, "aaaa"); !ok || !bytes.Equal(v, []byte("finding-a")) {
+		t.Fatalf("reopened store missing record: %q %v", v, ok)
+	}
+	if s2.Stats().Recovered != 0 {
+		t.Fatalf("clean shutdown left torn bytes: %+v", s2.Stats())
+	}
+}
+
+// TestRecoveryAfterTornCommit pins crash recovery when the rollback itself
+// fails: a partial append whose cleanup truncate is also blocked leaves torn
+// bytes on disk, and Open truncates them back to the last intact record. No
+// committed record is lost.
+func TestRecoveryAfterTornCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindFinding, "aaaa", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through the fault shim: the next commit's Write lands only half
+	// the batch, and the rollback Truncate is blocked too — the torn tail
+	// stays on disk, as after a crash or a wedged disk.
+	inj := fault.New(11, fault.Plan{
+		fault.SiteStoreWrite:    {ErrorRate: 1, Budget: 1},
+		fault.SiteStoreTruncate: {ErrorRate: 1, Budget: 1},
+	})
+	s, err = OpenWith(dir, wrapFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindFinding, "bbbb", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err == nil {
+		t.Fatal("Commit succeeded despite injected partial write")
+	}
+	// Abandon the store without Close, like a crash.
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().Recovered == 0 {
+		t.Fatalf("no torn tail recovered: %+v", s2.Stats())
+	}
+	if v, ok := s2.Get(KindFinding, "aaaa"); !ok || !bytes.Equal(v, []byte("committed")) {
+		t.Fatalf("committed record lost to recovery: %q %v", v, ok)
+	}
+	if _, ok := s2.Get(KindFinding, "bbbb"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	// The recovered log accepts the record again and commits cleanly.
+	if added, err := s2.Put(KindFinding, "bbbb", []byte("torn")); err != nil || !added {
+		t.Fatalf("re-Put after recovery: added=%v err=%v", added, err)
+	}
+	if err := s2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,9 +12,13 @@
 // hash of the vector itself — so a key is written at most once and its
 // value never changes. That makes the concurrency story simple:
 //
-//   - Writes append to the log through a buffered writer and become
-//     visible to readers immediately; Commit flushes the batch and fsyncs,
-//     so durability is paid per batch, not per record.
+//   - Writes land in the in-memory index immediately (visible to readers)
+//     and are framed to disk in one batch per Commit, which fsyncs — so
+//     durability is paid per batch, not per record. A failed Commit rolls
+//     the log back to its last durable length and keeps the batch pending:
+//     the next Commit retries everything, so a transient write or fsync
+//     failure (disk full, injected fault) degrades durability temporarily
+//     without losing an accepted record or corrupting earlier ones.
 //   - Readers are snapshot-isolated for free: Snapshot captures the current
 //     record count, and a snapshot reader observes exactly the records that
 //     existed at capture time, concurrent appends notwithstanding.
@@ -35,6 +39,21 @@ import (
 	"sort"
 	"sync"
 )
+
+// File is the write seam of the record log: the slice of *os.File the store
+// actually uses. OpenWith lets callers interpose a shim here — the
+// fault-injection harness (internal/fault.File) wraps it to chaos-test
+// partial appends, failed fsyncs and blocked truncates without touching a
+// real disk's failure modes.
+type File interface {
+	Write(p []byte) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
 
 // Kind partitions the key space: the same key string may exist once per kind.
 type Kind uint8
@@ -96,7 +115,11 @@ type Stats struct {
 	GetHits   int64 // Get/Has calls that found their key
 	GetMisses int64 // Get/Has calls that did not
 	Recovered int64 // torn-tail bytes truncated by Open (0 after a clean shutdown)
-	Pending   int   // records appended since the last Commit
+	Pending   int   // records accepted but not yet durable (retried by the next Commit)
+	// CommitFails counts failed Commit batches (each rolled back and left
+	// pending for retry) — the store's degraded-durability signal, surfaced
+	// by lpod's /v1/healthz.
+	CommitFails int64
 }
 
 // Store is an open store: the append-only log plus the in-memory hash index
@@ -104,21 +127,22 @@ type Stats struct {
 // number of readers Get/Has/Scan, and Snapshot gives a reader a stable
 // point-in-time view.
 type Store struct {
-	mu   sync.RWMutex
-	dir  string
-	f    *os.File
-	w    *bufio.Writer
-	recs []record
-	idx  map[string]int // indexKey(kind,key) -> position in recs (first write wins)
-	byK  [4]int         // record count per kind (index by Kind)
-	size int64          // bytes in the log, including buffered-but-unflushed
+	mu      sync.RWMutex
+	dir     string
+	f       File
+	recs    []record
+	idx     map[string]int // indexKey(kind,key) -> position in recs (first write wins)
+	byK     [4]int         // record count per kind (index by Kind)
+	size    int64          // bytes in the log, including accepted-but-not-durable records
+	durable int64          // bytes known durable on disk (after the last successful Commit)
+	dirty   []int          // positions in recs accepted since the last successful Commit
 
-	pending   int
-	putNew    int64
-	putDup    int64
-	getHits   int64
-	getMisses int64
-	recovered int64
+	putNew      int64
+	putDup      int64
+	getHits     int64
+	getMisses   int64
+	recovered   int64
+	commitFails int64
 }
 
 func indexKey(kind Kind, key string) string {
@@ -128,21 +152,29 @@ func indexKey(kind Kind, key string) string {
 // Open opens (or creates) the store in dir, recovering from a torn tail if
 // the previous process crashed mid-append. The directory is created if
 // missing.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenWith(dir, nil) }
+
+// OpenWith is Open with a write-layer shim: when wrap is non-nil the record
+// log is accessed through wrap(file) instead of the raw *os.File. Chaos
+// tests interpose fault injection here; production callers pass nil.
+func OpenWith(dir string, wrap func(File) File) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(dir, LogName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	var f File = osf
+	if wrap != nil {
+		f = wrap(osf)
 	}
 	s := &Store{dir: dir, f: f, idx: make(map[string]int)}
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
-	s.w = bufio.NewWriter(f)
 	return s, nil
 }
 
@@ -161,6 +193,7 @@ func (s *Store) recover() error {
 			return fmt.Errorf("store: %w", err)
 		}
 		s.size = int64(len(magic))
+		s.durable = s.size
 		return nil
 	}
 	r := bufio.NewReader(io.NewSectionReader(s.f, 0, info.Size()))
@@ -198,6 +231,7 @@ func (s *Store) recover() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.size = good
+	s.durable = good
 	return nil
 }
 
@@ -248,10 +282,13 @@ func readRecord(r *bufio.Reader) (record, int, error) {
 	return rec, 7 + len(body), nil
 }
 
-// Put appends one record unless the (kind, key) pair is already present —
+// Put accepts one record unless the (kind, key) pair is already present —
 // the store is content-addressed, so a duplicate Put is a cache hit, not an
 // update. The record is immediately visible to readers; call Commit to make
-// the batch durable. added reports whether a new record was written.
+// the batch durable. Put never touches the disk, so it cannot fail on I/O:
+// an accepted record stays pending (and servable from memory) across any
+// number of failed Commits until one succeeds. added reports whether a new
+// record was accepted.
 func (s *Store) Put(kind Kind, key string, val []byte) (added bool, err error) {
 	if len(key) > maxKeyLen {
 		return false, fmt.Errorf("store: key too long (%d bytes)", len(key))
@@ -266,35 +303,60 @@ func (s *Store) Put(kind Kind, key string, val []byte) (added bool, err error) {
 		return false, nil
 	}
 	rec := record{kind: kind, key: key, val: append([]byte(nil), val...)}
-	frame := appendRecord(nil, rec)
-	if _, err := s.w.Write(frame); err != nil {
-		return false, fmt.Errorf("store: %w", err)
-	}
 	s.idx[indexKey(kind, key)] = len(s.recs)
+	s.dirty = append(s.dirty, len(s.recs))
 	s.recs = append(s.recs, rec)
 	s.count(kind, 1)
-	s.size += int64(len(frame))
-	s.pending++
+	s.size += frameLen(rec)
 	s.putNew++
 	return true, nil
 }
 
-// Commit flushes buffered appends and fsyncs the log: everything Put so far
-// is durable once Commit returns. Committing with nothing pending is a
-// cheap no-op.
+// frameLen is the on-disk size of one record's frame (see appendRecord).
+func frameLen(rec record) int64 {
+	return int64(7 + len(rec.key) + len(rec.val) + 4)
+}
+
+// Commit frames every pending record, appends the batch at the log's
+// durable length, and fsyncs: everything Put so far is durable once Commit
+// returns nil. On failure the log is rolled back (best effort) to its last
+// durable length and the whole batch stays pending — the next Commit
+// retries it from scratch, so callers may simply keep going in a degraded
+// mode and re-Commit later. Committing with nothing pending is a cheap
+// no-op.
 func (s *Store) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.pending == 0 {
+	return s.commitLocked()
+}
+
+func (s *Store) commitLocked() error {
+	if len(s.dirty) == 0 {
 		return nil
 	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	var buf []byte
+	for _, i := range s.dirty {
+		buf = appendRecord(buf, s.recs[i])
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	err := func() error {
+		if _, err := s.f.Seek(s.durable, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := s.f.Write(buf); err != nil {
+			return err
+		}
+		return s.f.Sync()
+	}()
+	if err != nil {
+		// Roll back any torn tail so the retry appends onto an intact
+		// prefix. Best effort: if the truncate fails too (a crashed or
+		// wedged disk), Open's torn-tail recovery handles the leftovers.
+		s.f.Truncate(s.durable)
+		s.commitFails++
+		return fmt.Errorf("store: commit: %w", err)
 	}
-	s.pending = 0
+	s.durable += int64(len(buf))
+	s.dirty = s.dirty[:0]
 	return nil
 }
 
@@ -355,17 +417,18 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		Records:   len(s.recs),
-		Findings:  s.byK[KindFinding],
-		Rules:     s.byK[KindRule],
-		Vectors:   s.byK[KindVector],
-		Bytes:     s.size,
-		PutNew:    s.putNew,
-		PutDup:    s.putDup,
-		GetHits:   s.getHits,
-		GetMisses: s.getMisses,
-		Recovered: s.recovered,
-		Pending:   s.pending,
+		Records:     len(s.recs),
+		Findings:    s.byK[KindFinding],
+		Rules:       s.byK[KindRule],
+		Vectors:     s.byK[KindVector],
+		Bytes:       s.size,
+		PutNew:      s.putNew,
+		PutDup:      s.putDup,
+		GetHits:     s.getHits,
+		GetMisses:   s.getMisses,
+		Recovered:   s.recovered,
+		Pending:     len(s.dirty),
+		CommitFails: s.commitFails,
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/interp"
-	"repro/internal/ir"
 )
 
 // execLifted lifts fn from m and runs it on args, returning the i32 result.
@@ -25,13 +24,13 @@ func TestProbeNestedLoops(t *testing.T) {
 		Name: "f", Params: []ValType{I32, I32}, Results: []ValType{I32},
 		Locals: []ValType{I32, I32, I32},
 		Body: []Instr{
-			Block(BlockTypeEmpty), // outer exit
-			Loop(BlockTypeEmpty),  // outer loop
-			LocalGet(2), LocalGet(0), Op(OpI32GeU), BrIf(2), // i >= p0 -> exit
+			Block(BlockTypeEmpty),                           // outer exit
+			Loop(BlockTypeEmpty),                            // outer loop
+			LocalGet(2), LocalGet(0), Op(OpI32GeU), BrIf(1), // i >= p0 -> exit
 			I32Const(0), LocalSet(3), // j = 0
 			Block(BlockTypeEmpty),
 			Loop(BlockTypeEmpty),
-			LocalGet(3), LocalGet(1), Op(OpI32GeU), BrIf(2), // j >= p1 -> inner exit
+			LocalGet(3), LocalGet(1), Op(OpI32GeU), BrIf(1), // j >= p1 -> inner exit
 			LocalGet(4), LocalGet(2), LocalGet(3), Op(OpI32Mul), Op(OpI32Add), LocalSet(4),
 			LocalGet(3), I32Const(1), Op(OpI32Add), LocalSet(3),
 			Br(0),
@@ -47,7 +46,7 @@ func TestProbeNestedLoops(t *testing.T) {
 		if res.UB || !res.Completed {
 			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
 		}
-		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[2] {
+		if got := res.Ret.Lanes[0].V & 0xFFFFFFFF; got != tc[2] {
 			t.Fatalf("args %v: got %d want %d", tc, got, tc[2])
 		}
 	}
@@ -62,7 +61,7 @@ func TestProbeIfInLoop(t *testing.T) {
 		Body: []Instr{
 			Block(BlockTypeEmpty),
 			Loop(BlockTypeEmpty),
-			LocalGet(1), LocalGet(0), Op(OpI32GeU), BrIf(2),
+			LocalGet(1), LocalGet(0), Op(OpI32GeU), BrIf(1),
 			LocalGet(1), I32Const(1), Op(OpI32And),
 			If(BlockTypeEmpty),
 			LocalGet(2), I32Const(1), Op(OpI32Add), LocalSet(2),
@@ -78,7 +77,7 @@ func TestProbeIfInLoop(t *testing.T) {
 		if res.UB || !res.Completed {
 			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
 		}
-		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+		if got := res.Ret.Lanes[0].V & 0xFFFFFFFF; got != tc[1] {
 			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
 		}
 	}
@@ -108,7 +107,7 @@ func TestProbeBlockResultAndEarlyReturn(t *testing.T) {
 		if res.UB || !res.Completed {
 			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
 		}
-		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+		if got := res.Ret.Lanes[0].V & 0xFFFFFFFF; got != tc[1] {
 			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
 		}
 	}
@@ -135,7 +134,7 @@ func TestProbeUnreachableSkip(t *testing.T) {
 		if res.UB || !res.Completed {
 			t.Fatalf("args %v: UB=%v completed=%v", tc, res.UB, res.Completed)
 		}
-		if got := res.Ret.Bits() & 0xFFFFFFFF; got != tc[1] {
+		if got := res.Ret.Lanes[0].V & 0xFFFFFFFF; got != tc[1] {
 			t.Fatalf("args %v: got %d want %d", tc, got, tc[1])
 		}
 	}
