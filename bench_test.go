@@ -350,6 +350,21 @@ func BenchmarkWasmDecode(b *testing.B) { experiments.BenchWasmDecode(b) }
 // shared with the `lpo-bench -json` snapshot).
 func BenchmarkWasmLift(b *testing.B) { experiments.BenchWasmLift(b) }
 
+// BenchmarkStoreCommit is the pre-scaling durability baseline: one fsync
+// per finding, serial (body shared with the `lpo-bench -json` snapshot).
+func BenchmarkStoreCommit(b *testing.B) { experiments.BenchStoreCommit(b) }
+
+// BenchmarkStoreGroupCommit runs 8 clients with a per-record durability
+// barrier against one group-committed log — concurrent barriers share
+// fsyncs (body shared with the `lpo-bench -json` snapshot).
+func BenchmarkStoreGroupCommit(b *testing.B) { experiments.BenchStoreGroupCommit(b) }
+
+// BenchmarkIngestThroughput is the full scaled ingest path — 4 shards,
+// group commit, 8 clients batching 32 records per barrier; its ratio to
+// BenchmarkStoreCommit is the snapshot's ingest_speedup (body shared with
+// the `lpo-bench -json` snapshot).
+func BenchmarkIngestThroughput(b *testing.B) { experiments.BenchIngestThroughput(b) }
+
 func BenchmarkMCAAnalyze(b *testing.B) {
 	f := parser.MustParseFunc(clampSrc)
 	model := mca.BTVer2()

@@ -47,6 +47,12 @@ func main() {
 		queue    = flag.Int("queue", 0, "submit queue depth (0 = 2*workers)")
 		maxBody  = flag.Int64("max-body", 4<<20, "request body size limit in bytes (413 above)")
 		stageTO  = flag.Duration("stage-timeout", 0, "per-stage deadline inside the engine (0 = unbounded)")
+		shards   = flag.Int("shards", 0, "shard the store over N logs (0 = keep the directory's current layout; a legacy single log is migrated when N > 0)")
+		compact  = flag.Bool("compact", false, "compact the store on startup (drop pool vectors the eviction clock retired)")
+		persistW = flag.Int("persist-workers", 0, "result persistence workers (0 = default)")
+		gcDelay  = flag.Duration("commit-delay", 0, "group-commit coalescing window (0 = default 500µs, negative = commit immediately)")
+		gcBatch  = flag.Int("commit-batch", 0, "group-commit max records per batch (0 = default 512)")
+		noGC     = flag.Bool("no-group-commit", false, "disable the group committer (one fsync per persist barrier)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -55,22 +61,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	st, err := store.Open(*storeDir)
+	// Layout: an explicitly requested -shards N (or a directory that is
+	// already sharded) runs the fanned-out store; otherwise the plain single
+	// log. OpenSharded migrates a legacy lpod.log in place and an existing
+	// shard count always wins over the flag.
+	existing, err := store.ShardCount(*storeDir)
 	if err != nil {
-		log.Fatalf("lpod: opening store: %v", err)
+		log.Fatalf("lpod: inspecting store layout: %v", err)
+	}
+	var st store.Backend
+	if *shards > 0 || existing > 0 {
+		sh, err := store.OpenSharded(*storeDir, *shards)
+		if err != nil {
+			log.Fatalf("lpod: opening sharded store: %v", err)
+		}
+		st = sh
+	} else {
+		ps, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("lpod: opening store: %v", err)
+		}
+		st = ps
 	}
 	stats := st.Stats()
-	log.Printf("lpod: store %s: %d findings, %d rules, %d vectors (%d bytes)",
-		st.Dir(), stats.Findings, stats.Rules, stats.Vectors, stats.Bytes)
+	log.Printf("lpod: store %s (%d shard(s)): %d findings, %d rules, %d vectors (%d bytes)",
+		st.Dir(), stats.Shards, stats.Findings, stats.Rules, stats.Vectors, stats.Bytes)
 	if stats.Recovered > 0 {
 		log.Printf("lpod: recovered from torn tail: %d bytes dropped", stats.Recovered)
 	}
+	if !*noGC {
+		st.StartGroupCommit(store.GroupCommitOptions{MaxDelay: *gcDelay, MaxBatch: *gcBatch})
+	}
 
 	srv, err := service.New(service.Config{
-		Store:        st,
-		Model:        *model,
-		Seed:         *seed,
-		MaxBodyBytes: *maxBody,
+		Store:          st,
+		Model:          *model,
+		Seed:           *seed,
+		MaxBodyBytes:   *maxBody,
+		PersistWorkers: *persistW,
+		Logf:           log.Printf,
 		Engine: engine.Config{
 			Workers:      *workers,
 			Rounds:       *rounds,
@@ -85,15 +114,25 @@ func main() {
 	if n := srv.LoadedVectors(); n > 0 {
 		log.Printf("lpod: warm-loaded %d counterexample vectors into the pool", n)
 	}
+	if *compact {
+		cs, err := srv.Compact()
+		if err != nil {
+			log.Printf("lpod: startup compaction failed (store unchanged): %v", err)
+		} else {
+			log.Printf("lpod: compacted: kept %d, dropped %d, %d -> %d bytes",
+				cs.Kept, cs.Dropped, cs.BytesBefore, cs.BytesAfter)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
 		// Slow or stalled clients cannot hold connections (and their
-		// handler goroutines) forever.
+		// handler goroutines) forever. WriteTimeout stays 0: the
+		// /v1/findings?watch=1 SSE stream is a deliberately unbounded
+		// response, and its heartbeat detects dead peers instead.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       60 * time.Second,
-		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)

@@ -188,6 +188,24 @@ func (p *CEPool) Touch(window uint64, inputs []interp.RVal, mem [][]byte) {
 	}
 }
 
+// Contains reports whether the pool currently holds this exact vector for
+// the window — the liveness test store compaction uses to drop vectors the
+// clock has evicted (they stopped killing candidates and lost their slot).
+func (p *CEPool) Contains(window uint64, v PoolVector) bool {
+	if p == nil {
+		return false
+	}
+	h := hashVector(v.Inputs, v.Mem)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.buckets[window]
+	if b == nil {
+		return false
+	}
+	_, ok := b.seen[h]
+	return ok
+}
+
 // Vectors returns the stored vectors for a window, oldest first. The
 // returned slice is a snapshot; its entries are shared and immutable.
 func (p *CEPool) Vectors(window uint64) []PoolVector {

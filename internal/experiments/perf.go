@@ -3,9 +3,12 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/alive"
 	"repro/internal/corpus"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opt"
 	"repro/internal/parser"
+	"repro/internal/store"
 	"repro/internal/wasm"
 )
 
@@ -24,8 +28,10 @@ import (
 // control flow and load/store programs) and the batch_coverage record
 // measured over a corpus self-verification sweep. Version 4 adds the
 // wasm_decode / wasm_lift workloads (the WebAssembly frontend over the
-// embedded fixture corpus).
-const PerfSchema = "lpo-bench-perf/4"
+// embedded fixture corpus). Version 5 adds the store ingest workloads
+// (store_commit / store_group_commit / ingest_throughput) and the
+// ingest_speedup ratio the CI guard holds a floor on.
+const PerfSchema = "lpo-bench-perf/5"
 
 // PerfBench is one measured workload of the perf snapshot (see doc.go,
 // "Performance", for the schema).
@@ -73,6 +79,12 @@ type PerfSnapshot struct {
 	Benches       []PerfBench       `json:"benchmarks"`
 	TierKills     PerfTierKills     `json:"tier_kills"`
 	BatchCoverage PerfBatchCoverage `json:"batch_coverage"`
+	// IngestSpeedup is store_commit ns/op divided by ingest_throughput
+	// ns/op: how many times faster a submission becomes durable on the
+	// scaled path (group commit + shards + client batching, 8 concurrent
+	// clients) than with one fsync per finding. ComparePerf holds a floor
+	// on it once a reference has recorded one.
+	IngestSpeedup float64 `json:"ingest_speedup,omitempty"`
 }
 
 // Encode renders the snapshot as indented JSON.
@@ -145,12 +157,26 @@ func ComparePerf(cur, ref *PerfSnapshot, nsTolerance, allocTolerance float64) []
 			100*cur.BatchCoverage.Coverage, cur.BatchCoverage.Batched,
 			cur.BatchCoverage.Fallback, 100*minBatchCoverage))
 	}
+	// The ingest speedup is a floor too: the scaled submission path must
+	// stay at least minIngestSpeedup times faster than one-fsync-per-finding.
+	// Both sides of the ratio are measured in the same run on the same disk,
+	// so the ratio is far more stable than either absolute number. The gate
+	// arms once a reference snapshot has recorded one.
+	if ref.IngestSpeedup > 0 && cur.IngestSpeedup < minIngestSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"ingest_speedup: scaled ingest is %.1fx the per-finding-fsync baseline, floor is %.0fx",
+			cur.IngestSpeedup, minIngestSpeedup))
+	}
 	return regressions
 }
 
 // minBatchCoverage is the absolute floor ComparePerf enforces on the corpus
 // sweep's lane-batched execution share.
 const minBatchCoverage = 0.95
+
+// minIngestSpeedup is the floor ComparePerf enforces on the scaled ingest
+// path's advantage over the one-fsync-per-finding baseline.
+const minIngestSpeedup = 10.0
 
 // The perf workloads below are the single source of truth for both the
 // root-level benchmarks (bench_test.go delegates to the Bench* functions)
@@ -462,6 +488,135 @@ func BenchOptRunO3(b *testing.B) {
 	}
 }
 
+// --- Store ingest workloads ---
+//
+// Three points on the durability/throughput curve, all writing the same
+// finding-sized records to a fresh store on local disk:
+//
+//   - store_commit: the pre-scaling baseline — one record, one Commit, one
+//     fsync, serial. What every submission paid before group commit.
+//   - store_group_commit: 8 concurrent clients each making every record
+//     durable before the next (Put + Flush per op) against one
+//     group-committed log — concurrent barriers share fsyncs.
+//   - ingest_throughput: the full scaled path — 4 shards, group commit, 8
+//     concurrent clients batching a Flush barrier every 32 records (the
+//     persist workers' micro-batching pattern, which barriers once per
+//     drained batch of up to 64 results).
+//
+// ingest_throughput ns/op versus store_commit ns/op is the snapshot's
+// ingest_speedup ratio; ComparePerf keeps it above minIngestSpeedup.
+
+// ingestClients is the concurrency of the ingest benchmarks — the paper
+// setting of 8 submitting clients.
+const ingestClients = 8
+
+// perfFindingVal is a representative finding record body (~220 bytes of
+// compact JSON, the size class the service persists per window).
+var perfFindingVal = []byte(`{"window":"deadbeefcafef00d","status":"optimized","model":"Gemini2.0T","src":"%2 = icmp slt i32 %0, 0\n%3 = call i32 @llvm.umin.i32(i32 %0, i32 255)","tgt":"%2 = call i32 @llvm.smax.i32(i32 %0, i32 0)","cycles_saved":3}`)
+
+// benchIngest drives b.N unique finding Puts through st from ingestClients
+// concurrent goroutines, erecting a Flush durability barrier every
+// flushEvery records per client (1 = every record durable before the next).
+// Every client ends with a final barrier, so the measurement always covers
+// full durability of all b.N records.
+func benchIngest(b *testing.B, st store.Backend, flushEvery int) {
+	var ctr uint64
+	per := (b.N + ingestClients - 1) / ingestClients
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < ingestClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("%016x", atomic.AddUint64(&ctr, 1))
+				if _, err := st.Put(store.KindFinding, key, perfFindingVal); err != nil {
+					b.Error(err)
+					return
+				}
+				if (i+1)%flushEvery == 0 {
+					if err := st.Flush(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+			if err := st.Flush(); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+// BenchStoreCommit is the baseline the scaling work is measured against:
+// one fsync per finding, serial — Put then Commit for every record, the
+// durability discipline of the pre-group-commit submit path.
+func BenchStoreCommit(b *testing.B) {
+	dir, err := os.MkdirTemp("", "lpo-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("%016x", i)
+		if _, err := st.Put(store.KindFinding, key, perfFindingVal); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}
+
+// BenchStoreGroupCommit keeps the strictest durability discipline — every
+// record durable before its client continues — but runs 8 clients against
+// a group-committed log, so concurrent barriers coalesce into shared
+// fsyncs. MaxBatch is tuned to the client count so the committer fires as
+// soon as every blocked client's record is pending.
+func BenchStoreGroupCommit(b *testing.B) {
+	dir, err := os.MkdirTemp("", "lpo-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	st.StartGroupCommit(store.GroupCommitOptions{MaxDelay: 200 * time.Microsecond, MaxBatch: ingestClients})
+	benchIngest(b, st, 1)
+}
+
+// BenchIngestThroughput is the full scaled ingest path: 4 shards, group
+// commit at defaults, 8 concurrent clients each batching 32 records per
+// durability barrier — the configuration the lpod persist workers run.
+func BenchIngestThroughput(b *testing.B) {
+	dir, err := os.MkdirTemp("", "lpo-bench-store")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.OpenSharded(dir, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	st.StartGroupCommit(store.GroupCommitOptions{})
+	benchIngest(b, st, 32)
+}
+
 // perfWorkloads lists the snapshot entries in emission order.
 var perfWorkloads = []struct {
 	Name string
@@ -480,6 +635,9 @@ var perfWorkloads = []struct {
 	{"wasm_lift", BenchWasmLift},
 	{"opt_dispatch_all_rules", BenchOptDispatchAllRules},
 	{"opt_run_o3", BenchOptRunO3},
+	{"store_commit", BenchStoreCommit},
+	{"store_group_commit", BenchStoreGroupCommit},
+	{"ingest_throughput", BenchIngestThroughput},
 }
 
 // RunPerfSnapshot measures every perf workload with testing.Benchmark and
@@ -502,6 +660,18 @@ func RunPerfSnapshot() *PerfSnapshot {
 	}
 	snap.TierKills = measureTierKills()
 	snap.BatchCoverage = measureBatchCoverage()
+	var baseNs, scaledNs float64
+	for _, b := range snap.Benches {
+		switch b.Name {
+		case "store_commit":
+			baseNs = b.NsPerOp
+		case "ingest_throughput":
+			scaledNs = b.NsPerOp
+		}
+	}
+	if scaledNs > 0 {
+		snap.IngestSpeedup = baseNs / scaledNs
+	}
 	return snap
 }
 

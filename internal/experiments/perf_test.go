@@ -48,4 +48,20 @@ func TestComparePerf(t *testing.T) {
 	if len(regs) != 1 || !strings.Contains(regs[0], "tier_kills") {
 		t.Fatalf("tier-kill drift not flagged: %v", regs)
 	}
+	cur.TierKills.Pool = 1
+
+	// The ingest-speedup floor only arms once the reference records one.
+	cur.IngestSpeedup = 3
+	if regs := ComparePerf(cur, ref, 2.0, 2.0); len(regs) != 0 {
+		t.Fatalf("unarmed ingest floor flagged: %v", regs)
+	}
+	ref.IngestSpeedup = 20
+	regs = ComparePerf(cur, ref, 2.0, 2.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ingest_speedup") {
+		t.Fatalf("ingest speedup collapse not flagged: %v", regs)
+	}
+	cur.IngestSpeedup = minIngestSpeedup + 1 // above the floor, below the reference: fine
+	if regs := ComparePerf(cur, ref, 2.0, 2.0); len(regs) != 0 {
+		t.Fatalf("above-floor speedup flagged: %v", regs)
+	}
 }

@@ -373,13 +373,18 @@ func TestChaosCampaignConverges(t *testing.T) {
 		fault.SiteStoreSync: {ErrorRate: 1, Budget: 2},
 		fault.SiteHTTP:      {ErrorRate: 0.25, Budget: 4},
 	})
+	// The faulted campaign runs the full scaled ingest path — a 4-shard
+	// store with a group committer per shard — and must STILL converge
+	// byte-identical to the plain-store fault-free baseline: sharding and
+	// commit coalescing change where and when bytes land, never which bytes.
 	inj.Disable()
 	dir := t.TempDir()
-	st, err := store.OpenWith(dir, func(f store.File) store.File { return fault.NewFile(f, inj) })
+	st, err := store.OpenShardedWith(dir, 4, func(f store.File) store.File { return fault.NewFile(f, inj) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st.Close()
+	st.StartGroupCommit(store.GroupCommitOptions{})
 	client := llm.NewRetrying(
 		fault.NewClient(llm.NewSim("Gemini2.0T", 1), inj),
 		llm.RetryPolicy{
@@ -461,18 +466,21 @@ func TestChaosCampaignConverges(t *testing.T) {
 		t.Fatalf("converged campaign still has %d pending records", stats.Store.Pending)
 	}
 
-	// And the store really is durable: close everything, reopen clean,
-	// compare bytes straight from disk.
+	// And the store really is durable: close everything, reopen every shard
+	// clean, compare bytes straight from disk.
 	hs.Close()
 	srv.Close()
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st2, err := store.Open(dir)
+	st2, err := store.OpenSharded(dir, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
+	if st2.Stats().Recovered != 0 {
+		t.Fatalf("chaos shards carried torn bytes into the reopen: %+v", st2.Stats())
+	}
 	for window, want := range baseline {
 		got, ok := st2.Get(store.KindFinding, window)
 		if !ok || !bytes.Equal(got, want) {

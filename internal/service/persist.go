@@ -81,7 +81,7 @@ func ResultFromFinding(f *store.Finding) (engine.Result, error) {
 // service serves degraded outcomes from memory meanwhile). It reports
 // whether a new finding record was appended; call store.Commit to make the
 // batch durable.
-func SaveResult(st *store.Store, res engine.Result) (added bool, err error) {
+func SaveResult(st store.Backend, res engine.Result) (added bool, err error) {
 	if res.Cached || res.Src == nil || res.Degraded ||
 		res.Outcome == engine.Duplicate || res.Outcome == engine.Canceled ||
 		res.Outcome == engine.Errored || res.Outcome == engine.Panicked {
@@ -106,7 +106,7 @@ func SaveResult(st *store.Store, res engine.Result) (added bool, err error) {
 
 // SaveRule persists one learned rule as a rulebook entry keyed by its
 // content-derived ID.
-func SaveRule(st *store.Store, r *generalize.Rule) error {
+func SaveRule(st store.Backend, r *generalize.Rule) error {
 	book := generalize.NewRulebook([]*generalize.Rule{r})
 	entry := book.Rules[0]
 	data, err := json.MarshalIndent(&entry, "", "  ")
@@ -121,7 +121,7 @@ func SaveRule(st *store.Store, r *generalize.Rule) error {
 // StoreLookup adapts a store into the engine's Config.Lookup hook: a
 // sequence whose window hash has a stored finding is served from the store
 // without a provider or verifier round.
-func StoreLookup(st *store.Store) func(src *ir.Func) (engine.Result, bool) {
+func StoreLookup(st store.Backend) func(src *ir.Func) (engine.Result, bool) {
 	return func(src *ir.Func) (engine.Result, bool) {
 		data, ok := st.Get(store.KindFinding, store.WindowKey(ir.Hash(src)))
 		if !ok {
@@ -143,7 +143,7 @@ func StoreLookup(st *store.Store) func(src *ir.Func) (engine.Result, bool) {
 // tier-0 replay starts with the accumulated falsifier corpus of every
 // previous campaign against this store. It returns how many vectors were
 // loaded (duplicates already in the pool don't count).
-func LoadPool(st *store.Store, pool *alive.CEPool) (int, error) {
+func LoadPool(st store.Backend, pool *alive.CEPool) (int, error) {
 	n := 0
 	var firstErr error
 	st.Scan(store.KindVector, func(key string, val []byte) bool {
@@ -168,7 +168,7 @@ func LoadPool(st *store.Store, pool *alive.CEPool) (int, error) {
 // FlushPool drains the pool's pending vectors (everything deposited since
 // the last flush) into the store. It returns how many new vector records
 // were appended; call store.Commit to make the batch durable.
-func FlushPool(st *store.Store, pool *alive.CEPool) (int, error) {
+func FlushPool(st store.Backend, pool *alive.CEPool) (int, error) {
 	n := 0
 	for _, wv := range pool.DrainPending() {
 		pv := store.NewPoolVec(wv.Window, wv.Vec)
@@ -187,10 +187,32 @@ func FlushPool(st *store.Store, pool *alive.CEPool) (int, error) {
 	return n, nil
 }
 
+// CompactKeep is the service's store-compaction policy: findings and rules
+// are immutable campaign output and always survive; a pool vector survives
+// only while the live pool still holds it — a vector the clock evicted
+// stopped killing candidates and is dead weight on disk. Vectors that fail
+// to decode are kept (compaction must never turn corruption into loss).
+func CompactKeep(pool *alive.CEPool) func(kind store.Kind, key string, val []byte) bool {
+	return func(kind store.Kind, key string, val []byte) bool {
+		if kind != store.KindVector {
+			return true
+		}
+		pv, err := store.DecodePoolVec(val)
+		if err != nil {
+			return true
+		}
+		window, vec, err := pv.Vector()
+		if err != nil {
+			return true
+		}
+		return pool.Contains(window, vec)
+	}
+}
+
 // StoreRulebook assembles the store's rulebook entries into a serializable
 // book (sorted by rule ID, deterministic encoding) — the union of every
 // campaign's learned rules against this store.
-func StoreRulebook(st *store.Store) (*generalize.Rulebook, error) {
+func StoreRulebook(st store.Backend) (*generalize.Rulebook, error) {
 	book := &generalize.Rulebook{Version: generalize.RulebookVersion}
 	var firstErr error
 	st.Scan(store.KindRule, func(key string, val []byte) bool {
@@ -212,7 +234,7 @@ func StoreRulebook(st *store.Store) (*generalize.Rulebook, error) {
 // StoreOptRules compiles the store's rulebook entries into registry rules
 // ready for RuleSet.WithRules — the warm-start path that lets a store's
 // accumulated rules strengthen a new campaign's extractor and preprocessor.
-func StoreOptRules(st *store.Store) ([]*opt.Rule, error) {
+func StoreOptRules(st store.Backend) ([]*opt.Rule, error) {
 	book, err := StoreRulebook(st)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/alive"
 	"repro/internal/engine"
@@ -21,9 +22,10 @@ import (
 
 // Config assembles a discovery server.
 type Config struct {
-	// Store is the persistent content-addressed store (required). The server
-	// does not close it; the owner does, after Server.Close.
-	Store *store.Store
+	// Store is the persistent content-addressed store (required): a plain
+	// *store.Store or a *store.Sharded. The server does not close it; the
+	// owner does, after Server.Close.
+	Store store.Backend
 	// Client is the LLM provider; nil builds the simulated provider from
 	// Model and Seed.
 	Client llm.Client
@@ -39,6 +41,17 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies; oversized submissions get 413
 	// with a JSON error instead of a silent truncation (default 4 MiB).
 	MaxBodyBytes int64
+	// PersistWorkers sizes the result-persistence pool (default 4). Each
+	// worker micro-batches results off the engine and issues one durability
+	// barrier (store.Flush) per batch; with group commit running on the
+	// store, concurrent workers' barriers share fsyncs.
+	PersistWorkers int
+	// Logf receives operational log lines (shutdown pending counts, degraded
+	// transitions). Nil discards them.
+	Logf func(format string, args ...any)
+	// StreamHeartbeat is the SSE keep-alive comment interval for
+	// GET /v1/findings?watch=1 (default 15s).
+	StreamHeartbeat time.Duration
 }
 
 // Server is the lpod discovery service: one warm engine behind an HTTP/JSON
@@ -49,15 +62,18 @@ type Config struct {
 // results drain, so a restarted server resumes exactly where the last one
 // stopped.
 type Server struct {
-	st      *store.Store
-	pool    *alive.CEPool
-	eng     *engine.Engine
-	sub     *engine.Submitter
-	maxBody int64
+	st        store.Backend
+	strm      *stream
+	pool      *alive.CEPool
+	eng       *engine.Engine
+	sub       *engine.Submitter
+	maxBody   int64
+	logf      func(format string, args ...any)
+	heartbeat time.Duration
 
 	cancel context.CancelFunc
 	drain  sync.WaitGroup
-	// done closes when the result drain loop exits — the engine-liveness
+	// done closes when the last persist worker exits — the engine-liveness
 	// signal behind GET /v1/healthz.
 	done chan struct{}
 
@@ -65,6 +81,14 @@ type Server struct {
 	inflight  map[uint64]bool
 	submitted int64
 	persisted int64
+	// degradedAccepts counts results accepted but not durable when their
+	// persist barrier ran (failed Flush, or volatile degraded outcomes) —
+	// the traffic behind every Lpod-Degraded response on the submit path.
+	degradedAccepts int64
+	// waiters carries per-window persist notifications to wait-mode submits
+	// (POST /v1/windows?wait=1): nil for durable, an error for
+	// accepted-but-degraded.
+	waiters map[uint64][]chan error
 	// volatileFindings serves results the store must not persist (degraded,
 	// knowledge-base-proposed outcomes computed while the provider's circuit
 	// was open), keyed by window hash. Resubmitting a window after the
@@ -113,15 +137,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 4 << 20
 	}
+	if cfg.PersistWorkers <= 0 {
+		cfg.PersistWorkers = 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
 
 	s := &Server{
 		st:               cfg.Store,
 		pool:             pool,
 		maxBody:          cfg.MaxBodyBytes,
+		logf:             cfg.Logf,
+		heartbeat:        cfg.StreamHeartbeat,
 		done:             make(chan struct{}),
 		inflight:         make(map[uint64]bool),
+		waiters:          make(map[uint64][]chan error),
 		volatileFindings: make(map[uint64][]byte),
 	}
+	s.strm = newStream(cfg.Store)
 	n, err := LoadPool(cfg.Store, pool)
 	if err != nil {
 		return nil, fmt.Errorf("service: loading pool vectors: %w", err)
@@ -132,72 +169,174 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.sub = s.eng.Submitter(ctx)
-	s.drain.Add(1)
-	go s.drainResults()
+	s.drain.Add(cfg.PersistWorkers)
+	for i := 0; i < cfg.PersistWorkers; i++ {
+		go s.persistWorker()
+	}
+	go func() {
+		s.drain.Wait()
+		close(s.done)
+	}()
 	return s, nil
 }
 
-// drainResults persists every computed result as it arrives, then clears
-// the window's inflight mark — findings become servable only once durable,
-// which is what lets a crashed-and-restarted daemon serve identical bytes.
-func (s *Server) drainResults() {
+// persistBatchMax bounds one persist worker's micro-batch: how many results
+// ride a single durability barrier.
+const persistBatchMax = 64
+
+// persistWorker drains computed results off the engine and persists them in
+// micro-batches: each iteration takes one result, opportunistically grabs
+// whatever else is already queued, saves the lot, and issues ONE durability
+// barrier (store.Flush) for the whole batch — findings become servable only
+// once durable, which is what lets a crashed-and-restarted daemon serve
+// identical bytes. Several workers run concurrently; with group commit on
+// the store their barriers coalesce into shared fsyncs.
+func (s *Server) persistWorker() {
 	defer s.drain.Done()
-	defer close(s.done)
-	for res := range s.sub.Results() {
-		s.persist(res)
+	results := s.sub.Results()
+	for res := range results {
+		batch := []engine.Result{res}
+	fill:
+		for len(batch) < persistBatchMax {
+			select {
+			case more, ok := <-results:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, more)
+			default:
+				break fill
+			}
+		}
+		s.persistBatch(batch)
 	}
 }
 
-func (s *Server) persist(res engine.Result) {
-	if res.Src == nil {
-		return
+// persistBatch saves one micro-batch of results and runs its durability
+// barrier. A failed barrier degrades, never loses: every record is already
+// accepted (servable from memory, pending in the store, retried by the
+// committer and by every later barrier), the batch's windows are counted as
+// degraded accepts, and their findings reach the SSE stream once a later
+// barrier lands. Wait-mode submitters are notified per window either way.
+func (s *Server) persistBatch(batch []engine.Result) {
+	type saved struct {
+		h     uint64
+		added bool
+		err   error
 	}
-	h := ir.Hash(res.Src)
-	if res.Degraded {
-		// A degraded (KB-proposed) outcome is servable but never durable:
-		// SaveResult skips it below, and this volatile copy answers
-		// /v1/findings until a post-recovery resubmission computes the
-		// window for real.
-		if data, err := FindingFromResult(res).Encode(); err == nil {
-			s.mu.Lock()
-			s.volatileFindings[h] = data
-			s.mu.Unlock()
+	var outs []saved
+	for _, res := range batch {
+		if res.Src == nil {
+			continue
+		}
+		h := ir.Hash(res.Src)
+		if res.Degraded {
+			// A degraded (KB-proposed) outcome is servable but never durable:
+			// SaveResult skips it below, and this volatile copy answers
+			// /v1/findings until a post-recovery resubmission computes the
+			// window for real.
+			if data, err := FindingFromResult(res).Encode(); err == nil {
+				s.mu.Lock()
+				s.volatileFindings[h] = data
+				s.mu.Unlock()
+			}
+		}
+		added, err := SaveResult(s.st, res)
+		if res.Degraded && err == nil {
+			err = errVolatile
+		}
+		outs = append(outs, saved{h: h, added: added, err: err})
+	}
+	if _, ferr := FlushPool(s.st, s.pool); ferr != nil {
+		for i := range outs {
+			if outs[i].err == nil {
+				outs[i].err = ferr
+			}
 		}
 	}
-	added, err := SaveResult(s.st, res)
-	if err == nil {
-		if _, ferr := FlushPool(s.st, s.pool); ferr != nil {
-			err = ferr
+	// The durability barrier for the whole batch. Flush covers every record
+	// accepted before the call, so on success anything previously deferred
+	// by a failed barrier is durable too — publish it.
+	berr := s.st.Flush()
+	for i := range outs {
+		if outs[i].err == nil {
+			outs[i].err = berr
 		}
 	}
-	if err == nil {
-		err = s.st.Commit()
-	}
+
 	s.mu.Lock()
-	delete(s.inflight, h)
-	if added && err == nil {
-		s.persisted++
+	for _, o := range outs {
+		delete(s.inflight, o.h)
+		if o.added && o.err == nil {
+			s.persisted++
+		}
+		if o.err != nil {
+			s.degradedAccepts++
+		}
+		for _, ch := range s.waiters[o.h] {
+			ch <- o.err
+		}
+		delete(s.waiters, o.h)
 	}
 	s.mu.Unlock()
+
+	if berr == nil {
+		for _, o := range outs {
+			if o.added {
+				s.strm.publish(store.WindowKey(o.h))
+			}
+		}
+		s.strm.publishDeferred()
+	} else {
+		s.logf("service: persist barrier failed (batch of %d stays pending): %v", len(batch), berr)
+		for _, o := range outs {
+			if o.added {
+				s.strm.defer_(store.WindowKey(o.h))
+			}
+		}
+	}
 }
+
+// errVolatile marks a window whose outcome is servable from memory but
+// deliberately never persisted (degraded KB-proposed results).
+var errVolatile = errors.New("service: degraded result, served volatile")
 
 // LoadedVectors reports how many counterexample vectors the startup warm
 // load installed into the pool.
 func (s *Server) LoadedVectors() int { return s.loadedVectors }
 
 // Close drains the engine (pending submissions still complete and persist),
-// flushes the pool's remaining vectors, and commits. It does not close the
-// store. Idempotent.
+// flushes the pool's remaining vectors, and commits. A FlushPool failure
+// does not skip the commit, and a failed commit gets one final retry — the
+// last chance to drain a transiently degraded batch before the process
+// exits. Whatever stays pending is logged with its count, so an operator
+// knows the store carries accepted-but-not-durable records into the next
+// start (where Open + Commit will retry them... the records themselves are
+// lost ONLY if the process dies before any commit succeeds; the log always
+// recovers to its last durable prefix). It does not close the store.
+// Idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.sub.Close()
 		s.drain.Wait()
 		s.cancel()
 		if _, err := FlushPool(s.st, s.pool); err != nil && s.closeErr == nil {
+			// The pool drain failed mid-way; anything it did Put is pending
+			// and MUST still get its commit attempt below.
 			s.closeErr = err
 		}
-		if err := s.st.Commit(); err != nil && s.closeErr == nil {
-			s.closeErr = err
+		if err := s.st.Commit(); err != nil {
+			// Final retry: transient write faults (the kind internal/fault
+			// injects) often clear on the next attempt.
+			if err = s.st.Commit(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if ss := s.st.Stats(); ss.Pending > 0 {
+			s.logf("service: shutdown with %d records pending (%d commit failures); they stay on the next start's retry path",
+				ss.Pending, ss.CommitFails)
+		} else {
+			s.logf("service: shutdown clean, %d records durable", ss.Records)
 		}
 	})
 	return s.closeErr
@@ -218,11 +357,16 @@ type submitRequest struct {
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/windows          submit one window or a batch (JSON or raw .ll)
+//	POST /v1/windows          submit one window or a batch (JSON or raw .ll);
+//	                          ?wait=1 blocks until submitted windows persist
+//	                          (202 + Lpod-Degraded when accepted, not durable)
+//	GET  /v1/findings         durable findings since ?cursor=N; ?watch=1
+//	                          upgrades to an SSE stream
 //	GET  /v1/findings/{hash}  a stored finding, verbatim bytes
 //	GET  /v1/rulebook         the store's assembled rulebook
 //	GET  /v1/stats            engine + store + pool + server counters
 //	GET  /v1/healthz          liveness + degraded-durability signal
+//	POST /v1/compact          compact the store (drop evicted pool vectors)
 //
 // Every route sits behind a recovery middleware: a panicking handler
 // answers 500 with a JSON error instead of killing the daemon's connection
@@ -230,10 +374,12 @@ type submitRequest struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/windows", s.handleSubmit)
+	mux.HandleFunc("GET /v1/findings", s.handleFindingsStream)
 	mux.HandleFunc("GET /v1/findings/{hash}", s.handleFinding)
 	mux.HandleFunc("GET /v1/rulebook", s.handleRulebook)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	return recoverMiddleware(mux)
 }
 
@@ -292,7 +438,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	wait := r.URL.Query().Get("wait") != ""
 	var statuses []windowStatus
+	var waits []chan error
 	for _, src := range sources {
 		mod, err := parser.Parse(src)
 		if err != nil {
@@ -300,16 +448,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		for _, fn := range mod.Funcs {
-			statuses = append(statuses, s.submitWindow(fn))
+			ws, ch := s.submitWindow(fn, wait)
+			statuses = append(statuses, ws)
+			if ch != nil {
+				waits = append(waits, ch)
+			}
 		}
 	}
-	respondStatuses(w, statuses)
+	s.respondStatuses(w, r, statuses, waits)
 }
 
 // respondStatuses writes a submit reply: 200 normally, 429 with Retry-After
 // when the engine queue rejected any window — the caller sees every
-// per-window status either way and retries only the rejected ones.
-func respondStatuses(w http.ResponseWriter, statuses []windowStatus) {
+// per-window status either way and retries only the rejected ones. In wait
+// mode it first blocks until every submitted window's persist barrier ran;
+// a window that was accepted but is NOT yet durable (failed barrier, or a
+// volatile degraded outcome) turns the reply into 202 + Lpod-Degraded
+// instead of an error: the record is safe in memory and on the store's
+// retry path, which is the PR-9 "no accepted record lost" contract.
+func (s *Server) respondStatuses(w http.ResponseWriter, r *http.Request, statuses []windowStatus, waits []chan error) {
+	degraded := false
+	for _, ch := range waits {
+		select {
+		case err := <-ch:
+			if err != nil {
+				degraded = true
+			}
+		case <-r.Context().Done():
+			// The client hung up; stop waiting (the persist worker will
+			// still deliver into the buffered channel and move on).
+			degraded = true
+		}
+	}
 	code := http.StatusOK
 	for _, ws := range statuses {
 		if ws.Status == "rejected" {
@@ -317,6 +487,10 @@ func respondStatuses(w http.ResponseWriter, statuses []windowStatus) {
 			w.Header().Set("Retry-After", "1")
 			break
 		}
+	}
+	if degraded && code == http.StatusOK {
+		w.Header().Set("Lpod-Degraded", "true")
+		code = http.StatusAccepted
 	}
 	writeJSON(w, code, map[string]any{"windows": statuses})
 }
@@ -333,6 +507,7 @@ func (s *Server) handleSubmitWasm(w http.ResponseWriter, r *http.Request, body [
 	}
 	st := wasm.LiftStats{Reasons: make(map[string]int)}
 	var statuses []windowStatus
+	var waits []chan error
 	for _, f := range wm.Funcs {
 		st.Funcs++
 		fn, err := wasm.LiftFunc(wm, f)
@@ -343,30 +518,49 @@ func (s *Server) handleSubmitWasm(w http.ResponseWriter, r *http.Request, body [
 			continue
 		}
 		st.Lifted++
-		statuses = append(statuses, s.submitWindow(fn))
+		ws, ch := s.submitWindow(fn, r.URL.Query().Get("wait") != "")
+		statuses = append(statuses, ws)
+		if ch != nil {
+			waits = append(waits, ch)
+		}
 	}
 	s.sub.Stats().RecordLift(st)
-	respondStatuses(w, statuses)
+	s.respondStatuses(w, r, statuses, waits)
 }
 
 // submitWindow dedups one window against the store and the inflight set,
-// scheduling it on the engine only when it is genuinely novel.
-func (s *Server) submitWindow(fn *ir.Func) windowStatus {
+// scheduling it on the engine only when it is genuinely novel. When wait is
+// set and the window is in flight (newly queued or already), the returned
+// channel delivers the window's persist outcome: nil once durable, an error
+// when accepted but degraded.
+func (s *Server) submitWindow(fn *ir.Func, wait bool) (windowStatus, chan error) {
 	h := ir.Hash(fn)
 	key := store.WindowKey(h)
 	ws := windowStatus{Window: key}
 	if s.st.Has(store.KindFinding, key) {
 		ws.Status = "cached"
-		return ws
+		return ws, nil
 	}
+	var ch chan error
 	s.mu.Lock()
 	if s.inflight[h] {
+		if wait {
+			ch = make(chan error, 1)
+			s.waiters[h] = append(s.waiters[h], ch)
+		}
 		s.mu.Unlock()
 		ws.Status = "pending"
-		return ws
+		return ws, ch
 	}
 	s.inflight[h] = true
 	s.submitted++
+	if wait {
+		// Register before TrySubmit: the persist worker notifies under the
+		// same lock it clears inflight with, so a result can never slip
+		// between submission and registration.
+		ch = make(chan error, 1)
+		s.waiters[h] = append(s.waiters[h], ch)
+	}
 	s.mu.Unlock()
 
 	// Non-blocking admission: a full engine queue sheds the window as
@@ -376,6 +570,15 @@ func (s *Server) submitWindow(fn *ir.Func) windowStatus {
 		s.mu.Lock()
 		delete(s.inflight, h)
 		s.submitted--
+		if wait {
+			lst := s.waiters[h]
+			if n := len(lst); n > 0 && lst[n-1] == ch {
+				s.waiters[h] = lst[:n-1]
+			}
+			if len(s.waiters[h]) == 0 {
+				delete(s.waiters, h)
+			}
+		}
 		s.mu.Unlock()
 		if errors.Is(err, engine.ErrQueueFull) {
 			ws.Status = "rejected"
@@ -383,10 +586,44 @@ func (s *Server) submitWindow(fn *ir.Func) windowStatus {
 			ws.Status = "invalid"
 		}
 		ws.Error = err.Error()
-		return ws
+		return ws, nil
 	}
 	ws.Status = "queued"
-	return ws
+	return ws, ch
+}
+
+// Compact rewrites the store under the service keep-policy (findings and
+// rules stay; pool vectors the clock evicted go), folding any pending batch
+// in durable. It first drains the pool so freshly deposited vectors are
+// records (and survive: they are live by definition) before the rewrite.
+// Exposed over POST /v1/compact and as lpod's -compact startup flag.
+func (s *Server) Compact() (store.CompactStats, error) {
+	if _, err := FlushPool(s.st, s.pool); err != nil {
+		return store.CompactStats{}, fmt.Errorf("flushing pool: %w", err)
+	}
+	cs, err := s.st.Compact(CompactKeep(s.pool))
+	if err != nil {
+		return cs, err
+	}
+	s.logf("service: compacted store: kept %d, dropped %d, %d -> %d bytes",
+		cs.Kept, cs.Dropped, cs.BytesBefore, cs.BytesAfter)
+	return cs, nil
+}
+
+// handleCompact is POST /v1/compact: run Compact, report what the rewrite
+// dropped.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	cs, err := s.Compact()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "compacting: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kept":         cs.Kept,
+		"dropped":      cs.Dropped,
+		"bytes_before": cs.BytesBefore,
+		"bytes_after":  cs.BytesAfter,
+	})
 }
 
 func (s *Server) handleFinding(w http.ResponseWriter, r *http.Request) {
@@ -515,6 +752,12 @@ type statsReply struct {
 		// have failed (each rolled back and retried).
 		Pending     int   `json:"pending"`
 		CommitFails int64 `json:"commit_fails"`
+		// Commits counts successful batches; PutNew/Commits is the group-
+		// commit amortization (records per fsync). Shards is the fan-out of
+		// the backing store; Compactions counts completed log rewrites.
+		Commits     int64 `json:"commits"`
+		Compactions int64 `json:"compactions"`
+		Shards      int   `json:"shards"`
 	} `json:"store"`
 	Pool struct {
 		Windows   int   `json:"windows"`
@@ -536,6 +779,15 @@ type statsReply struct {
 		// in memory — never persisted, replaced by real findings when their
 		// windows are resubmitted after the provider recovers.
 		VolatileFindings int `json:"volatile_findings"`
+		// DegradedAccepts counts results whose persist barrier did not reach
+		// durable (failed Flush, or volatile degraded outcomes) — every one
+		// answered on the submit path with 202 + Lpod-Degraded.
+		DegradedAccepts int64 `json:"degraded_accepts"`
+		// StreamFindings/StreamSubscribers describe GET /v1/findings?watch=1:
+		// durable findings published to the stream log, and live SSE
+		// subscribers right now.
+		StreamFindings    int `json:"stream_findings"`
+		StreamSubscribers int `json:"stream_subscribers"`
 	} `json:"server"`
 }
 
@@ -576,6 +828,9 @@ func (s *Server) StatsSnapshot() any {
 	rep.Store.Recovered = ss.Recovered
 	rep.Store.Pending = ss.Pending
 	rep.Store.CommitFails = ss.CommitFails
+	rep.Store.Commits = ss.Commits
+	rep.Store.Compactions = ss.Compactions
+	rep.Store.Shards = ss.Shards
 
 	ps := s.pool.Stats()
 	rep.Pool.Windows = ps.Windows
@@ -590,9 +845,11 @@ func (s *Server) StatsSnapshot() any {
 	rep.Server.Persisted = s.persisted
 	rep.Server.Inflight = len(s.inflight)
 	rep.Server.VolatileFindings = len(s.volatileFindings)
+	rep.Server.DegradedAccepts = s.degradedAccepts
 	s.mu.Unlock()
 	rep.Server.LoadedVectors = s.loadedVectors
 	rep.Server.Degraded = ss.CommitFails > 0 && ss.Pending > 0
+	rep.Server.StreamFindings, rep.Server.StreamSubscribers = s.strm.counts()
 	return rep
 }
 

@@ -1,0 +1,334 @@
+package store
+
+// Sharded fans one logical content-addressed store over N independent
+// append-only shard logs (dir/lpod-00.log … dir/lpod-NN.log, hex-numbered)
+// so concurrent submissions stop contending on a single file and a single
+// fsync queue. Records are routed by window-hash prefix: the shard of a key
+// is a hash of everything before the first '/', which is the 16-hex window
+// hash for findings and pool vectors — so a window's finding and its
+// counterexample vectors always share a shard, and per-shard append order
+// is a durability order for that window. Rule keys (content-derived IDs)
+// spread by the same function.
+//
+// Each shard is a full Store: its own log, index, committer, recovery and
+// snapshot isolation. A logical operation touches exactly one shard (Put,
+// Get, Has) or visits shards in shard order (Scan, Keys); Flush and Commit
+// fan out to every shard in parallel.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend is the store surface the service layer runs against — satisfied
+// by both *Store (one log) and *Sharded (N logs).
+type Backend interface {
+	Put(kind Kind, key string, val []byte) (added bool, err error)
+	Get(kind Kind, key string) ([]byte, bool)
+	Has(kind Kind, key string) bool
+	Len(kind Kind) int
+	Keys(kind Kind) []string
+	Scan(kind Kind, fn func(key string, val []byte) bool)
+	Commit() error
+	Flush() error
+	StartGroupCommit(GroupCommitOptions)
+	StopGroupCommit()
+	Compact(keep func(kind Kind, key string, val []byte) bool) (CompactStats, error)
+	Stats() Stats
+	Dir() string
+	Close() error
+}
+
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*Sharded)(nil)
+)
+
+// MaxShards bounds the shard count (the two-hex-digit file naming).
+const MaxShards = 256
+
+// shardName is the log file name of shard i.
+func shardName(i int) string { return fmt.Sprintf("lpod-%02x.log", i) }
+
+// shardCount counts the contiguous shard logs present in dir (0 when the
+// directory holds no sharded store). A gap in the numbering is an error —
+// it means someone deleted a shard file, which would silently lose records.
+func shardCount(dir string) (int, error) {
+	n := 0
+	for i := 0; i < MaxShards; i++ {
+		if _, err := os.Stat(filepath.Join(dir, shardName(i))); err != nil {
+			break
+		}
+		n++
+	}
+	// Anything matching the shard pattern beyond the contiguous prefix is a
+	// hole in the numbering.
+	matches, _ := filepath.Glob(filepath.Join(dir, "lpod-??.log"))
+	if len(matches) != n {
+		return 0, fmt.Errorf("store: %s holds %d shard logs but the contiguous prefix is %d (missing shard file?)", dir, len(matches), n)
+	}
+	return n, nil
+}
+
+// ShardCount reports how many shard logs a directory holds (0 for a plain
+// or empty store) — how tooling decides between Open and OpenSharded.
+func ShardCount(dir string) (int, error) { return shardCount(dir) }
+
+// Sharded is an open sharded store.
+type Sharded struct {
+	dir    string
+	shards []*Store
+}
+
+// OpenSharded opens (or creates) a sharded store with n shards in dir. If
+// dir already holds a sharded store, its existing shard count WINS over n —
+// resharding in place would re-route keys away from their records. If dir
+// holds a legacy single-log store (lpod.log), its records are migrated into
+// the shards first (idempotent: a crash mid-migration re-runs it on the
+// next open; the legacy log is renamed away only after every record is
+// durable in its shard).
+func OpenSharded(dir string, n int) (*Sharded, error) {
+	return OpenShardedWith(dir, n, nil)
+}
+
+// OpenShardedWith is OpenSharded with a write-layer shim applied to every
+// shard log (see OpenWith).
+func OpenShardedWith(dir string, n int, wrap func(File) File) (*Sharded, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if existing, err := shardCount(dir); err != nil {
+		return nil, err
+	} else if existing > 0 {
+		n = existing
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if n > MaxShards {
+		return nil, fmt.Errorf("store: %d shards exceeds the maximum %d", n, MaxShards)
+	}
+	sh := &Sharded{dir: dir}
+	for i := 0; i < n; i++ {
+		s, err := openLog(dir, shardName(i), wrap)
+		if err != nil {
+			sh.Close()
+			return nil, err
+		}
+		sh.shards = append(sh.shards, s)
+	}
+	if err := sh.migrateLegacy(wrap); err != nil {
+		sh.Close()
+		return nil, err
+	}
+	return sh, nil
+}
+
+// migrateLegacy folds a pre-sharding lpod.log into the shards. Every record
+// is re-Put (content-addressed dedup makes reruns free), committed durable,
+// and only then is the legacy log renamed to lpod.log.migrated — so a crash
+// at any point leaves a state the next open completes from.
+func (sh *Sharded) migrateLegacy(wrap func(File) File) error {
+	legacy := filepath.Join(sh.dir, LogName)
+	if _, err := os.Stat(legacy); err != nil {
+		return nil
+	}
+	old, err := openLog(sh.dir, LogName, wrap)
+	if err != nil {
+		return fmt.Errorf("store: migrating legacy log: %w", err)
+	}
+	for _, kind := range []Kind{KindFinding, KindRule, KindVector} {
+		var ferr error
+		old.Scan(kind, func(key string, val []byte) bool {
+			_, ferr = sh.Put(kind, key, val)
+			return ferr == nil
+		})
+		if ferr != nil {
+			old.Close()
+			return fmt.Errorf("store: migrating legacy log: %w", ferr)
+		}
+	}
+	if err := sh.Commit(); err != nil {
+		old.Close()
+		return err
+	}
+	if err := old.Close(); err != nil {
+		return err
+	}
+	return os.Rename(legacy, legacy+".migrated")
+}
+
+// shardFor routes a key: hash the window-hash prefix (everything before the
+// first '/', i.e. the whole key for findings and rules, the window half for
+// vector keys) so all records of one window land on one shard.
+func (sh *Sharded) shardFor(key string) *Store {
+	prefix := key
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		prefix = key[:i]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(prefix))
+	return sh.shards[int(h.Sum32())%len(sh.shards)]
+}
+
+// N reports the shard count.
+func (sh *Sharded) N() int { return len(sh.shards) }
+
+// Shard returns shard i — per-shard access for tests and tooling.
+func (sh *Sharded) Shard(i int) *Store { return sh.shards[i] }
+
+// Put routes the record to its key's shard.
+func (sh *Sharded) Put(kind Kind, key string, val []byte) (bool, error) {
+	return sh.shardFor(key).Put(kind, key, val)
+}
+
+// Get reads from the key's shard.
+func (sh *Sharded) Get(kind Kind, key string) ([]byte, bool) {
+	return sh.shardFor(key).Get(kind, key)
+}
+
+// Has reports whether the key's shard holds the record.
+func (sh *Sharded) Has(kind Kind, key string) bool {
+	return sh.shardFor(key).Has(kind, key)
+}
+
+// Len sums the kind's record count over all shards.
+func (sh *Sharded) Len(kind Kind) int {
+	n := 0
+	for _, s := range sh.shards {
+		n += s.Len(kind)
+	}
+	return n
+}
+
+// Keys returns the kind's keys across all shards in sorted order.
+func (sh *Sharded) Keys(kind Kind) []string {
+	var out []string
+	for _, s := range sh.shards {
+		out = append(out, s.Keys(kind)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Scan visits every shard in shard order; within a shard, records appear in
+// append order under that shard's snapshot isolation.
+func (sh *Sharded) Scan(kind Kind, fn func(key string, val []byte) bool) {
+	for _, s := range sh.shards {
+		stop := false
+		s.Scan(kind, func(key string, val []byte) bool {
+			if !fn(key, val) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// fanOut runs fn on every shard concurrently and returns the first error.
+func (sh *Sharded) fanOut(fn func(*Store) error) error {
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, s := range sh.shards {
+		wg.Add(1)
+		go func(i int, s *Store) {
+			defer wg.Done()
+			errs[i] = fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit commits every shard (in parallel); the first failure is returned
+// but every shard still gets its attempt.
+func (sh *Sharded) Commit() error { return sh.fanOut((*Store).Commit) }
+
+// Flush is the logical durability barrier: it returns once every record Put
+// before the call — on any shard — is durable. Shards flush in parallel, so
+// the barrier costs one fsync latency, not N.
+func (sh *Sharded) Flush() error { return sh.fanOut((*Store).Flush) }
+
+// StartGroupCommit starts a committer per shard.
+func (sh *Sharded) StartGroupCommit(opts GroupCommitOptions) {
+	for _, s := range sh.shards {
+		s.StartGroupCommit(opts)
+	}
+}
+
+// StopGroupCommit stops every shard's committer.
+func (sh *Sharded) StopGroupCommit() {
+	for _, s := range sh.shards {
+		s.StopGroupCommit()
+	}
+}
+
+// Compact compacts every shard under the same keep policy (see
+// Store.Compact) and aggregates the per-shard stats. Shards compact one at
+// a time, so at most one shard is stop-the-world at any moment.
+func (sh *Sharded) Compact(keep func(kind Kind, key string, val []byte) bool) (CompactStats, error) {
+	var total CompactStats
+	for _, s := range sh.shards {
+		cs, err := s.Compact(keep)
+		total.Kept += cs.Kept
+		total.Dropped += cs.Dropped
+		total.BytesBefore += cs.BytesBefore
+		total.BytesAfter += cs.BytesAfter
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Stats aggregates every shard's counters.
+func (sh *Sharded) Stats() Stats {
+	var t Stats
+	for _, s := range sh.shards {
+		ss := s.Stats()
+		t.Records += ss.Records
+		t.Findings += ss.Findings
+		t.Rules += ss.Rules
+		t.Vectors += ss.Vectors
+		t.Bytes += ss.Bytes
+		t.PutNew += ss.PutNew
+		t.PutDup += ss.PutDup
+		t.GetHits += ss.GetHits
+		t.GetMisses += ss.GetMisses
+		t.Recovered += ss.Recovered
+		t.Pending += ss.Pending
+		t.CommitFails += ss.CommitFails
+		t.Commits += ss.Commits
+		t.Compactions += ss.Compactions
+	}
+	t.Shards = len(sh.shards)
+	return t
+}
+
+// Dir returns the store's directory.
+func (sh *Sharded) Dir() string { return sh.dir }
+
+// Close closes every shard, returning the first error.
+func (sh *Sharded) Close() error {
+	var first error
+	for _, s := range sh.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

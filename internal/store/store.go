@@ -4,7 +4,8 @@
 // vectors — survives on disk so overlapping campaigns are incremental and
 // a resubmitted window pays only for work nobody has done before.
 //
-// The on-disk format is a single append-only record log (dir/lpod.log):
+// The on-disk format is an append-only record log (dir/lpod.log for a
+// plain store; dir/lpod-00.log … for the sharded variant, see Sharded):
 // an 8-byte magic header followed by length-prefixed, CRC-framed records.
 // Every record is immutable and content-addressed — the key of a finding
 // is the ir.Hash of its source window, the key of a rulebook entry is its
@@ -26,6 +27,17 @@
 //     partially written final record) back to the last intact record; an
 //     interrupted batch loses at most its own unsynced records, never
 //     earlier ones.
+//
+// Three mechanisms scale the hot ingest path beyond one fsync per record
+// (doc.go, "Scaling the Store"):
+//
+//   - Group commit (StartGroupCommit + Flush): concurrent writers' records
+//     coalesce into one framed batch and one fsync, with per-waiter
+//     durability notification.
+//   - Sharding (Sharded): a logical store fanned over N independent shard
+//     logs keyed by window-hash prefix, each with its own committer.
+//   - Compaction (Compact): rewrite a log without records a policy drops
+//     (dead pool vectors, superseded rules), with a crash-safe tail swap.
 package store
 
 import (
@@ -120,6 +132,14 @@ type Stats struct {
 	// pending for retry) — the store's degraded-durability signal, surfaced
 	// by lpod's /v1/healthz.
 	CommitFails int64
+	// Commits counts successful non-empty Commit batches; Commits vs PutNew
+	// is the group-commit amortization ratio (records per fsync).
+	Commits int64
+	// Compactions counts completed Compact rewrites of the log.
+	Compactions int64
+	// Shards is how many shard logs back these stats: 1 for a plain Store,
+	// N for a Sharded aggregate.
+	Shards int
 }
 
 // Store is an open store: the append-only log plus the in-memory hash index
@@ -127,8 +147,16 @@ type Stats struct {
 // number of readers Get/Has/Scan, and Snapshot gives a reader a stable
 // point-in-time view.
 type Store struct {
+	// commitMu serializes the disk half of Commit (and Compact). The record
+	// write + fsync run with mu RELEASED, so readers and writers proceed
+	// while a batch is being made durable — that is what lets concurrent
+	// Puts pile into the next group-commit batch during the current fsync.
+	commitMu sync.Mutex
+
 	mu      sync.RWMutex
 	dir     string
+	name    string          // log file name inside dir (LogName, or lpod-NN.log for a shard)
+	wrap    func(File) File // write-layer shim, retained for compaction rewrites
 	f       File
 	recs    []record
 	idx     map[string]int // indexKey(kind,key) -> position in recs (first write wins)
@@ -136,6 +164,7 @@ type Store struct {
 	size    int64          // bytes in the log, including accepted-but-not-durable records
 	durable int64          // bytes known durable on disk (after the last successful Commit)
 	dirty   []int          // positions in recs accepted since the last successful Commit
+	gc      *committer     // group-commit worker; nil until StartGroupCommit
 
 	putNew      int64
 	putDup      int64
@@ -143,6 +172,8 @@ type Store struct {
 	getMisses   int64
 	recovered   int64
 	commitFails int64
+	commits     int64
+	compactions int64
 }
 
 func indexKey(kind Kind, key string) string {
@@ -158,10 +189,22 @@ func Open(dir string) (*Store, error) { return OpenWith(dir, nil) }
 // log is accessed through wrap(file) instead of the raw *os.File. Chaos
 // tests interpose fault injection here; production callers pass nil.
 func OpenWith(dir string, wrap func(File) File) (*Store, error) {
+	if n, err := shardCount(dir); err == nil && n > 0 {
+		return nil, fmt.Errorf("store: %s is a sharded store (%d shards); use OpenSharded", dir, n)
+	}
+	return openLog(dir, LogName, wrap)
+}
+
+// openLog opens one record log (the whole store, or one shard of a Sharded).
+func openLog(dir, name string, wrap func(File) File) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	path := filepath.Join(dir, LogName)
+	// A leftover .compact temp file is an interrupted compaction that never
+	// reached its rename: the original log is still authoritative, so the
+	// temp is just deleted (Compact is atomic-or-nothing).
+	os.Remove(filepath.Join(dir, name+compactSuffix))
+	path := filepath.Join(dir, name)
 	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -170,7 +213,7 @@ func OpenWith(dir string, wrap func(File) File) (*Store, error) {
 	if wrap != nil {
 		f = wrap(osf)
 	}
-	s := &Store{dir: dir, f: f, idx: make(map[string]int)}
+	s := &Store{dir: dir, name: name, wrap: wrap, f: f, idx: make(map[string]int)}
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -318,28 +361,41 @@ func frameLen(rec record) int64 {
 }
 
 // Commit frames every pending record, appends the batch at the log's
-// durable length, and fsyncs: everything Put so far is durable once Commit
-// returns nil. On failure the log is rolled back (best effort) to its last
+// durable length, and fsyncs: everything Put before Commit returns nil is
+// durable. On failure the log is rolled back (best effort) to its last
 // durable length and the whole batch stays pending — the next Commit
 // retries it from scratch, so callers may simply keep going in a degraded
 // mode and re-Commit later. Committing with nothing pending is a cheap
 // no-op.
+//
+// The write + fsync run without the index lock: concurrent Puts (and Gets)
+// proceed during the disk wait and land in the next batch — the natural
+// batching that group commit (StartGroupCommit + Flush) builds on.
 func (s *Store) Commit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.commitLocked()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.commitSerialized()
 }
 
-func (s *Store) commitLocked() error {
-	if len(s.dirty) == 0 {
+// commitSerialized is Commit's body; the caller holds commitMu, which is
+// what keeps the durable offset and the log tail consistent across the
+// unlocked disk I/O.
+func (s *Store) commitSerialized() error {
+	s.mu.Lock()
+	n := len(s.dirty)
+	if n == 0 {
+		s.mu.Unlock()
 		return nil
 	}
 	var buf []byte
-	for _, i := range s.dirty {
+	for _, i := range s.dirty[:n] {
 		buf = appendRecord(buf, s.recs[i])
 	}
+	off := s.durable
+	s.mu.Unlock()
+
 	err := func() error {
-		if _, err := s.f.Seek(s.durable, io.SeekStart); err != nil {
+		if _, err := s.f.Seek(off, io.SeekStart); err != nil {
 			return err
 		}
 		if _, err := s.f.Write(buf); err != nil {
@@ -347,16 +403,22 @@ func (s *Store) commitLocked() error {
 		}
 		return s.f.Sync()
 	}()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err != nil {
 		// Roll back any torn tail so the retry appends onto an intact
 		// prefix. Best effort: if the truncate fails too (a crashed or
 		// wedged disk), Open's torn-tail recovery handles the leftovers.
-		s.f.Truncate(s.durable)
+		s.f.Truncate(off)
 		s.commitFails++
 		return fmt.Errorf("store: commit: %w", err)
 	}
-	s.durable += int64(len(buf))
-	s.dirty = s.dirty[:0]
+	s.durable = off + int64(len(buf))
+	s.commits++
+	// Records Put during the fsync extended dirty past n; they stay pending
+	// for the next batch.
+	s.dirty = s.dirty[n:]
 	return nil
 }
 
@@ -429,14 +491,19 @@ func (s *Store) Stats() Stats {
 		Recovered:   s.recovered,
 		Pending:     len(s.dirty),
 		CommitFails: s.commitFails,
+		Commits:     s.commits,
+		Compactions: s.compactions,
+		Shards:      1,
 	}
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close commits any pending batch and closes the log.
+// Close stops the group committer (if running), commits any pending batch,
+// and closes the log.
 func (s *Store) Close() error {
+	s.StopGroupCommit()
 	if err := s.Commit(); err != nil {
 		s.f.Close()
 		return err
@@ -486,6 +553,12 @@ func (v Snapshot) Has(kind Kind, key string) bool {
 func (v Snapshot) Scan(kind Kind, fn func(key string, val []byte) bool) {
 	for i := 0; i < v.n; i++ {
 		v.s.mu.RLock()
+		if i >= len(v.s.recs) {
+			// A Compact since capture shrank the log past this snapshot's
+			// horizon; the remaining positions no longer exist.
+			v.s.mu.RUnlock()
+			return
+		}
 		rec := v.s.recs[i]
 		v.s.mu.RUnlock()
 		if rec.kind != kind {
